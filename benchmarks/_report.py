@@ -1,0 +1,16 @@
+"""Table emission for the benchmark harnesses.
+
+Each experiment's table is printed (visible with ``-s`` or on failure) and
+persisted under ``benchmarks/results/`` so EXPERIMENTS.md can reference the
+latest measured numbers regardless of pytest's output capturing.
+"""
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(text)

@@ -1,0 +1,63 @@
+"""E7 — end-to-end semantic preservation (differential interpretation).
+
+For every proven-sound optimization: generate programs, optimize, interpret
+original and optimized side by side over an input range, and demand zero
+mismatches (the paper's semantic-equivalence notion, checked empirically).
+The benchmark also records campaign throughput and, as a sensitivity
+control, confirms the harness *does* flag a known-unsound transformation.
+"""
+
+import pytest
+
+from repro.il.generator import GeneratorConfig
+from repro.testing import differential_campaign
+from repro.opts import const_prop, const_prop_pt, copy_prop, cse, dae, load_elim
+from repro.opts.buggy import assign_removal_overbroad
+
+_SUMMARY = []
+
+CAMPAIGNS = [
+    (const_prop, GeneratorConfig()),
+    (const_prop_pt, GeneratorConfig(allow_pointers=True)),
+    (copy_prop, GeneratorConfig()),
+    (cse, GeneratorConfig()),
+    (dae, GeneratorConfig()),
+    (load_elim, GeneratorConfig(allow_pointers=True, num_stmts=14)),
+]
+
+
+@pytest.mark.parametrize("opt,config", CAMPAIGNS, ids=lambda v: getattr(v, "name", ""))
+def test_differential(benchmark, engine, opt, config):
+    def run():
+        return differential_campaign(
+            opt, seeds=range(30), config=config, engine=engine
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.ok, "\n".join(result.mismatches[:2])
+    _SUMMARY.append((opt.name, result))
+
+
+def test_sensitivity_control(engine):
+    result = differential_campaign(
+        assign_removal_overbroad, seeds=range(60), engine=engine
+    )
+    assert result.mismatches, "harness failed to flag an unsound transformation"
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _SUMMARY:
+        return
+    from _report import emit
+
+    lines = ["=== E7: differential campaigns (30 programs x 7 inputs each) ==="]
+    lines.append(
+        f"{'optimization':16s} {'programs':>9s} {'transfos':>9s} {'runs':>6s} {'mismatches':>11s}"
+    )
+    for name, result in _SUMMARY:
+        lines.append(
+            f"{name:16s} {result.programs:9d} {result.transformations:9d} "
+            f"{result.runs:6d} {len(result.mismatches):11d}"
+        )
+    emit("E7_differential", "\n".join(lines))

@@ -1,0 +1,56 @@
+"""E1 — per-optimization proof-discharge times (paper section 5.1).
+
+Paper: "On a modern workstation, the time taken by Simplify to discharge
+the optimization-specific obligations for these optimizations ranges from 3
+to 104 seconds, with an average of 28 seconds."
+
+This harness regenerates the same table for our prover: one row per shipped
+optimization/analysis, the time to discharge all of its obligations, plus
+the range/average summary line.  Absolute numbers differ (different prover,
+different machine, three decades later); the *shape* should hold: folding
+rules are near-instant, forward dataflow patterns cheap, backward patterns
+and pointer-dependent proofs the most expensive.
+"""
+
+import pytest
+
+from repro.opts import ALL_OPTIMIZATIONS, taintedness_analysis
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("opt", ALL_OPTIMIZATIONS, ids=lambda o: o.name)
+def test_proof_time(benchmark, checker, opt):
+    def discharge():
+        return checker.check_optimization(opt)
+
+    report = benchmark.pedantic(discharge, rounds=1, iterations=1)
+    assert report.sound, report.summary()
+    _RESULTS[opt.name] = report.elapsed_s
+
+
+def test_analysis_proof_time(benchmark, checker):
+    report = benchmark.pedantic(
+        lambda: checker.check_analysis(taintedness_analysis), rounds=1, iterations=1
+    )
+    assert report.sound
+    _RESULTS[taintedness_analysis.name] = report.elapsed_s
+
+
+def test_zz_report(benchmark):
+    """Emits the E1 table (runs last; name-ordered after the rows)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert _RESULTS
+    from _report import emit
+
+    lines = ["=== E1: obligation-discharge time per optimization ==="]
+    lines.append(f"{'optimization':24s} {'seconds':>8s}")
+    for name, seconds in sorted(_RESULTS.items(), key=lambda kv: kv[1]):
+        lines.append(f"{name:24s} {seconds:8.2f}")
+    times = list(_RESULTS.values())
+    lines.append(
+        f"range {min(times):.2f}s .. {max(times):.2f}s, "
+        f"average {sum(times) / len(times):.2f}s over {len(times)} items"
+    )
+    lines.append("paper (Simplify, 2003 workstation): range 3s .. 104s, average 28s")
+    emit("E1_proof_times", "\n".join(lines))

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that editable installs work on machines
+without the ``wheel`` package (``python setup.py develop`` or
+``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

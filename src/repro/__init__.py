@@ -1,0 +1,17 @@
+"""Cobalt reproduction: automatically proving compiler optimizations correct.
+
+This package reproduces the system of Lerner, Millstein and Chambers,
+*Automatically Proving the Correctness of Compiler Optimizations* (PLDI
+2003):
+
+* :mod:`repro.il` — the C-like intermediate language and its semantics;
+* :mod:`repro.logic` — first-order terms and formulas;
+* :mod:`repro.prover` — a Simplify-style automatic theorem prover;
+* :mod:`repro.cobalt` — the Cobalt DSL and its execution engine;
+* :mod:`repro.verify` — the automatic soundness checker (obligations F1-F3
+  and B1-B3 discharged by the prover);
+* :mod:`repro.opts` — the paper's suite of optimizations and analyses
+  written in Cobalt.
+"""
+
+__version__ = "1.0.0"

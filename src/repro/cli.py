@@ -1,0 +1,251 @@
+"""Command-line interface: the extensible compiler as a tool.
+
+Usage (also via ``python -m repro``)::
+
+    repro-cobalt check FILE.cobalt [--infer-witness]
+    repro-cobalt opt PROGRAM.il --passes constProp,deadAssignElim [--iterate] [--trust]
+    repro-cobalt run PROGRAM.il ARG
+    repro-cobalt counterexample FILE.cobalt
+    repro-cobalt suite
+
+* ``check`` parses every optimization/analysis block in a Cobalt source
+  file and proves (or rejects) each one; with ``--infer-witness`` missing
+  or failing witnesses are inferred and re-verified.
+* ``opt`` optimizes an IL program with the named library passes — proving
+  each pass sound first unless ``--trust`` is given.
+* ``run`` interprets ``main(ARG)``.
+* ``counterexample`` searches for a concrete miscompilation for a rejected
+  optimization (section 7).
+* ``suite`` verifies the entire shipped optimization suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from typing import List, Tuple
+
+from repro.il import parse_program, run_program
+from repro.il.interp import ExecError, OutOfFuel
+from repro.il.printer import program_to_str
+from repro.cobalt.dsl import Optimization, PureAnalysis
+from repro.cobalt.engine import CobaltEngine
+from repro.cobalt.labels import standard_registry
+from repro.cobalt.parser import parse_optimization, parse_pure_analysis
+from repro.prover import ProverConfig
+from repro.verify import SoundnessChecker
+
+_BLOCK_RE = re.compile(
+    r"\b(forward\s+optimization|backward\s+optimization|analysis)\b", re.DOTALL
+)
+
+
+def split_blocks(source: str) -> List[str]:
+    """Split a .cobalt file into top-level blocks by brace matching."""
+    blocks = []
+    starts = [m.start() for m in _BLOCK_RE.finditer(source)]
+    for start in starts:
+        depth = 0
+        end = None
+        for i in range(start, len(source)):
+            if source[i] == "{":
+                depth += 1
+            elif source[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    end = i + 1
+                    break
+        if end is None:
+            raise SystemExit(f"unbalanced braces in block starting at offset {start}")
+        blocks.append(source[start:end])
+    if not blocks:
+        raise SystemExit("no optimization or analysis blocks found")
+    return blocks
+
+
+def parse_blocks(source: str) -> List[object]:
+    out: List[object] = []
+    for block in split_blocks(source):
+        if block.lstrip().startswith("analysis"):
+            out.append(parse_pure_analysis(block))
+        else:
+            out.append(parse_optimization(block))
+    return out
+
+
+def _checker(args) -> SoundnessChecker:
+    return SoundnessChecker(config=ProverConfig(timeout_s=args.timeout))
+
+
+def cmd_check(args) -> int:
+    items = parse_blocks(open(args.file).read())
+    checker = _checker(args)
+    failures = 0
+    for item in items:
+        if isinstance(item, PureAnalysis):
+            report = checker.check_analysis(item)
+        else:
+            report = checker.check_pattern(item)
+            if not report.sound and args.infer_witness:
+                from repro.verify.infer import infer_and_check
+
+                inferred, _ = infer_and_check(item, checker)
+                if inferred is not None:
+                    print(f"{item.name}: proved with inferred witness "
+                          f"{inferred.witness}")
+                    continue
+        print(report.summary())
+        if not report.sound:
+            failures += 1
+            failing = report.failed_obligations()
+            if failing and failing[0].context:
+                print("  counterexample context (first lines):")
+                for line in failing[0].context[: args.context_lines]:
+                    print(f"    | {line}")
+    return 1 if failures else 0
+
+
+def cmd_opt(args) -> int:
+    from repro import opts as suite
+
+    by_name = {opt.name: opt for opt in suite.ALL_OPTIMIZATIONS}
+    passes = []
+    for name in args.passes.split(","):
+        name = name.strip()
+        if name not in by_name:
+            known = ", ".join(sorted(by_name))
+            raise SystemExit(f"unknown pass {name!r}; known passes: {known}")
+        opt = by_name[name]
+        if args.iterate:
+            from dataclasses import replace
+
+            opt = replace(opt, iterate=True)
+        passes.append(opt)
+
+    if not args.trust:
+        checker = _checker(args)
+        for opt in passes:
+            report = checker.check_optimization(opt)
+            status = "sound" if report.sound else "REJECTED"
+            print(f"[verify] {opt.name}: {status} ({report.elapsed_s:.1f}s)",
+                  file=sys.stderr)
+            if not report.sound:
+                raise SystemExit(f"pass {opt.name} failed verification; "
+                                 f"use --trust to run it anyway")
+
+    program = parse_program(open(args.file).read())
+    engine = CobaltEngine(standard_registry())
+    total = 0
+    for opt in passes:
+        program_new = engine.run_on_program(opt, program)
+        changed = sum(
+            1
+            for proc in program.procs
+            for i in range(len(proc.stmts))
+            if program_new.proc(proc.name).stmt_at(i) != proc.stmt_at(i)
+        )
+        print(f"[{opt.name}] rewrote {changed} statement(s)", file=sys.stderr)
+        total += changed
+        program = program_new
+    print(program_to_str(program))
+    return 0
+
+
+def cmd_run(args) -> int:
+    program = parse_program(open(args.file).read())
+    try:
+        value = run_program(program, args.arg, fuel=args.fuel)
+    except ExecError as e:
+        print(f"stuck: {e}", file=sys.stderr)
+        return 2
+    except OutOfFuel:
+        print("did not terminate within the fuel budget", file=sys.stderr)
+        return 3
+    print(value)
+    return 0
+
+
+def cmd_counterexample(args) -> int:
+    from repro.verify.synthesize import find_counterexample
+
+    items = [i for i in parse_blocks(open(args.file).read()) if not isinstance(i, PureAnalysis)]
+    status = 0
+    for pattern in items:
+        found = find_counterexample(Optimization(pattern))
+        if found is None:
+            print(f"{pattern.name}: no counterexample found "
+                  f"(the pattern may be sound, or need a wider search)")
+        else:
+            print(f"{pattern.name}: miscompilation found")
+            print(found.describe())
+            status = 1
+    return status
+
+
+def cmd_suite(args) -> int:
+    from repro import opts as suite
+
+    checker = _checker(args)
+    failures = 0
+    for analysis in suite.ALL_ANALYSES:
+        report = checker.check_analysis(analysis)
+        print(f"{report.name:24s} {'SOUND' if report.sound else 'REJECTED':8s} "
+              f"{report.elapsed_s:7.2f}s")
+        failures += 0 if report.sound else 1
+    for opt in suite.ALL_OPTIMIZATIONS:
+        report = checker.check_optimization(opt)
+        print(f"{report.name:24s} {'SOUND' if report.sound else 'REJECTED':8s} "
+              f"{report.elapsed_s:7.2f}s")
+        failures += 0 if report.sound else 1
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cobalt",
+        description="Cobalt: write, prove, and run compiler optimizations.",
+    )
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="prover timeout per obligation (seconds)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="prove optimizations in a .cobalt file")
+    p.add_argument("file")
+    p.add_argument("--infer-witness", action="store_true")
+    p.add_argument("--context-lines", type=int, default=8)
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("opt", help="optimize an IL program with library passes")
+    p.add_argument("file")
+    p.add_argument("--passes", required=True,
+                   help="comma-separated pass names (e.g. constProp,deadAssignElim)")
+    p.add_argument("--iterate", action="store_true",
+                   help="run each pass to a fixpoint")
+    p.add_argument("--trust", action="store_true",
+                   help="skip re-verifying the passes before running them")
+    p.set_defaults(fn=cmd_opt)
+
+    p = sub.add_parser("run", help="interpret main(ARG) of an IL program")
+    p.add_argument("file")
+    p.add_argument("arg", type=int)
+    p.add_argument("--fuel", type=int, default=1_000_000)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("counterexample",
+                       help="synthesize a miscompilation for an optimization")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_counterexample)
+
+    p = sub.add_parser("suite", help="verify the entire shipped suite")
+    p.set_defaults(fn=cmd_suite)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

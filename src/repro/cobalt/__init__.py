@@ -1,0 +1,73 @@
+"""Cobalt: the paper's domain-specific language for optimizations.
+
+An optimization is a guarded rewrite rule (a *transformation pattern*) plus
+an arbitrary *profitability heuristic*:
+
+* forward:  ``psi1 followed by psi2 until s => s' with witness P``
+* backward: ``psi1 preceded by psi2 since s => s' with witness P``
+* pure analysis: ``psi1 followed by psi2 defines label with witness P``
+
+This package provides the pattern language (:mod:`repro.cobalt.patterns`),
+the guard formula language and its node semantics
+(:mod:`repro.cobalt.guards`), label definitions (:mod:`repro.cobalt.labels`),
+witness predicates (:mod:`repro.cobalt.witness`), the optimization objects
+(:mod:`repro.cobalt.dsl`), the substitution-set dataflow execution engine of
+section 5.2 (:mod:`repro.cobalt.engine`), a definitional path-based
+semantics used as a testing oracle (:mod:`repro.cobalt.semantics`), and a
+parser for the textual Cobalt syntax (:mod:`repro.cobalt.parser`).
+"""
+
+from repro.cobalt.dsl import (
+    BackwardPattern,
+    ForwardPattern,
+    Optimization,
+    PureAnalysis,
+    choose_all,
+)
+from repro.cobalt.engine import CobaltEngine, TransformationInstance
+from repro.cobalt.guards import GAnd, GCase, GEq, GFalse, GLabel, GNot, GOr, GTrue
+from repro.cobalt.parser import parse_optimization, parse_pure_analysis
+from repro.cobalt.patterns import (
+    ConstPat,
+    ExprPat,
+    IndexPat,
+    OpPat,
+    PStmt,
+    Subst,
+    VarPat,
+    Wildcard,
+    instantiate_stmt,
+    match_stmt,
+    parse_pattern_stmt,
+)
+
+__all__ = [
+    "BackwardPattern",
+    "CobaltEngine",
+    "ConstPat",
+    "ExprPat",
+    "ForwardPattern",
+    "GAnd",
+    "GCase",
+    "GEq",
+    "GFalse",
+    "GLabel",
+    "GNot",
+    "GOr",
+    "GTrue",
+    "IndexPat",
+    "OpPat",
+    "Optimization",
+    "PStmt",
+    "PureAnalysis",
+    "Subst",
+    "TransformationInstance",
+    "VarPat",
+    "Wildcard",
+    "choose_all",
+    "instantiate_stmt",
+    "match_stmt",
+    "parse_optimization",
+    "parse_pattern_stmt",
+    "parse_pure_analysis",
+]

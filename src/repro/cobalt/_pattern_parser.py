@@ -1,0 +1,208 @@
+"""Parser for pattern-statement concrete syntax (see
+:func:`repro.cobalt.patterns.parse_pattern_stmt` for the grammar sketch)."""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.il.ast import (
+    AddrOf,
+    Assign,
+    BINARY_OPS,
+    BinOp,
+    Call,
+    Const,
+    Decl,
+    Deref,
+    DerefLhs,
+    IfGoto,
+    New,
+    Return,
+    Skip,
+    UNARY_OPS,
+    UnOp,
+    Var,
+    VarLhs,
+)
+from repro.cobalt.patterns import (
+    ConstPat,
+    ExprPat,
+    IndexPat,
+    OpPat,
+    PatternError,
+    VarPat,
+    Wildcard,
+    classify_ident,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<dots>\.\.\.)
+    | (?P<num>\d+)
+    | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<punct>:=|==|!=|<=|>=|&&|\|\||[-+*/%<>&(){};,=!?])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise PatternError(f"bad pattern syntax at {text[pos:]!r}")
+        if m.lastgroup != "ws":
+            tokens.append(m.group(0))
+        pos = m.end()
+    tokens.append("<eof>")
+    return tokens
+
+
+class _P:
+    def __init__(self, text: str) -> None:
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    def peek(self, offset: int = 0) -> str:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self) -> str:
+        tok = self.tokens[self.pos]
+        if tok != "<eof>":
+            self.pos += 1
+        return tok
+
+    def expect(self, tok: str) -> None:
+        got = self.next()
+        if got != tok:
+            raise PatternError(f"expected {tok!r}, got {got!r}")
+
+    def ident(self) -> str:
+        tok = self.next()
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", tok):
+            raise PatternError(f"expected identifier, got {tok!r}")
+        return tok
+
+    # -- leaves -----------------------------------------------------------
+
+    def var_leaf(self):
+        tok = self.next()
+        if tok == "...":
+            return Wildcard()
+        leaf = classify_ident(tok)
+        if isinstance(leaf, (Var, VarPat)):
+            return leaf
+        raise PatternError(f"{tok!r} is not a variable pattern")
+
+    def base_leaf(self):
+        tok = self.peek()
+        if tok == "...":
+            self.next()
+            return Wildcard()
+        if tok.isdigit():
+            return Const(int(self.next()))
+        if tok == "-" and self.peek(1).isdigit():
+            self.next()
+            return Const(-int(self.next()))
+        leaf = classify_ident(self.next())
+        if isinstance(leaf, (Var, VarPat, ConstPat, ExprPat)):
+            return leaf
+        raise PatternError(f"{tok!r} is not a base-expression pattern")
+
+    def index_leaf(self):
+        tok = self.next()
+        if tok == "...":
+            return Wildcard()
+        if tok.isdigit():
+            return int(tok)
+        leaf = classify_ident(tok)
+        if isinstance(leaf, IndexPat):
+            return leaf
+        raise PatternError(f"{tok!r} is not an index pattern")
+
+    # -- expressions ----------------------------------------------------------
+
+    def expr(self):
+        tok = self.peek()
+        if tok == "...":
+            self.next()
+            return Wildcard()
+        if tok == "*":
+            self.next()
+            return Deref(self.var_leaf())
+        if tok == "&":
+            self.next()
+            return AddrOf(self.var_leaf())
+        if tok in UNARY_OPS:
+            op = self.next()
+            return UnOp(op, self.base_leaf())
+        left = self.base_leaf()
+        nxt = self.peek()
+        if nxt in BINARY_OPS:
+            op: object = self.next()
+            return BinOp(op, left, self.base_leaf())
+        if re.fullmatch(r"OP[A-Za-z0-9_]*", nxt):
+            op = classify_ident(self.next())
+            return BinOp(op, left, self.base_leaf())
+        return left
+
+    # -- statements -------------------------------------------------------------
+
+    def stmt(self):
+        tok = self.peek()
+        if tok == "skip":
+            self.next()
+            return Skip()
+        if tok == "decl":
+            self.next()
+            return Decl(self.var_leaf())
+        if tok == "return":
+            self.next()
+            return Return(self.var_leaf())
+        if tok == "if":
+            self.next()
+            cond = self.base_leaf()
+            self.expect("goto")
+            then_index = self.index_leaf()
+            self.expect("else")
+            return IfGoto(cond, then_index, self.index_leaf())
+        if tok == "*":
+            self.next()
+            target = DerefLhs(self.var_leaf())
+            self.expect(":=")
+            return Assign(target, self.expr())
+        # Variable-target forms: X := ...
+        target_var = self.var_leaf()
+        self.expect(":=")
+        nxt = self.peek()
+        if nxt == "new":
+            self.next()
+            return New(target_var)
+        # Call pattern: ident "(" arg ")" — a concrete name or P-style pattern.
+        if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", nxt) and self.peek(1) == "(":
+            name = self.next()
+            self.expect("(")
+            arg = self.base_leaf()
+            self.expect(")")
+            proc: object = Wildcard() if name[0].isupper() else name
+            return Call(target_var, proc, arg)
+        # A wildcard target matches any assignment target (variable or
+        # pointer store); a named target matches variable assignments only.
+        lhs: object = Wildcard() if isinstance(target_var, Wildcard) else VarLhs(target_var)
+        return Assign(lhs, self.expr())
+
+    def done(self) -> None:
+        if self.peek() != "<eof>":
+            raise PatternError(f"trailing pattern input: {self.peek()!r}")
+
+
+def parse(text: str):
+    parser = _P(text)
+    stmt = parser.stmt()
+    parser.done()
+    return stmt

@@ -1,0 +1,121 @@
+"""Cobalt optimization objects.
+
+A *transformation pattern* (section 2.1/2.2) carries the guard
+(``psi1``/``psi2``), the rewrite rule ``s => s'``, and the witness used only
+by the soundness checker.  An :class:`Optimization` pairs a pattern with a
+*profitability heuristic* — an arbitrary ``choose`` function (section 2.3)
+that selects which of the legal transformations to perform and that the
+checker never needs to look at.
+
+Rewrite rules may carry :class:`Computed` side conditions binding an output
+pattern variable as a function of the matched ones (used by constant and
+branch folding, where ``C3 = C1 op C2``); each side condition provides both
+the engine-side computation and the premise the checker may assume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.cobalt.guards import Guard
+from repro.cobalt.patterns import PStmt, Subst
+
+
+@dataclass(frozen=True)
+class Computed:
+    """A side condition ``target := fn(theta)`` on a rewrite rule.
+
+    ``fn`` returns the fragment to bind to ``target`` (a pattern-variable
+    name occurring only in ``s'``), or None when the side condition fails
+    and the transformation must not fire.  ``premise`` builds the logical
+    fact the checker may assume about the binding; it receives the
+    obligation encoder and the map from pattern-variable names to logic
+    terms (see :mod:`repro.verify.obligations`).
+    """
+
+    target: str
+    fn: Callable[[Subst], Optional[object]]
+    premise: Optional[Callable] = None
+
+    def compute(self, theta: Subst) -> Optional[Subst]:
+        value = self.fn(theta)
+        if value is None:
+            return None
+        out = dict(theta)
+        out[self.target] = value
+        return out
+
+
+@dataclass(frozen=True)
+class ForwardPattern:
+    """``psi1 followed by psi2 until s => s' with witness P``."""
+
+    name: str
+    psi1: Guard
+    psi2: Guard
+    s: PStmt
+    s_new: PStmt
+    witness: object  # see repro.cobalt.witness
+    computed: Tuple[Computed, ...] = ()
+
+    direction = "forward"
+
+
+@dataclass(frozen=True)
+class BackwardPattern:
+    """``psi1 preceded by psi2 since s => s' with witness P``."""
+
+    name: str
+    psi1: Guard
+    psi2: Guard
+    s: PStmt
+    s_new: PStmt
+    witness: object
+    computed: Tuple[Computed, ...] = ()
+
+    direction = "backward"
+
+
+@dataclass(frozen=True)
+class PureAnalysis:
+    """``psi1 followed by psi2 defines label with witness P`` (section 2.4).
+
+    Pure analyses are forward-only (the paper has no backward analyses) and
+    do not transform; they add ``label_name(label_args theta)`` to every node
+    whose incoming paths all match the guard.
+    """
+
+    name: str
+    psi1: Guard
+    psi2: Guard
+    label_name: str
+    label_args: Tuple[object, ...]
+    witness: object
+
+    direction = "forward"
+
+
+def choose_all(delta: Sequence, proc) -> Sequence:
+    """The default profitability heuristic: perform every legal
+    transformation (``choose_all(Delta, p) = Delta``)."""
+    return list(delta)
+
+
+@dataclass(frozen=True)
+class Optimization:
+    """``O_pat filtered through choose`` (Definition 2)."""
+
+    pattern: object  # ForwardPattern | BackwardPattern
+    choose: Callable = choose_all
+    analyses: Tuple[PureAnalysis, ...] = ()
+    #: run the pattern repeatedly until no transformation fires
+    iterate: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.pattern.name
+
+    @property
+    def direction(self) -> str:
+        return self.pattern.direction

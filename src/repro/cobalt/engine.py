@@ -1,0 +1,357 @@
+"""The Cobalt execution engine (paper section 5.2).
+
+The engine runs optimizations directly from their Cobalt definitions: a
+dataflow analysis whose facts are *sets of substitutions*, each substitution
+representing a potential witnessing region.  The flow function adds the
+substitutions that make ``psi1`` true at a node, propagates an incoming
+substitution when the node satisfies ``psi2`` under it, and drops it
+otherwise; merge points intersect.  At fixed point, a node whose fact
+contains a substitution under which the node matches ``s`` is a legal
+transformation site; the optimization's ``choose`` function then picks the
+profitable subset, and the engine rewrites those statements to ``theta(s')``
+(Definition 2).
+
+Since the guard universally quantifies over CFG paths, the fixpoint is a
+*greatest* fixpoint: facts start at the universe of generable substitutions
+and shrink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.il.cfg import Cfg
+from repro.il.program import Procedure, Program
+from repro.cobalt.dsl import BackwardPattern, ForwardPattern, Optimization, PureAnalysis
+from repro.cobalt.guards import GLabel, GCase, GAnd, GOr, GNot, Guard, check, generate
+from repro.cobalt.labels import (
+    CaseLabel,
+    LabelRegistry,
+    Labeling,
+    NodeCtx,
+    SemanticLabel,
+)
+from repro.cobalt.patterns import (
+    FrozenSubst,
+    Subst,
+    freeze_subst,
+    instantiate_stmt,
+    match_stmt,
+    thaw_subst,
+)
+
+
+class InterferenceError(Exception):
+    """Raised when a backward pattern consumes forward-analysis labels
+    (disallowed by section 4.1 to prevent interference)."""
+
+
+@dataclass(frozen=True)
+class TransformationInstance:
+    """One element of Delta: a node index plus its substitution."""
+
+    index: int
+    theta: FrozenSubst
+
+    def subst(self) -> Subst:
+        return thaw_subst(self.theta)
+
+
+class CobaltEngine:
+    """Executes Cobalt patterns, analyses, and optimizations over procedures."""
+
+    def __init__(self, registry: LabelRegistry) -> None:
+        self.registry = registry
+
+    # -- guard dataflow ---------------------------------------------------------
+
+    def _contexts(self, proc: Procedure, labeling: Labeling) -> Tuple[Cfg, List[NodeCtx]]:
+        cfg = Cfg.build(proc)
+        ctxs = [NodeCtx(proc, cfg, i, self.registry, labeling) for i in cfg.nodes()]
+        return cfg, ctxs
+
+    def guard_facts(
+        self,
+        psi1: Guard,
+        psi2: Guard,
+        direction: str,
+        proc: Procedure,
+        labeling: Optional[Labeling] = None,
+    ) -> List[FrozenSet[FrozenSubst]]:
+        """The fixed-point fact at each node: the meaning of the guard
+        (Definition 1) as computed by the section 5.2 flow functions.
+
+        For a forward guard the fact at node ``n`` describes paths *into*
+        ``n``; for a backward guard, paths *out of* ``n``.
+        """
+        labeling = labeling or Labeling()
+        cfg, ctxs = self._contexts(proc, labeling)
+        n = len(proc.stmts)
+
+        gen: List[FrozenSet[FrozenSubst]] = []
+        for i in range(n):
+            gen.append(frozenset(freeze_subst(t) for t in generate(psi1, {}, ctxs[i])))
+        universe: FrozenSet[FrozenSubst] = frozenset().union(*gen) if gen else frozenset()
+
+        def keeps(i: int, frozen: FrozenSubst) -> bool:
+            return check(psi2, thaw_subst(frozen), ctxs[i])
+
+        # node_fact[i]: substitutions valid *after* visiting node i
+        # (forward: at its out edge; backward: at its in edge, i.e. the fact
+        # describing node i and everything execution-later).
+        #
+        # Definition 1 quantifies over *paths* (from the entry / to an
+        # exit), so edges from nodes no path traverses contribute nothing:
+        # the meet skips predecessors unreachable from the entry (forward)
+        # and successors that cannot reach an exit (backward), and nodes on
+        # no path at all carry the vacuously-full fact.
+        node_fact: List[FrozenSet[FrozenSubst]] = [universe] * n
+        result: List[FrozenSet[FrozenSubst]] = [universe] * n
+        if direction == "forward":
+            on_path = cfg.reachable_from_entry()
+        else:
+            on_path = cfg.reaching_exit()
+
+        changed = True
+        while changed:
+            changed = False
+            for i in range(n):
+                if direction == "forward":
+                    if i == cfg.entry:
+                        meet: FrozenSet[FrozenSubst] = frozenset()
+                    elif i not in on_path:
+                        meet = universe
+                    else:
+                        preds = [p for p in cfg.predecessors(i) if p in on_path]
+                        meet = node_fact[preds[0]]
+                        for p in preds[1:]:
+                            meet = meet & node_fact[p]
+                    result_i = meet
+                    out = gen[i] | frozenset(t for t in meet if keeps(i, t))
+                    if out != node_fact[i] or result_i != result[i]:
+                        node_fact[i] = out
+                        result[i] = result_i
+                        changed = True
+                else:
+                    if not cfg.successors(i):
+                        # A return: the only path from here is the node
+                        # itself, whose region is empty.
+                        meet = frozenset()
+                    elif i not in on_path:
+                        meet = universe
+                    else:
+                        succs = [s for s in cfg.successors(i) if s in on_path]
+                        meet = node_fact[succs[0]]
+                        for s in succs[1:]:
+                            meet = meet & node_fact[s]
+                    result_i = meet
+                    fact_at = gen[i] | frozenset(t for t in meet if keeps(i, t))
+                    if fact_at != node_fact[i] or result_i != result[i]:
+                        node_fact[i] = fact_at
+                        result[i] = result_i
+                        changed = True
+        return result
+
+    # -- transformation patterns -----------------------------------------------------
+
+    def legal_transformations(
+        self,
+        pattern,
+        proc: Procedure,
+        labeling: Optional[Labeling] = None,
+    ) -> List[TransformationInstance]:
+        """``[[O_pat]](p)``: the set Delta of legal (index, theta) pairs."""
+        self._check_interference(pattern, labeling)
+        facts = self.guard_facts(
+            pattern.psi1, pattern.psi2, pattern.direction, proc, labeling
+        )
+        delta: List[TransformationInstance] = []
+        seen: Set[Tuple[int, FrozenSubst]] = set()
+        for i, fact in enumerate(facts):
+            stmt = proc.stmt_at(i)
+            for frozen in sorted(fact, key=repr):
+                theta = match_stmt(pattern.s, stmt, thaw_subst(frozen))
+                if theta is None:
+                    continue
+                for cond in pattern.computed:
+                    theta = cond.compute(theta)
+                    if theta is None:
+                        break
+                if theta is None:
+                    continue
+                key = (i, freeze_subst(theta))
+                if key not in seen:
+                    seen.add(key)
+                    delta.append(TransformationInstance(i, freeze_subst(theta)))
+        return delta
+
+    def apply_pattern(
+        self,
+        pattern,
+        proc: Procedure,
+        instances: Sequence[TransformationInstance],
+    ) -> Procedure:
+        """``app(s', p, Delta')``: rewrite each selected node to theta(s')."""
+        updates: Dict[int, object] = {}
+        for inst in instances:
+            if inst.index in updates:
+                continue  # Definition 2: one nondeterministic pick per index
+            updates[inst.index] = instantiate_stmt(pattern.s_new, inst.subst())
+        transformed = proc.with_stmts(updates)  # type: ignore[arg-type]
+        transformed.validate()
+        return transformed
+
+    # -- optimizations ------------------------------------------------------------
+
+    def run_optimization(
+        self,
+        opt: Optimization,
+        proc: Procedure,
+        labeling: Optional[Labeling] = None,
+    ) -> Tuple[Procedure, List[TransformationInstance]]:
+        """``[[O]](p)`` (Definition 2), plus the instances actually applied.
+
+        The optimization's pure analyses are (re-)run first to populate the
+        semantic labeling.  With ``opt.iterate`` the pattern is re-run on its
+        own output until no more transformations fire.
+        """
+        applied: List[TransformationInstance] = []
+        current = proc
+        while True:
+            lab = labeling or Labeling()
+            for analysis in opt.analyses:
+                lab = lab.merged_with(self.run_pure_analysis(analysis, current, lab))
+            delta = self.legal_transformations(opt.pattern, current, lab)
+            chosen = [t for t in opt.choose(delta, current) if t in delta]
+            # Drop no-op rewrites so iteration terminates.
+            effective = []
+            for inst in chosen:
+                new_stmt = instantiate_stmt(opt.pattern.s_new, inst.subst())
+                if new_stmt != current.stmt_at(inst.index):
+                    effective.append(inst)
+            if not effective:
+                return current, applied
+            current = self.apply_pattern(opt.pattern, current, effective)
+            applied.extend(effective)
+            if not opt.iterate:
+                return current, applied
+
+    def run_pipeline(
+        self, opts: Sequence[Optimization], proc: Procedure
+    ) -> Tuple[Procedure, Dict[str, int]]:
+        """Run optimizations in sequence; returns the result and a count of
+        transformations per optimization name."""
+        counts: Dict[str, int] = {}
+        current = proc
+        for opt in opts:
+            current, applied = self.run_optimization(opt, current)
+            counts[opt.name] = counts.get(opt.name, 0) + len(applied)
+        return current, counts
+
+    def run_to_fixpoint(
+        self,
+        opts: Sequence[Optimization],
+        proc: Procedure,
+        *,
+        max_iterations: int = 32,
+    ) -> Tuple[Procedure, Dict[str, int]]:
+        """Iterate a set of optimizations until none of them fires.
+
+        This is the iterative form of the composition the paper gets from
+        Whirlwind's framework (section 5.2): each pass re-analyses the
+        previous passes' output, so mutually beneficial interactions (e.g.
+        folding enabling propagation enabling dead-code elimination) are
+        found without a fixed pass ordering.
+        """
+        counts: Dict[str, int] = {}
+        current = proc
+        for _ in range(max_iterations):
+            changed = False
+            for opt in opts:
+                current_new, applied = self.run_optimization(opt, current)
+                if applied:
+                    changed = True
+                    counts[opt.name] = counts.get(opt.name, 0) + len(applied)
+                    current = current_new
+            if not changed:
+                break
+        return current, counts
+
+    def run_on_program(self, opt: Optimization, program: Program) -> Program:
+        """Apply an optimization to every procedure of a program."""
+        out = program
+        for proc in program.procs:
+            transformed, _ = self.run_optimization(opt, proc)
+            out = out.with_proc(transformed)
+        return out
+
+    # -- pure analyses -----------------------------------------------------------
+
+    def run_pure_analysis(
+        self,
+        analysis: PureAnalysis,
+        proc: Procedure,
+        labeling: Optional[Labeling] = None,
+    ) -> Labeling:
+        """Label the CFG with the analysis's new label (section 2.4)."""
+        facts = self.guard_facts(
+            analysis.psi1, analysis.psi2, "forward", proc, labeling
+        )
+        out = Labeling()
+        from repro.cobalt.guards import instantiate_term
+
+        for i, fact in enumerate(facts):
+            for frozen in fact:
+                theta = thaw_subst(frozen)
+                try:
+                    args = tuple(instantiate_term(a, theta) for a in analysis.label_args)
+                except Exception:
+                    continue
+                out.add(i, analysis.label_name, args)
+        return out
+
+    # -- interference (section 4.1) ---------------------------------------------------
+
+    def _check_interference(self, pattern, labeling: Optional[Labeling]) -> None:
+        if pattern.direction != "backward":
+            return
+        semantic = self._semantic_labels_used(pattern.psi1) | self._semantic_labels_used(
+            pattern.psi2
+        )
+        if semantic and labeling is not None and labeling.entries:
+            raise InterferenceError(
+                f"backward pattern {pattern.name} consumes forward-analysis "
+                f"labels {sorted(semantic)}; disallowed (section 4.1)"
+            )
+
+    def _semantic_labels_used(self, guard: Guard, seen: Optional[Set[str]] = None) -> Set[str]:
+        seen = seen if seen is not None else set()
+        out: Set[str] = set()
+
+        def walk(g: Guard) -> None:
+            if isinstance(g, GNot):
+                walk(g.body)
+            elif isinstance(g, (GAnd, GOr)):
+                for p in g.parts:
+                    walk(p)
+            elif isinstance(g, GCase):
+                walk(g.default)
+                for _, arm in g.arms:
+                    walk(arm)
+            elif isinstance(g, GLabel):
+                name = g.name
+                if name == "stmt" or name in seen:
+                    return
+                seen.add(name)
+                try:
+                    defn = self.registry.lookup(name)
+                except Exception:
+                    return
+                if isinstance(defn, SemanticLabel):
+                    out.add(name)
+                elif isinstance(defn, CaseLabel):
+                    walk(defn.body)
+
+        walk(guard)
+        return out

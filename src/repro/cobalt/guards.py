@@ -1,0 +1,423 @@
+"""The guard formula language psi (paper section 3.2.2) and its semantics.
+
+Grammar::
+
+    psi ::= true | false | ~psi | psi \\/ psi | psi /\\ psi
+          | l(t, ..., t) | t = t
+          | case currStmt of p -> psi ... else -> psi endcase
+
+Terms ``t`` are extended-IL fragments (pattern variables or concrete
+fragments).  The semantics ``iota |=theta psi`` says whether the node with
+index ``iota`` of a labeled CFG satisfies ``psi`` under the substitution
+``theta`` (Definition in section 3.2.2).
+
+Two evaluation modes are provided:
+
+* :func:`check` — ``theta`` binds every pattern variable of ``psi``; returns
+  a boolean.  Used for the innocuous formula psi2 and for label bodies.
+* :func:`generate` — enumerate the substitutions (extending a base
+  ``theta``) under which the node satisfies ``psi``.  Used for the enabling
+  formula psi1; this is the paper's "the flow function adds the substitution
+  that caused psi1 to be true".  Enumeration is driven by statement-pattern
+  matching, falling back to the finite domains of the procedure (its
+  variables, constants, expressions, and indices) for pattern variables not
+  determined by any statement pattern.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.il.ast import Const, Expr, Stmt, Var
+from repro.cobalt.patterns import (
+    ConstPat,
+    ExprPat,
+    IndexPat,
+    OpPat,
+    PStmt,
+    PatternError,
+    Subst,
+    VarPat,
+    Wildcard,
+    instantiate_expr,
+    match_stmt,
+    pattern_vars,
+)
+
+if TYPE_CHECKING:
+    from repro.cobalt.labels import LabelRegistry, NodeCtx
+
+
+# ---------------------------------------------------------------------------
+# Guard AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GTrue:
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class GFalse:
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class GNot:
+    body: "Guard"
+
+    def __str__(self) -> str:
+        return f"!{self.body}"
+
+
+@dataclass(frozen=True)
+class GAnd:
+    parts: Tuple["Guard", ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parts", tuple(self.parts))
+
+    def __str__(self) -> str:
+        return "(" + " && ".join(map(str, self.parts)) + ")"
+
+
+@dataclass(frozen=True)
+class GOr:
+    parts: Tuple["Guard", ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parts", tuple(self.parts))
+
+    def __str__(self) -> str:
+        return "(" + " || ".join(map(str, self.parts)) + ")"
+
+
+@dataclass(frozen=True)
+class GLabel:
+    """A label predicate ``l(t1, ..., tn)``.
+
+    ``stmt(p)`` is the built-in statement label; its single argument is a
+    pattern statement.  Other labels take extended-IL term arguments.
+    """
+
+    name: str
+    args: Tuple[object, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.name
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class GEq:
+    """Term equality ``t1 = t2`` between extended-IL fragments."""
+
+    lhs: object
+    rhs: object
+
+    def __str__(self) -> str:
+        return f"{self.lhs} == {self.rhs}"
+
+
+@dataclass(frozen=True)
+class GCase:
+    """``case currStmt of p1 -> g1 ... else -> g endcase``.
+
+    Arms are tried in order; the first whose pattern matches the current
+    statement selects its guard, with the pattern's bindings in scope.
+    """
+
+    arms: Tuple[Tuple[PStmt, "Guard"], ...]
+    default: "Guard"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "arms", tuple(tuple(a) for a in self.arms))
+
+    def __str__(self) -> str:
+        arms = "; ".join(f"{p} -> {g}" for p, g in self.arms)
+        return f"case currStmt of {arms}; else -> {self.default} endcase"
+
+
+Guard = object  # union of the above
+
+
+def gand(*parts: Guard) -> Guard:
+    flat = [p for p in parts if not isinstance(p, GTrue)]
+    if any(isinstance(p, GFalse) for p in flat):
+        return GFalse()
+    if not flat:
+        return GTrue()
+    return flat[0] if len(flat) == 1 else GAnd(tuple(flat))
+
+
+def gor(*parts: Guard) -> Guard:
+    flat = [p for p in parts if not isinstance(p, GFalse)]
+    if any(isinstance(p, GTrue) for p in flat):
+        return GTrue()
+    if not flat:
+        return GFalse()
+    return flat[0] if len(flat) == 1 else GOr(tuple(flat))
+
+
+def guard_pattern_vars(guard: Guard) -> FrozenSet[str]:
+    """All pattern-variable names occurring in a guard."""
+    if isinstance(guard, (GTrue, GFalse)):
+        return frozenset()
+    if isinstance(guard, GNot):
+        return guard_pattern_vars(guard.body)
+    if isinstance(guard, (GAnd, GOr)):
+        out: FrozenSet[str] = frozenset()
+        for p in guard.parts:
+            out |= guard_pattern_vars(p)
+        return out
+    if isinstance(guard, GLabel):
+        out = frozenset()
+        for a in guard.args:
+            out |= pattern_vars(a)
+        return out
+    if isinstance(guard, GEq):
+        return pattern_vars(guard.lhs) | pattern_vars(guard.rhs)
+    if isinstance(guard, GCase):
+        out = guard_pattern_vars(guard.default)
+        for pattern, arm in guard.arms:
+            out |= pattern_vars(pattern) | guard_pattern_vars(arm)
+        return out
+    raise TypeError(f"not a guard: {guard!r}")
+
+
+def guard_leaves(guard: Guard) -> FrozenSet[object]:
+    """All pattern-variable *leaves* (with their kinds) in a guard."""
+    leaves: set = set()
+
+    def walk_term(t: object) -> None:
+        names = pattern_vars(t)
+        for leaf in _leaves_of(t):
+            leaves.add(leaf)
+        del names
+
+    def walk(g: Guard) -> None:
+        if isinstance(g, (GTrue, GFalse)):
+            return
+        if isinstance(g, GNot):
+            walk(g.body)
+        elif isinstance(g, (GAnd, GOr)):
+            for p in g.parts:
+                walk(p)
+        elif isinstance(g, GLabel):
+            for a in g.args:
+                walk_term(a)
+        elif isinstance(g, GEq):
+            walk_term(g.lhs)
+            walk_term(g.rhs)
+        elif isinstance(g, GCase):
+            walk(g.default)
+            for pattern, arm in g.arms:
+                walk_term(pattern)
+                walk(arm)
+        else:
+            raise TypeError(f"not a guard: {g!r}")
+
+    walk(guard)
+    return frozenset(leaves)
+
+
+def _leaves_of(t: object) -> Iterable[object]:
+    from repro.il.ast import (
+        AddrOf,
+        Assign,
+        BinOp,
+        Call,
+        Decl,
+        Deref,
+        DerefLhs,
+        IfGoto,
+        New,
+        Return,
+        Skip,
+        UnOp,
+        VarLhs,
+    )
+
+    if isinstance(t, (VarPat, ConstPat, ExprPat, OpPat, IndexPat)):
+        yield t
+    elif isinstance(t, (Var, Const, Wildcard, Skip, str, int)) or t is None:
+        return
+    elif isinstance(t, (Decl, New, Return)):
+        yield from _leaves_of(t.var)
+    elif isinstance(t, Assign):
+        yield from _leaves_of(t.lhs)
+        yield from _leaves_of(t.rhs)
+    elif isinstance(t, (VarLhs, DerefLhs, Deref, AddrOf)):
+        yield from _leaves_of(t.var)
+    elif isinstance(t, Call):
+        yield from _leaves_of(t.var)
+        yield from _leaves_of(t.arg)
+    elif isinstance(t, IfGoto):
+        yield from _leaves_of(t.cond)
+        yield from _leaves_of(t.then_index)
+        yield from _leaves_of(t.else_index)
+    elif isinstance(t, UnOp):
+        yield from _leaves_of(t.op)
+        yield from _leaves_of(t.arg)
+    elif isinstance(t, BinOp):
+        yield from _leaves_of(t.op)
+        yield from _leaves_of(t.left)
+        yield from _leaves_of(t.right)
+    else:
+        raise PatternError(f"unexpected term {t!r}")
+
+
+# ---------------------------------------------------------------------------
+# Instantiating guard terms
+# ---------------------------------------------------------------------------
+
+
+def instantiate_term(t: object, theta: Subst) -> object:
+    """Resolve a guard term to a concrete fragment under ``theta``."""
+    if isinstance(t, VarPat):
+        value = theta.get(t.name)
+        if value is None:
+            raise PatternError(f"unbound pattern variable {t.name}")
+        return value
+    if isinstance(t, (ConstPat, ExprPat, OpPat, IndexPat)):
+        value = theta.get(t.name)
+        if value is None:
+            raise PatternError(f"unbound pattern variable {t.name}")
+        return value
+    if isinstance(t, (Var, Const, str, int)):
+        return t
+    # Composite expressions (e.g. &X inside a label argument).
+    return instantiate_expr(t, theta)
+
+
+# ---------------------------------------------------------------------------
+# Check mode
+# ---------------------------------------------------------------------------
+
+
+def check(guard: Guard, theta: Subst, ctx: "NodeCtx") -> bool:
+    """Evaluate ``iota |=theta psi`` with a fully binding ``theta``."""
+    if isinstance(guard, GTrue):
+        return True
+    if isinstance(guard, GFalse):
+        return False
+    if isinstance(guard, GNot):
+        return not check(guard.body, theta, ctx)
+    if isinstance(guard, GAnd):
+        return all(check(p, theta, ctx) for p in guard.parts)
+    if isinstance(guard, GOr):
+        return any(check(p, theta, ctx) for p in guard.parts)
+    if isinstance(guard, GLabel):
+        if guard.name == "stmt":
+            return match_stmt(guard.args[0], ctx.stmt, theta) is not None
+        return ctx.registry.holds(guard.name, guard.args, theta, ctx)
+    if isinstance(guard, GEq):
+        return instantiate_term(guard.lhs, theta) == instantiate_term(guard.rhs, theta)
+    if isinstance(guard, GCase):
+        for pattern, arm in guard.arms:
+            extended = match_stmt(pattern, ctx.stmt, theta)
+            if extended is not None:
+                return check(arm, extended, ctx)
+        return check(guard.default, theta, ctx)
+    raise TypeError(f"not a guard: {guard!r}")
+
+
+# ---------------------------------------------------------------------------
+# Generate mode
+# ---------------------------------------------------------------------------
+
+
+def generate(guard: Guard, base: Subst, ctx: "NodeCtx") -> List[Subst]:
+    """All substitutions theta extending ``base`` with ``iota |=theta psi``.
+
+    The returned substitutions bind exactly the pattern variables of
+    ``guard`` (plus whatever ``base`` already bound); variables that cannot
+    be determined from statement patterns are enumerated over the finite
+    domains of the enclosing procedure.
+    """
+    partials = _gen(guard, dict(base), ctx)
+    needed = guard_leaves(guard)
+    out: List[Subst] = []
+    seen: set = set()
+    for theta in partials:
+        missing = [leaf for leaf in needed if getattr(leaf, "name", None) not in theta]
+        for completed in _enumerate(missing, theta, ctx):
+            if check(guard, completed, ctx):
+                key = tuple(sorted((k, repr(v)) for k, v in completed.items()))
+                if key not in seen:
+                    seen.add(key)
+                    out.append(completed)
+    return out
+
+
+def _gen(guard: Guard, theta: Subst, ctx: "NodeCtx") -> List[Subst]:
+    """Propose (possibly partial) bindings; final filtering is by check()."""
+    if isinstance(guard, (GTrue, GFalse)):
+        return [theta]
+    if isinstance(guard, GLabel):
+        if guard.name == "stmt":
+            extended = match_stmt(guard.args[0], ctx.stmt, theta)
+            return [extended] if extended is not None else []
+        return [theta]
+    if isinstance(guard, GEq):
+        return [theta]
+    if isinstance(guard, GNot):
+        return [theta]
+    if isinstance(guard, GAnd):
+        thetas = [theta]
+        for part in guard.parts:
+            thetas = [t2 for t in thetas for t2 in _gen(part, t, ctx)]
+        return thetas
+    if isinstance(guard, GOr):
+        out: List[Subst] = []
+        for part in guard.parts:
+            out.extend(_gen(part, theta, ctx))
+        return out
+    if isinstance(guard, GCase):
+        out = []
+        for pattern, arm in guard.arms:
+            extended = match_stmt(pattern, ctx.stmt, theta)
+            if extended is not None:
+                out.extend(_gen(arm, extended, ctx))
+                return out
+        return _gen(guard.default, theta, ctx)
+    raise TypeError(f"not a guard: {guard!r}")
+
+
+def _enumerate(missing: Sequence[object], theta: Subst, ctx: "NodeCtx") -> Iterable[Subst]:
+    if not missing:
+        yield theta
+        return
+    domains: List[List[object]] = []
+    for leaf in missing:
+        domains.append(list(_domain(leaf, ctx)))
+    names = [leaf.name for leaf in missing]  # type: ignore[attr-defined]
+    for combo in itertools.product(*domains):
+        extended = dict(theta)
+        extended.update(zip(names, combo))
+        yield extended
+
+
+def _domain(leaf: object, ctx: "NodeCtx") -> Iterable[object]:
+    if isinstance(leaf, VarPat):
+        return sorted((Var(v) for v in ctx.proc.mentioned_vars()), key=str)
+    if isinstance(leaf, ConstPat):
+        return sorted((Const(c) for c in ctx.proc.constants()), key=lambda c: c.value)
+    if isinstance(leaf, ExprPat):
+        return ctx.proc_exprs()
+    if isinstance(leaf, IndexPat):
+        return list(ctx.proc.indices())
+    if isinstance(leaf, OpPat):
+        from repro.il.ast import BINARY_OPS, UNARY_OPS
+
+        return list(BINARY_OPS) + list(UNARY_OPS)
+    raise PatternError(f"cannot enumerate domain of {leaf!r}")

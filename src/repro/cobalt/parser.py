@@ -1,0 +1,358 @@
+"""Parser for the textual Cobalt concrete syntax.
+
+Optimizations can be written as they appear in the paper::
+
+    forward optimization constProp {
+      stmt(Y := C)
+      followed by
+      !mayDef(Y)
+      until
+      X := Y  =>  X := C
+      with witness
+      eta(Y) == C
+    }
+
+    backward optimization deadAssignElim {
+      (stmt(X := ...) || stmt(return ...)) && !mayUse(X)
+      preceded by
+      !mayUse(X)
+      since
+      X := E  =>  skip
+      with witness
+      etaOld/X == etaNew/X
+    }
+
+    analysis taintedness {
+      stmt(decl X)
+      followed by
+      !stmt(... := &X)
+      defines
+      notTainted(X)
+      with witness
+      notPointedTo(X)
+    }
+
+Guards are boolean combinations (``!``, ``&&``, ``||``, parentheses) of
+label atoms ``l(t, ...)``, the built-in ``stmt(<pattern>)``, term equality
+``t == t``, and ``true``/``false``.  Witness syntax covers the stock
+witnesses of :mod:`repro.cobalt.witness`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.il.ast import Const, Var
+from repro.cobalt.dsl import BackwardPattern, ForwardPattern, PureAnalysis
+from repro.cobalt.guards import (
+    GAnd,
+    GEq,
+    GFalse,
+    GLabel,
+    GNot,
+    GOr,
+    GTrue,
+    Guard,
+)
+from repro.cobalt.patterns import classify_ident, parse_pattern_stmt
+from repro.cobalt.witness import (
+    Conj,
+    EqualExceptVar,
+    NotPointedTo,
+    TrueWitness,
+    VarEqConst,
+    VarEqExpr,
+    VarEqVar,
+)
+
+
+class CobaltSyntaxError(Exception):
+    """Raised on malformed Cobalt source."""
+
+
+_HEADER_RE = re.compile(
+    r"\s*(forward|backward)\s+optimization\s+([A-Za-z_][A-Za-z0-9_]*)\s*\{(.*)\}\s*$",
+    re.DOTALL,
+)
+_ANALYSIS_RE = re.compile(
+    r"\s*analysis\s+([A-Za-z_][A-Za-z0-9_]*)\s*\{(.*)\}\s*$",
+    re.DOTALL,
+)
+
+
+def _split_once(text: str, keyword: str) -> Tuple[str, str]:
+    pattern = re.compile(rf"\b{keyword}\b")
+    m = pattern.search(text)
+    if m is None:
+        raise CobaltSyntaxError(f"missing {keyword.replace(chr(92)+'s+', ' ')!r} clause")
+    return text[: m.start()], text[m.end() :]
+
+
+def parse_optimization(source: str):
+    """Parse a ``forward optimization`` or ``backward optimization`` block
+    into a :class:`ForwardPattern` or :class:`BackwardPattern`."""
+    m = _HEADER_RE.match(source)
+    if m is None:
+        raise CobaltSyntaxError("expected 'forward|backward optimization name { ... }'")
+    direction, name, body = m.group(1), m.group(2), m.group(3)
+    connective = "followed\\s+by" if direction == "forward" else "preceded\\s+by"
+    terminator = "until" if direction == "forward" else "since"
+
+    psi1_text, rest = _split_once(body, connective)
+    psi2_text, rest = _split_once(rest, terminator)
+    rule_text, witness_text = _split_once(rest, "with\\s+witness")
+    if "=>" not in rule_text:
+        raise CobaltSyntaxError("rewrite rule must contain '=>'")
+    s_text, s_new_text = rule_text.split("=>", 1)
+
+    psi1 = parse_guard(psi1_text)
+    psi2 = parse_guard(psi2_text)
+    s = parse_pattern_stmt(s_text.strip())
+    s_new = parse_pattern_stmt(s_new_text.strip())
+    witness = parse_witness(witness_text)
+
+    cls = ForwardPattern if direction == "forward" else BackwardPattern
+    return cls(name, psi1, psi2, s, s_new, witness)
+
+
+def parse_pure_analysis(source: str) -> PureAnalysis:
+    """Parse an ``analysis name { ... }`` block into a :class:`PureAnalysis`."""
+    m = _ANALYSIS_RE.match(source)
+    if m is None:
+        raise CobaltSyntaxError("expected 'analysis name { ... }'")
+    name, body = m.group(1), m.group(2)
+    psi1_text, rest = _split_once(body, "followed\\s+by")
+    psi2_text, rest = _split_once(rest, "defines")
+    label_text, witness_text = _split_once(rest, "with\\s+witness")
+
+    label_m = re.match(r"\s*([A-Za-z_][A-Za-z0-9_]*)\s*\((.*)\)\s*$", label_text, re.DOTALL)
+    if label_m is None:
+        raise CobaltSyntaxError(f"bad defines clause: {label_text.strip()!r}")
+    label_name = label_m.group(1)
+    args = tuple(
+        _parse_term(a.strip()) for a in label_m.group(2).split(",") if a.strip()
+    )
+    return PureAnalysis(
+        name,
+        parse_guard(psi1_text),
+        parse_guard(psi2_text),
+        label_name,
+        args,
+        parse_witness(witness_text),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Guards
+# ---------------------------------------------------------------------------
+
+
+class _GuardParser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def _ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self, s: str) -> bool:
+        self._ws()
+        return self.text.startswith(s, self.pos)
+
+    def eat(self, s: str) -> bool:
+        if self.peek(s):
+            self.pos += len(s)
+            return True
+        return False
+
+    def expect(self, s: str) -> None:
+        if not self.eat(s):
+            raise CobaltSyntaxError(
+                f"expected {s!r} at ...{self.text[self.pos:self.pos+25]!r}"
+            )
+
+    def ident(self) -> Optional[str]:
+        self._ws()
+        m = re.match(r"[A-Za-z_][A-Za-z0-9_]*", self.text[self.pos :])
+        if m is None:
+            return None
+        self.pos += m.end()
+        return m.group(0)
+
+    # or_expr := and_expr ('||' and_expr)*
+    def or_expr(self) -> Guard:
+        parts = [self.and_expr()]
+        while self.eat("||"):
+            parts.append(self.and_expr())
+        return parts[0] if len(parts) == 1 else GOr(tuple(parts))
+
+    def and_expr(self) -> Guard:
+        parts = [self.not_expr()]
+        while self.eat("&&"):
+            parts.append(self.not_expr())
+        return parts[0] if len(parts) == 1 else GAnd(tuple(parts))
+
+    def not_expr(self) -> Guard:
+        if self.eat("!"):
+            return GNot(self.not_expr())
+        return self.atom()
+
+    def atom(self) -> Guard:
+        if self.eat("("):
+            inner = self.or_expr()
+            self.expect(")")
+            return inner
+        name = self.ident()
+        if name is None:
+            raise CobaltSyntaxError(
+                f"expected guard atom at ...{self.text[self.pos:self.pos+25]!r}"
+            )
+        if name == "true":
+            return GTrue()
+        if name == "false":
+            return GFalse()
+        self._ws()
+        if self.text.startswith("(", self.pos):
+            args_text = self._balanced_parens()
+            if name == "stmt":
+                return GLabel("stmt", (parse_pattern_stmt(args_text),))
+            args = tuple(
+                _parse_term(a.strip()) for a in _split_args(args_text)
+            )
+            return GLabel(name, args)
+        # Bare term followed by '==' — a term equality.
+        if self.eat("=="):
+            rhs = self.ident()
+            if rhs is None:
+                raise CobaltSyntaxError("expected term after '=='")
+            return GEq(_parse_term(name), _parse_term(rhs))
+        return GLabel(name, ())
+
+    def _balanced_parens(self) -> str:
+        assert self.text[self.pos] == "("
+        depth = 0
+        start = self.pos + 1
+        for i in range(self.pos, len(self.text)):
+            if self.text[i] == "(":
+                depth += 1
+            elif self.text[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    self.pos = i + 1
+                    return self.text[start:i]
+        raise CobaltSyntaxError("unbalanced parentheses in guard")
+
+    def done(self) -> None:
+        self._ws()
+        if self.pos != len(self.text):
+            raise CobaltSyntaxError(f"trailing guard input: {self.text[self.pos:]!r}")
+
+
+def _split_args(text: str) -> List[str]:
+    out: List[str] = []
+    depth = 0
+    current = ""
+    for ch in text:
+        if ch == "," and depth == 0:
+            out.append(current)
+            current = ""
+            continue
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        current += ch
+    if current.strip():
+        out.append(current)
+    return out
+
+
+def _parse_term(text: str) -> object:
+    text = text.strip()
+    if re.fullmatch(r"-?\d+", text):
+        return Const(int(text))
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", text):
+        return classify_ident(text)
+    # Fall back to expression-pattern syntax (&X, *X, X + Y, ...).
+    from repro.cobalt._pattern_parser import _P
+
+    parser = _P(text)
+    expr = parser.expr()
+    parser.done()
+    return expr
+
+
+def parse_guard(text: str) -> Guard:
+    """Parse a guard formula psi."""
+    parser = _GuardParser(text.strip())
+    guard = parser.or_expr()
+    parser.done()
+    return guard
+
+
+# ---------------------------------------------------------------------------
+# Witnesses
+# ---------------------------------------------------------------------------
+
+_ETA_EQ_RE = re.compile(
+    r"^eta\(\s*([A-Za-z_][A-Za-z0-9_]*)\s*\)\s*==\s*(.+)$", re.DOTALL
+)
+_ETA_OLD_NEW_RE = re.compile(
+    r"^etaOld\s*/\s*([A-Za-z_][A-Za-z0-9_]*)\s*==\s*etaNew\s*/\s*([A-Za-z_][A-Za-z0-9_]*)$"
+)
+_NPT_RE = re.compile(r"^notPointedTo\(\s*([A-Za-z_][A-Za-z0-9_]*)\s*\)$")
+
+
+def parse_witness(text: str):
+    """Parse a witness clause into a stock witness object."""
+    text = text.strip()
+    if text == "true":
+        return TrueWitness()
+    parts = [p.strip() for p in _split_top_level_and(text)]
+    if len(parts) > 1:
+        return Conj(tuple(parse_witness(p) for p in parts))
+    m = _ETA_OLD_NEW_RE.match(text)
+    if m is not None:
+        if m.group(1) != m.group(2):
+            raise CobaltSyntaxError("etaOld/X == etaNew/Y requires X == Y")
+        return EqualExceptVar(classify_ident(m.group(1)))
+    m = _NPT_RE.match(text)
+    if m is not None:
+        return NotPointedTo(classify_ident(m.group(1)))
+    m = _ETA_EQ_RE.match(text)
+    if m is not None:
+        lhs = classify_ident(m.group(1))
+        rhs_text = m.group(2).strip()
+        inner = re.match(r"^eta\(\s*(.+?)\s*\)$", rhs_text)
+        if inner is not None:
+            rhs = _parse_term(inner.group(1))
+            from repro.cobalt.patterns import VarPat
+
+            if isinstance(rhs, (Var, VarPat)):
+                return VarEqVar(lhs, rhs)
+            return VarEqExpr(lhs, rhs)
+        return VarEqConst(lhs, _parse_term(rhs_text))
+    raise CobaltSyntaxError(f"unrecognized witness: {text!r}")
+
+
+def _split_top_level_and(text: str) -> List[str]:
+    out: List[str] = []
+    depth = 0
+    current = ""
+    i = 0
+    while i < len(text):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+        if depth == 0 and text.startswith("&&", i):
+            out.append(current)
+            current = ""
+            i += 2
+            continue
+        current += text[i]
+        i += 1
+    out.append(current)
+    return out

@@ -1,0 +1,117 @@
+"""Definitional semantics of guards (Definition 1) — the testing oracle.
+
+Definition 1 gives the meaning of a forward guard by quantifying over *all*
+CFG paths from the entry to a node; the execution engine computes the same
+set with a fixed-point dataflow analysis.  This module implements the
+definition literally, by path enumeration, so the engine can be validated
+against it (experiment E6).
+
+Path enumeration is exact on acyclic CFGs (which is what the differential
+tests use) and bounded — hence approximate — on cyclic ones.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.il.cfg import Cfg
+from repro.il.program import Procedure
+from repro.cobalt.guards import Guard, check, generate
+from repro.cobalt.labels import LabelRegistry, Labeling, NodeCtx
+from repro.cobalt.patterns import FrozenSubst, Subst, freeze_subst, thaw_subst
+
+
+def is_acyclic(cfg: Cfg) -> bool:
+    """True when the CFG has no cycles (DFS back-edge check)."""
+    color = {}  # 0 = visiting, 1 = done
+
+    def visit(node: int) -> bool:
+        color[node] = 0
+        for nxt in cfg.successors(node):
+            state = color.get(nxt)
+            if state == 0:
+                return False
+            if state is None and not visit(nxt):
+                return False
+        color[node] = 1
+        return True
+
+    return all(visit(n) for n in cfg.nodes() if n not in color)
+
+
+def guard_meaning_by_paths(
+    psi1: Guard,
+    psi2: Guard,
+    direction: str,
+    proc: Procedure,
+    registry: LabelRegistry,
+    labeling: Optional[Labeling] = None,
+    max_len: int = 64,
+) -> List[FrozenSet[FrozenSubst]]:
+    """``[[O_guard]](p)`` computed literally from Definition 1.
+
+    Returns, for each node index ``iota``, the set of substitutions theta
+    with ``(iota, theta)`` in the guard's meaning.  The candidate universe
+    is the union of psi1 matches over all nodes (the same universe the
+    engine draws from).
+    """
+    labeling = labeling or Labeling()
+    cfg = Cfg.build(proc)
+    ctxs = [NodeCtx(proc, cfg, i, registry, labeling) for i in cfg.nodes()]
+
+    universe: Set[FrozenSubst] = set()
+    sat1: List[Set[FrozenSubst]] = []
+    for ctx in ctxs:
+        matches = {freeze_subst(t) for t in generate(psi1, {}, ctx)}
+        sat1.append(matches)
+        universe |= matches
+
+    def sat2(i: int, frozen: FrozenSubst) -> bool:
+        return check(psi2, thaw_subst(frozen), ctxs[i])
+
+    def path_ok(region: Sequence[int], frozen: FrozenSubst) -> bool:
+        """Does the path segment (execution order) satisfy
+        ``exists k: psi1 at k and psi2 at all later positions``?"""
+        for k in range(len(region) - 1, -1, -1):
+            if frozen in sat1[region[k]]:
+                if all(sat2(region[i], frozen) for i in range(k + 1, len(region))):
+                    return True
+        return False
+
+    out: List[FrozenSet[FrozenSubst]] = []
+    for target in cfg.nodes():
+        if direction == "forward":
+            paths = cfg.paths_to(target, max_len=max_len)
+            regions = [p[:-1] for p in paths]  # drop the target itself
+        else:
+            paths = cfg.paths_from(target, max_len=max_len)
+            # Execution order after the target: p = (target, n_j, ..., n_1);
+            # Definition 1's k indexes from the exit end, so reverse to get
+            # execution order and drop the target.
+            regions = [p[1:] for p in paths]
+        valid: Set[FrozenSubst] = set()
+        for frozen in universe:
+            if direction == "forward":
+                ok = all(path_ok(region, frozen) for region in regions)
+            else:
+                ok = all(
+                    _backward_path_ok(region, frozen, sat1, sat2) for region in regions
+                )
+            if ok and regions:
+                valid.add(frozen)
+            elif ok and not regions:
+                # No path at all: the universal quantification is vacuous.
+                valid.add(frozen)
+        out.append(frozenset(valid))
+    return out
+
+
+def _backward_path_ok(region: Sequence[int], frozen: FrozenSubst, sat1, sat2) -> bool:
+    """Backward version: the region is in execution order after the
+    transformed node; require psi2* then psi1 (psi1 at some position k, all
+    *earlier* positions psi2)."""
+    for k in range(len(region)):
+        if frozen in sat1[region[k]]:
+            if all(sat2(region[i], frozen) for i in range(k)):
+                return True
+    return False

@@ -1,0 +1,135 @@
+"""Witness predicates.
+
+A forward witness is a predicate over one execution state ``eta``; a
+backward witness relates two states ``eta_old`` (original program) and
+``eta_new`` (transformed program).  Witnesses have no effect on an
+optimization's dynamic semantics — they exist solely so the checker can
+prove the obligations F1–F3 / B1–B3 — so they are represented declaratively
+here and *interpreted into logic* by :mod:`repro.verify.obligations`.
+
+The stock witnesses cover the paper's optimization suite:
+
+* :class:`VarEqConst`   — ``eta(Y) = C`` (constant propagation);
+* :class:`VarEqVar`     — ``eta(X) = eta(Y)`` (copy propagation);
+* :class:`VarEqExpr`    — ``eta(X) = eta(E)`` (CSE);
+* :class:`EqualExceptVar` — ``eta_old / X = eta_new / X`` (dead-assignment
+  elimination, PRE's code duplication);
+* :class:`NotPointedTo` — no memory location contains a pointer to ``X``
+  (the taintedness analysis, example 4);
+* :class:`TrueWitness`  — the trivial witness (folding rules, whose guard is
+  ``true`` and whose correctness is purely local);
+* :class:`Conj`         — conjunction of witnesses.
+
+Each witness also carries enough structure for the interpreter-level
+*witness oracle* used in tests (``holds``/``holds2``): the checker proves
+witness facts symbolically, and the oracle validates the same facts on
+concrete traces, giving an end-to-end cross-check of the encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.il.ast import Expr, Var
+from repro.il.interp import Interpreter
+from repro.il.state import Loc, State
+from repro.cobalt.guards import instantiate_term as instantiate_term_or
+from repro.cobalt.patterns import Subst, instantiate_expr
+
+
+def _as_var(leaf: object, theta: Subst) -> Var:
+    value = theta.get(getattr(leaf, "name", "")) if not isinstance(leaf, Var) else leaf
+    if not isinstance(value, Var):
+        raise ValueError(f"witness argument {leaf!r} did not resolve to a variable")
+    return value
+
+
+@dataclass(frozen=True)
+class TrueWitness:
+    """The trivial witness (always true)."""
+
+    def holds(self, state: State, theta: Subst, interp: Interpreter) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class VarEqConst:
+    """``eta(Y) = C``: variable Y currently holds the constant C."""
+
+    var: object  # VarPat or Var
+    const: object  # ConstPat or Const
+
+    def holds(self, state: State, theta: Subst, interp: Interpreter) -> bool:
+        y = _as_var(self.var, theta)
+        c = instantiate_term_or(self.const, theta)
+        return state.read_var(y.name) == c.value  # type: ignore[union-attr]
+
+
+@dataclass(frozen=True)
+class VarEqVar:
+    """``eta(X) = eta(Y)`` and X is readable (copy propagation)."""
+
+    lhs: object
+    rhs: object
+
+    def holds(self, state: State, theta: Subst, interp: Interpreter) -> bool:
+        x = _as_var(self.lhs, theta)
+        y = _as_var(self.rhs, theta)
+        vx = state.read_var(x.name)
+        return vx is not None and vx == state.read_var(y.name)
+
+
+@dataclass(frozen=True)
+class VarEqExpr:
+    """``eta(X) = eta(E)`` and X is readable (common subexpression elim)."""
+
+    var: object
+    expr: object  # ExprPat or Expr
+
+    def holds(self, state: State, theta: Subst, interp: Interpreter) -> bool:
+        x = _as_var(self.var, theta)
+        expr = instantiate_term_or(self.expr, theta)
+        vx = state.read_var(x.name)
+        return vx is not None and vx == interp.eval_expr(state, expr)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class EqualExceptVar:
+    """``eta_old / X = eta_new / X``: states identical up to X's contents."""
+
+    var: object
+
+    def holds2(self, old: State, new: State, theta: Subst, interp: Interpreter) -> bool:
+        x = _as_var(self.var, theta)
+        return old.equal_except_var(new, x.name)
+
+
+@dataclass(frozen=True)
+class NotPointedTo:
+    """``notPointedTo(X, eta)``: no reachable cell holds X's location."""
+
+    var: object
+
+    def holds(self, state: State, theta: Subst, interp: Interpreter) -> bool:
+        x = _as_var(self.var, theta)
+        loc = state.env.lookup(x.name)
+        if loc is None:
+            return True
+        return all(value != loc for _, value in state.store.entries)
+
+
+@dataclass(frozen=True)
+class Conj:
+    """Conjunction of witnesses of the same direction."""
+
+    parts: Tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parts", tuple(self.parts))
+
+    def holds(self, state: State, theta: Subst, interp: Interpreter) -> bool:
+        return all(p.holds(state, theta, interp) for p in self.parts)
+
+    def holds2(self, old: State, new: State, theta: Subst, interp: Interpreter) -> bool:
+        return all(p.holds2(old, new, theta, interp) for p in self.parts)

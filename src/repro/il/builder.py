@@ -1,0 +1,171 @@
+"""Fluent programmatic construction of IL programs.
+
+The builder exists so tests and examples can construct programs without
+writing concrete syntax, and so branch targets can be expressed with named
+labels that are resolved to statement indices at build time::
+
+    b = ProcBuilder("main", "n")
+    b.decl("x")
+    b.assign("x", BinOp("+", Var("n"), Const(1)))
+    b.if_goto(Var("x"), "pos", "neg")
+    b.label("pos")
+    ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.il.ast import (
+    Assign,
+    BaseExpr,
+    Call,
+    Const,
+    Decl,
+    DerefLhs,
+    Expr,
+    IfGoto,
+    New,
+    Return,
+    Skip,
+    Stmt,
+    Var,
+    VarLhs,
+)
+from repro.il.program import Procedure, Program
+
+
+@dataclass(frozen=True)
+class _PendingBranch:
+    """A branch whose targets are labels not yet resolved to indices."""
+
+    cond: BaseExpr
+    then_label: str
+    else_label: str
+
+
+def _as_base(value: Union[BaseExpr, str, int]) -> BaseExpr:
+    if isinstance(value, str):
+        return Var(value)
+    if isinstance(value, int):
+        return Const(value)
+    return value
+
+
+def _as_expr(value: Union[Expr, str, int]) -> Expr:
+    if isinstance(value, (str, int)):
+        return _as_base(value)
+    return value
+
+
+class ProcBuilder:
+    """Accumulates statements for a single procedure."""
+
+    def __init__(self, name: str, param: str) -> None:
+        self.name = name
+        self.param = param
+        self._stmts: List[Union[Stmt, _PendingBranch]] = []
+        self._labels: Dict[str, int] = {}
+
+    # -- statements ----------------------------------------------------------
+
+    def decl(self, var: str) -> "ProcBuilder":
+        self._stmts.append(Decl(Var(var)))
+        return self
+
+    def skip(self) -> "ProcBuilder":
+        self._stmts.append(Skip())
+        return self
+
+    def assign(self, var: str, rhs: Union[Expr, str, int]) -> "ProcBuilder":
+        self._stmts.append(Assign(VarLhs(Var(var)), _as_expr(rhs)))
+        return self
+
+    def store(self, pointer_var: str, rhs: Union[Expr, str, int]) -> "ProcBuilder":
+        """A pointer store ``*pointer_var := rhs``."""
+        self._stmts.append(Assign(DerefLhs(Var(pointer_var)), _as_expr(rhs)))
+        return self
+
+    def new(self, var: str) -> "ProcBuilder":
+        self._stmts.append(New(Var(var)))
+        return self
+
+    def call(self, var: str, proc: str, arg: Union[BaseExpr, str, int]) -> "ProcBuilder":
+        self._stmts.append(Call(Var(var), proc, _as_base(arg)))
+        return self
+
+    def if_goto(
+        self,
+        cond: Union[BaseExpr, str, int],
+        then_label: str,
+        else_label: str,
+    ) -> "ProcBuilder":
+        self._stmts.append(_PendingBranch(_as_base(cond), then_label, else_label))
+        return self
+
+    def goto(self, label: str) -> "ProcBuilder":
+        """An unconditional branch, encoded as ``if 1 goto l else l``."""
+        return self.if_goto(1, label, label)
+
+    def ret(self, var: str) -> "ProcBuilder":
+        self._stmts.append(Return(Var(var)))
+        return self
+
+    def raw(self, stmt: Stmt) -> "ProcBuilder":
+        self._stmts.append(stmt)
+        return self
+
+    # -- labels ----------------------------------------------------------------
+
+    def label(self, name: str) -> "ProcBuilder":
+        """Mark the position of the *next* statement with ``name``."""
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r} in {self.name}")
+        self._labels[name] = len(self._stmts)
+        return self
+
+    # -- building ----------------------------------------------------------------
+
+    def build(self) -> Procedure:
+        resolved: List[Stmt] = []
+        for item in self._stmts:
+            if isinstance(item, _PendingBranch):
+                try:
+                    then_index = self._labels[item.then_label]
+                    else_index = self._labels[item.else_label]
+                except KeyError as missing:
+                    raise ValueError(
+                        f"undefined label {missing.args[0]!r} in {self.name}"
+                    ) from None
+                resolved.append(IfGoto(item.cond, then_index, else_index))
+            else:
+                resolved.append(item)
+        proc = Procedure(self.name, self.param, tuple(resolved))
+        proc.validate()
+        return proc
+
+
+class ProgramBuilder:
+    """Accumulates procedures into a program."""
+
+    def __init__(self) -> None:
+        self._procs: List[Procedure] = []
+
+    def proc(self, name: str, param: str) -> ProcBuilder:
+        builder = ProcBuilder(name, param)
+        self._pending = getattr(self, "_pending", [])
+        self._pending.append(builder)
+        return builder
+
+    def add(self, proc: Procedure) -> "ProgramBuilder":
+        self._procs.append(proc)
+        return self
+
+    def build(self) -> Program:
+        procs = list(self._procs)
+        for builder in getattr(self, "_pending", []):
+            procs.append(builder.build())
+        program = Program(tuple(procs))
+        program.validate()
+        return program

@@ -1,0 +1,130 @@
+"""Control-flow graphs over procedures.
+
+CFG nodes are statement indices (the same indices used by ``stmtAt`` and by
+branch targets), so the labelled-CFG machinery of the Cobalt guard semantics
+can talk about nodes and statements interchangeably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.il.ast import IfGoto, Return, Stmt
+from repro.il.program import Procedure
+
+
+@dataclass(frozen=True)
+class Cfg:
+    """An immutable control-flow graph for one procedure."""
+
+    proc: Procedure
+    succs: Tuple[Tuple[int, ...], ...]
+    preds: Tuple[Tuple[int, ...], ...]
+
+    @staticmethod
+    def build(proc: Procedure) -> "Cfg":
+        """Build the CFG of ``proc``.
+
+        Fall-through successors for straight-line statements, both targets
+        for branches, none for returns.
+        """
+        n = len(proc.stmts)
+        succ_lists: List[Tuple[int, ...]] = []
+        for i, s in enumerate(proc.stmts):
+            succ_lists.append(tuple(sorted(set(_stmt_succs(s, i, n)))))
+        pred_sets: List[List[int]] = [[] for _ in range(n)]
+        for i, succs in enumerate(succ_lists):
+            for j in succs:
+                pred_sets[j].append(i)
+        preds = tuple(tuple(sorted(p)) for p in pred_sets)
+        return Cfg(proc, tuple(succ_lists), preds)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def entry(self) -> int:
+        return 0
+
+    def exits(self) -> Tuple[int, ...]:
+        """All return-statement indices."""
+        return self.proc.exit_indices()
+
+    def successors(self, index: int) -> Tuple[int, ...]:
+        return self.succs[index]
+
+    def predecessors(self, index: int) -> Tuple[int, ...]:
+        return self.preds[index]
+
+    def nodes(self) -> range:
+        return range(len(self.proc.stmts))
+
+    def reachable_from_entry(self) -> FrozenSet[int]:
+        """Nodes reachable from the entry node."""
+        return self._reach([self.entry], self.successors)
+
+    def reaching_exit(self) -> FrozenSet[int]:
+        """Nodes from which some return statement is reachable."""
+        return self._reach(list(self.exits()), self.predecessors)
+
+    def _reach(self, roots: List[int], step) -> FrozenSet[int]:
+        seen = set(roots)
+        work = list(roots)
+        while work:
+            node = work.pop()
+            for nxt in step(node):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    work.append(nxt)
+        return frozenset(seen)
+
+    def paths_to(self, target: int, *, max_len: int) -> List[Tuple[int, ...]]:
+        """All entry-to-``target`` paths of length <= ``max_len``.
+
+        Used by the definitional guard semantics oracle; exponential, only
+        for small CFGs in tests.
+        """
+        out: List[Tuple[int, ...]] = []
+
+        def walk(path: List[int]) -> None:
+            node = path[-1]
+            if node == target:
+                out.append(tuple(path))
+            if len(path) >= max_len:
+                return
+            for nxt in self.successors(node):
+                path.append(nxt)
+                walk(path)
+                path.pop()
+
+        walk([self.entry])
+        return out
+
+    def paths_from(self, source: int, *, max_len: int) -> List[Tuple[int, ...]]:
+        """All ``source``-to-exit paths of length <= ``max_len``."""
+        exits = set(self.exits())
+        out: List[Tuple[int, ...]] = []
+
+        def walk(path: List[int]) -> None:
+            node = path[-1]
+            if node in exits:
+                out.append(tuple(path))
+            if len(path) >= max_len:
+                return
+            for nxt in self.successors(node):
+                path.append(nxt)
+                walk(path)
+                path.pop()
+
+        walk([source])
+        return out
+
+
+def _stmt_succs(s: Stmt, index: int, n: int) -> Iterable[int]:
+    if isinstance(s, Return):
+        return ()
+    if isinstance(s, IfGoto):
+        return (s.then_index, s.else_index)
+    if index + 1 < n:
+        return (index + 1,)
+    return ()

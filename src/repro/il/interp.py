@@ -1,0 +1,361 @@
+"""Small-step interpreter for the intermediate language.
+
+Implements the state transition function ``->pi`` and the intraprocedural
+step-over-calls function ``~>pi`` from section 3.1 of the paper.  Run-time
+errors are modeled by the *absence* of a transition: :meth:`Interpreter.step`
+returns a :class:`Stuck` result and no successor state, matching the paper's
+error model.  Likewise a call that does not return (error or exhausted fuel)
+yields no intraprocedural transition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.il.ast import (
+    AddrOf,
+    Assign,
+    BaseExpr,
+    BinOp,
+    Call,
+    Const,
+    Decl,
+    Deref,
+    DerefLhs,
+    Expr,
+    IfGoto,
+    New,
+    Return,
+    Skip,
+    Stmt,
+    UnOp,
+    Var,
+    VarLhs,
+)
+from repro.il.program import MAIN, Procedure, Program
+from repro.il.state import Allocator, Env, Frame, Loc, State, Store, Value
+
+
+class ExecError(Exception):
+    """Raised by the convenience runners when execution gets stuck."""
+
+
+class OutOfFuel(Exception):
+    """Raised when a bounded run exceeds its step budget."""
+
+
+@dataclass(frozen=True)
+class Next:
+    """A successful transition to a new state."""
+
+    state: State
+
+
+@dataclass(frozen=True)
+class Finished:
+    """``main`` executed ``return x``; the program terminated with a value."""
+
+    value: Value
+
+
+@dataclass(frozen=True)
+class Stuck:
+    """No transition exists from the state (a run-time error)."""
+
+    reason: str
+
+
+StepResult = Union[Next, Finished, Stuck]
+
+
+class Interpreter:
+    """Interprets a fixed program; states are immutable and shareable."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+
+    # -- state construction ---------------------------------------------------
+
+    def initial_state(self, arg: Value, proc_name: str = MAIN) -> State:
+        """The starting state for ``proc_name(arg)`` with an empty stack."""
+        proc = self.program.proc(proc_name)
+        alloc = Allocator()
+        loc, alloc = alloc.fresh("stack")
+        env = Env().bind(proc.param, loc)
+        store = Store().update(loc, arg)
+        return State(proc_name, 0, env, store, (), alloc)
+
+    # -- expression evaluation -------------------------------------------------
+
+    def eval_expr(self, state: State, expr: Expr) -> Optional[Value]:
+        """Evaluate ``expr`` in ``state``; None signals a run-time error."""
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, Var):
+            return state.read_var(expr.name)
+        if isinstance(expr, AddrOf):
+            return state.env.lookup(expr.var.name)
+        if isinstance(expr, Deref):
+            pointer = state.read_var(expr.var.name)
+            if not isinstance(pointer, Loc):
+                return None
+            return state.store.lookup(pointer)
+        if isinstance(expr, UnOp):
+            value = self.eval_expr(state, expr.arg)
+            if not isinstance(value, int):
+                return None
+            if expr.op == "neg":
+                return -value
+            if expr.op == "not":
+                return 0 if value != 0 else 1
+            return None
+        if isinstance(expr, BinOp):
+            left = self.eval_expr(state, expr.left)
+            right = self.eval_expr(state, expr.right)
+            if left is None or right is None:
+                return None
+            return apply_binop(expr.op, left, right)
+        raise TypeError(f"not an expression: {expr!r}")
+
+    def eval_lhs(self, state: State, lhs) -> Optional[Loc]:
+        """The location written by an assignment target (``evalLExpr``)."""
+        if isinstance(lhs, VarLhs):
+            return state.env.lookup(lhs.var.name)
+        if isinstance(lhs, DerefLhs):
+            pointer = state.read_var(lhs.var.name)
+            if isinstance(pointer, Loc):
+                return pointer
+            return None
+        raise TypeError(f"not an lhs: {lhs!r}")
+
+    # -- the transition function ->pi -------------------------------------------
+
+    def step(self, state: State) -> StepResult:
+        """One application of ``->pi`` (the interprocedural step)."""
+        proc = self.program.proc(state.proc_name)
+        if not 0 <= state.index < len(proc.stmts):
+            return Stuck("control fell off the end of the procedure")
+        stmt = proc.stmt_at(state.index)
+        return self._step_stmt(state, proc, stmt)
+
+    def _step_stmt(self, state: State, proc: Procedure, stmt: Stmt) -> StepResult:
+        if isinstance(stmt, Skip):
+            return Next(self._advance(state))
+
+        if isinstance(stmt, Decl):
+            if stmt.var.name in state.env:
+                return Stuck(f"variable {stmt.var.name} already declared")
+            loc, alloc = state.alloc.fresh("stack")
+            env = state.env.bind(stmt.var.name, loc)
+            # Declared variables are zero-initialized: definedness of a
+            # variable then coincides with being bound in the environment,
+            # which keeps the checker's progress obligations first-order
+            # (see DESIGN.md, "Error model").
+            store = state.store.update(loc, 0)
+            next_state = State(
+                state.proc_name, state.index + 1, env, store, state.stack, alloc
+            )
+            return Next(next_state)
+
+        if isinstance(stmt, Assign):
+            loc = self.eval_lhs(state, stmt.lhs)
+            if loc is None:
+                return Stuck(f"bad assignment target {stmt.lhs}")
+            value = self.eval_expr(state, stmt.rhs)
+            if value is None:
+                return Stuck(f"bad expression {stmt.rhs}")
+            store = state.store.update(loc, value)
+            return Next(self._advance(state, store=store))
+
+        if isinstance(stmt, New):
+            loc = state.env.lookup(stmt.var.name)
+            if loc is None:
+                return Stuck(f"undeclared variable {stmt.var.name}")
+            cell, alloc = state.alloc.fresh("heap")
+            store = state.store.update(loc, cell)
+            next_state = State(
+                state.proc_name, state.index + 1, state.env, store, state.stack, alloc
+            )
+            return Next(next_state)
+
+        if isinstance(stmt, IfGoto):
+            cond = self.eval_expr(state, stmt.cond)
+            if not isinstance(cond, int):
+                return Stuck(f"branch condition {stmt.cond} is not an integer")
+            target = stmt.then_index if cond != 0 else stmt.else_index
+            return Next(self._advance(state, index=target))
+
+        if isinstance(stmt, Call):
+            if not self.program.has_proc(stmt.proc):
+                return Stuck(f"call to undefined procedure {stmt.proc}")
+            if stmt.var.name not in state.env:
+                return Stuck(f"undeclared call destination {stmt.var.name}")
+            arg = self.eval_expr(state, stmt.arg)
+            if arg is None:
+                return Stuck(f"bad call argument {stmt.arg}")
+            callee = self.program.proc(stmt.proc)
+            frame = Frame(state.proc_name, state.index, state.env, stmt.var.name)
+            loc, alloc = state.alloc.fresh("stack")
+            callee_env = Env().bind(callee.param, loc)
+            store = state.store.update(loc, arg)
+            next_state = State(
+                stmt.proc,
+                0,
+                callee_env,
+                store,
+                state.stack + (frame,),
+                alloc,
+            )
+            return Next(next_state)
+
+        if isinstance(stmt, Return):
+            value = state.read_var(stmt.var.name)
+            if value is None:
+                return Stuck(f"return of unbound variable {stmt.var.name}")
+            if not state.stack:
+                return Finished(value)
+            frame = state.stack[-1]
+            dest_loc = frame.env.lookup(frame.dest_var)
+            if dest_loc is None:
+                return Stuck(f"unbound call destination {frame.dest_var}")
+            # Returning deallocates the frame's stack cells (dangling
+            # pointers to them become run-time errors), then writes the
+            # result into the caller's destination.
+            frame_locs = [loc for _, loc in state.env.entries]
+            store = state.store.remove_all(frame_locs)
+            store = store.update(dest_loc, value)
+            next_state = State(
+                frame.proc_name,
+                frame.return_index + 1,
+                frame.env,
+                store,
+                state.stack[:-1],
+                state.alloc,
+            )
+            return Next(next_state)
+
+        raise TypeError(f"not a statement: {stmt!r}")
+
+    @staticmethod
+    def _advance(state: State, *, store: Optional[Store] = None, index: Optional[int] = None) -> State:
+        return State(
+            state.proc_name,
+            state.index + 1 if index is None else index,
+            state.env,
+            state.store if store is None else store,
+            state.stack,
+            state.alloc,
+        )
+
+    # -- the intraprocedural step ~>pi -------------------------------------------
+
+    def intra_step(self, state: State, *, fuel: int = 100_000) -> StepResult:
+        """One application of ``~>pi``: like ``->pi`` but steps *over* calls.
+
+        If the statement about to execute is a call, run the callee to
+        completion (within ``fuel`` interprocedural steps) and return the
+        state at which control is back in the calling procedure.  A call that
+        errors or exhausts the fuel produces no transition (:class:`Stuck`),
+        matching the paper's treatment of non-returning calls.
+        """
+        proc = self.program.proc(state.proc_name)
+        if not 0 <= state.index < len(proc.stmts):
+            return Stuck("control fell off the end of the procedure")
+        stmt = proc.stmt_at(state.index)
+        if not isinstance(stmt, Call):
+            return self.step(state)
+
+        depth = len(state.stack)
+        result = self.step(state)
+        while isinstance(result, Next) and len(result.state.stack) > depth:
+            if fuel <= 0:
+                return Stuck("call did not return within fuel")
+            fuel -= 1
+            result = self.step(result.state)
+        if isinstance(result, Next):
+            return result
+        if isinstance(result, Finished):
+            # Only possible when stepping over a call in main's frame is
+            # impossible; a Finished below depth cannot occur.
+            return result
+        return Stuck(f"call failed: {result.reason}")
+
+    # -- whole-program runs ------------------------------------------------------
+
+    def run(self, arg: Value, *, fuel: int = 100_000) -> Value:
+        """Run ``main(arg)`` to completion and return its value.
+
+        Raises :class:`ExecError` when execution gets stuck and
+        :class:`OutOfFuel` when the step budget is exceeded.
+        """
+        state = self.initial_state(arg)
+        trace_fuel = fuel
+        while True:
+            result = self.step(state)
+            if isinstance(result, Finished):
+                return result.value
+            if isinstance(result, Stuck):
+                raise ExecError(
+                    f"stuck in {state.proc_name} at {state.index}: {result.reason}"
+                )
+            state = result.state
+            trace_fuel -= 1
+            if trace_fuel <= 0:
+                raise OutOfFuel(f"no termination within {fuel} steps")
+
+    def trace(self, arg: Value, *, fuel: int = 10_000) -> Tuple[State, ...]:
+        """The prefix of the execution trace of ``main(arg)`` (for tests)."""
+        states = [self.initial_state(arg)]
+        for _ in range(fuel):
+            result = self.step(states[-1])
+            if not isinstance(result, Next):
+                break
+            states.append(result.state)
+        return tuple(states)
+
+
+def apply_binop(op: str, left: Value, right: Value) -> Optional[Value]:
+    """Apply a binary operator; None on type errors or division by zero.
+
+    Equality comparisons are allowed on any values; arithmetic and ordering
+    are defined only on integers (no pointer arithmetic in the IL).
+    """
+    if op == "==":
+        return 1 if left == right else 0
+    if op == "!=":
+        return 1 if left != right else 0
+    if not isinstance(left, int) or not isinstance(right, int):
+        return None
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            return None
+        return int(left / right)  # C-style truncation toward zero
+    if op == "%":
+        if right == 0:
+            return None
+        return left - right * int(left / right)
+    if op == "<":
+        return 1 if left < right else 0
+    if op == "<=":
+        return 1 if left <= right else 0
+    if op == ">":
+        return 1 if left > right else 0
+    if op == ">=":
+        return 1 if left >= right else 0
+    if op == "&&":
+        return 1 if left != 0 and right != 0 else 0
+    if op == "||":
+        return 1 if left != 0 or right != 0 else 0
+    return None
+
+
+def run_program(program: Program, arg: Value, *, fuel: int = 100_000) -> Value:
+    """Convenience wrapper: interpret ``main(arg)`` in ``program``."""
+    return Interpreter(program).run(arg, fuel=fuel)

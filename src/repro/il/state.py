@@ -1,0 +1,176 @@
+"""Execution states for the IL operational semantics.
+
+A state of execution is a tuple ``eta = (iota, rho, sigma, xi, M)`` (paper
+section 3.1):
+
+* ``iota`` — the index of the statement about to be executed (within the
+  current procedure);
+* ``rho`` — the environment, mapping in-scope variables to locations;
+* ``sigma`` — the store, mapping locations to values (constants or
+  locations);
+* ``xi`` — the dynamic call chain (stack of suspended frames);
+* ``M`` — the memory allocator, handing out fresh locations.
+
+Values are integers or :class:`Loc`.  Everything is immutable; stepping a
+state produces a new state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Loc:
+    """A memory location.
+
+    ``kind`` distinguishes stack cells from heap cells purely for
+    readability of traces; the semantics treats all locations uniformly.
+    """
+
+    kind: str  # "stack" | "heap"
+    number: int
+
+    def __str__(self) -> str:
+        return f"{'S' if self.kind == 'stack' else 'H'}{self.number}"
+
+
+Value = Union[int, Loc]
+
+
+@dataclass(frozen=True)
+class Env:
+    """An environment rho: variable name -> location."""
+
+    entries: Tuple[Tuple[str, Loc], ...] = ()
+
+    @staticmethod
+    def from_dict(d: Mapping[str, Loc]) -> "Env":
+        return Env(tuple(sorted(d.items())))
+
+    def as_dict(self) -> Dict[str, Loc]:
+        return dict(self.entries)
+
+    def lookup(self, name: str) -> Optional[Loc]:
+        for key, loc in self.entries:
+            if key == name:
+                return loc
+        return None
+
+    def bind(self, name: str, loc: Loc) -> "Env":
+        d = self.as_dict()
+        d[name] = loc
+        return Env.from_dict(d)
+
+    def __contains__(self, name: str) -> bool:
+        return self.lookup(name) is not None
+
+
+@dataclass(frozen=True)
+class Store:
+    """A store sigma: location -> value (functional map)."""
+
+    entries: Tuple[Tuple[Loc, Value], ...] = ()
+
+    @staticmethod
+    def from_dict(d: Mapping[Loc, Value]) -> "Store":
+        return Store(tuple(sorted(d.items(), key=lambda kv: (kv[0].kind, kv[0].number))))
+
+    def as_dict(self) -> Dict[Loc, Value]:
+        return dict(self.entries)
+
+    def lookup(self, loc: Loc) -> Optional[Value]:
+        for key, value in self.entries:
+            if key == loc:
+                return value
+        return None
+
+    def update(self, loc: Loc, value: Value) -> "Store":
+        d = self.as_dict()
+        d[loc] = value
+        return Store.from_dict(d)
+
+    def remove_all(self, locs) -> "Store":
+        """Drop entries for the given locations (stack-frame deallocation)."""
+        doomed = set(locs)
+        d = {k: v for k, v in self.as_dict().items() if k not in doomed}
+        return Store.from_dict(d)
+
+    def agrees_except(self, other: "Store", excluded: Optional[Loc]) -> bool:
+        """True if the two stores agree on every location but ``excluded``.
+
+        This is the meaning of the paper's ``eta_old / X = eta_new / X``
+        backward witness, restricted to the store component.
+        """
+        keys = {k for k, _ in self.entries} | {k for k, _ in other.entries}
+        for key in keys:
+            if excluded is not None and key == excluded:
+                continue
+            if self.lookup(key) != other.lookup(key):
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A suspended caller frame on the dynamic call chain."""
+
+    proc_name: str
+    return_index: int  # index in the *caller* to resume at (the call site)
+    env: Env
+    dest_var: str  # variable receiving the returned value
+
+
+@dataclass(frozen=True)
+class Allocator:
+    """The memory allocator M: a counter of fresh locations per kind."""
+
+    next_stack: int = 0
+    next_heap: int = 0
+
+    def fresh(self, kind: str) -> Tuple[Loc, "Allocator"]:
+        if kind == "stack":
+            return Loc("stack", self.next_stack), replace(
+                self, next_stack=self.next_stack + 1
+            )
+        if kind == "heap":
+            return Loc("heap", self.next_heap), replace(
+                self, next_heap=self.next_heap + 1
+            )
+        raise ValueError(f"unknown location kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class State:
+    """An execution state ``eta = (iota, rho, sigma, xi, M)``."""
+
+    proc_name: str
+    index: int
+    env: Env
+    store: Store
+    stack: Tuple[Frame, ...]
+    alloc: Allocator
+
+    def read_var(self, name: str) -> Optional[Value]:
+        """``eta(x)``: the value of variable ``x``, or None if unbound."""
+        loc = self.env.lookup(name)
+        if loc is None:
+            return None
+        return self.store.lookup(loc)
+
+    def equal_except_var(self, other: "State", var: str) -> bool:
+        """The paper's ``eta_old/X = eta_new/X`` relation.
+
+        The two states are identical except possibly for the contents of
+        ``var``'s location.
+        """
+        if (
+            self.proc_name != other.proc_name
+            or self.index != other.index
+            or self.env != other.env
+            or self.stack != other.stack
+            or self.alloc != other.alloc
+        ):
+            return False
+        return self.store.agrees_except(other.store, self.env.lookup(var))

@@ -1,0 +1,50 @@
+"""First-order logic substrate: terms, formulas, clausification.
+
+Shared between the Cobalt soundness checker (which *generates* formulas
+encoding proof obligations) and the Simplify-style prover (which refutes
+their negations).
+"""
+
+from repro.logic.terms import App, IntConst, LVar, Term, free_vars, subst, term_size
+from repro.logic.formulas import (
+    And,
+    Bottom,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Pred,
+    Top,
+    clausify,
+    nnf,
+    skolemize,
+)
+
+__all__ = [
+    "And",
+    "App",
+    "Bottom",
+    "Eq",
+    "Exists",
+    "Forall",
+    "Formula",
+    "Iff",
+    "Implies",
+    "IntConst",
+    "LVar",
+    "Not",
+    "Or",
+    "Pred",
+    "Term",
+    "Top",
+    "clausify",
+    "free_vars",
+    "nnf",
+    "skolemize",
+    "subst",
+    "term_size",
+]

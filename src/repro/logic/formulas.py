@@ -1,0 +1,454 @@
+"""First-order formulas and the clausification pipeline.
+
+The prover is a refutation prover over clauses, so formulas pass through the
+classical pipeline: negation-normal form, Skolemization of existentials,
+and conversion to clauses.  Universally quantified clauses keep their bound
+variables free (they are instantiated by E-matching); ground clauses go to
+the DPLL core directly.
+
+Atoms are equalities ``Eq(t1, t2)`` and predicate applications
+``Pred(p, args)``.  The prover internally represents ``Pred(p, args)`` as the
+equality ``App(p, args) == @true`` so that congruence closure handles both
+uniformly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.logic.terms import App, IntConst, LVar, Subst, Term, free_vars, subst
+
+
+@dataclass(frozen=True)
+class Top:
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class Bottom:
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class Eq:
+    lhs: Term
+    rhs: Term
+
+    def __str__(self) -> str:
+        return f"{self.lhs} = {self.rhs}"
+
+
+@dataclass(frozen=True)
+class Pred:
+    name: str
+    args: Tuple[Term, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.name
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class Not:
+    body: "Formula"
+
+    def __str__(self) -> str:
+        return f"~({self.body})"
+
+
+@dataclass(frozen=True)
+class And:
+    parts: Tuple["Formula", ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parts", tuple(self.parts))
+
+    def __str__(self) -> str:
+        return "(" + " & ".join(map(str, self.parts)) + ")"
+
+
+@dataclass(frozen=True)
+class Or:
+    parts: Tuple["Formula", ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parts", tuple(self.parts))
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(map(str, self.parts)) + ")"
+
+
+@dataclass(frozen=True)
+class Implies:
+    hyp: "Formula"
+    conc: "Formula"
+
+    def __str__(self) -> str:
+        return f"({self.hyp} -> {self.conc})"
+
+
+@dataclass(frozen=True)
+class Iff:
+    lhs: "Formula"
+    rhs: "Formula"
+
+    def __str__(self) -> str:
+        return f"({self.lhs} <-> {self.rhs})"
+
+
+@dataclass(frozen=True)
+class Forall:
+    vars: Tuple[str, ...]
+    body: "Formula"
+    #: Optional E-matching triggers: each trigger is a tuple of pattern terms
+    #: (a multi-pattern) whose variables jointly cover ``vars``.
+    triggers: Tuple[Tuple[Term, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "vars", tuple(self.vars))
+        object.__setattr__(self, "triggers", tuple(tuple(t) for t in self.triggers))
+
+    def __str__(self) -> str:
+        return f"(forall {' '.join(self.vars)}. {self.body})"
+
+
+@dataclass(frozen=True)
+class Exists:
+    vars: Tuple[str, ...]
+    body: "Formula"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "vars", tuple(self.vars))
+
+    def __str__(self) -> str:
+        return f"(exists {' '.join(self.vars)}. {self.body})"
+
+
+Formula = Union[Top, Bottom, Eq, Pred, Not, And, Or, Implies, Iff, Forall, Exists]
+
+Atom = Union[Eq, Pred]
+
+
+def conj(parts: Sequence[Formula]) -> Formula:
+    """N-ary conjunction with unit simplification."""
+    flat = [p for p in parts if not isinstance(p, Top)]
+    if any(isinstance(p, Bottom) for p in flat):
+        return Bottom()
+    if not flat:
+        return Top()
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disj(parts: Sequence[Formula]) -> Formula:
+    """N-ary disjunction with unit simplification."""
+    flat = [p for p in parts if not isinstance(p, Bottom)]
+    if any(isinstance(p, Top) for p in flat):
+        return Top()
+    if not flat:
+        return Bottom()
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def formula_free_vars(f: Formula) -> FrozenSet[str]:
+    """Free logic-variable names of a formula."""
+    if isinstance(f, (Top, Bottom)):
+        return frozenset()
+    if isinstance(f, Eq):
+        return free_vars(f.lhs) | free_vars(f.rhs)
+    if isinstance(f, Pred):
+        out: FrozenSet[str] = frozenset()
+        for a in f.args:
+            out |= free_vars(a)
+        return out
+    if isinstance(f, Not):
+        return formula_free_vars(f.body)
+    if isinstance(f, (And, Or)):
+        out = frozenset()
+        for p in f.parts:
+            out |= formula_free_vars(p)
+        return out
+    if isinstance(f, Implies):
+        return formula_free_vars(f.hyp) | formula_free_vars(f.conc)
+    if isinstance(f, Iff):
+        return formula_free_vars(f.lhs) | formula_free_vars(f.rhs)
+    if isinstance(f, (Forall, Exists)):
+        return formula_free_vars(f.body) - frozenset(f.vars)
+    raise TypeError(f"not a formula: {f!r}")
+
+
+def subst_formula(f: Formula, binding: Subst) -> Formula:
+    """Capture-avoiding-enough substitution (bound names are never reused
+    as substitution domain/range names by our generators)."""
+    if isinstance(f, (Top, Bottom)):
+        return f
+    if isinstance(f, Eq):
+        return Eq(subst(f.lhs, binding), subst(f.rhs, binding))
+    if isinstance(f, Pred):
+        return Pred(f.name, tuple(subst(a, binding) for a in f.args))
+    if isinstance(f, Not):
+        return Not(subst_formula(f.body, binding))
+    if isinstance(f, And):
+        return And(tuple(subst_formula(p, binding) for p in f.parts))
+    if isinstance(f, Or):
+        return Or(tuple(subst_formula(p, binding) for p in f.parts))
+    if isinstance(f, Implies):
+        return Implies(subst_formula(f.hyp, binding), subst_formula(f.conc, binding))
+    if isinstance(f, Iff):
+        return Iff(subst_formula(f.lhs, binding), subst_formula(f.rhs, binding))
+    if isinstance(f, Forall):
+        inner = {k: v for k, v in binding.items() if k not in f.vars}
+        return Forall(f.vars, subst_formula(f.body, inner), f.triggers)
+    if isinstance(f, Exists):
+        inner = {k: v for k, v in binding.items() if k not in f.vars}
+        return Exists(f.vars, subst_formula(f.body, inner))
+    raise TypeError(f"not a formula: {f!r}")
+
+
+# ---------------------------------------------------------------------------
+# Negation-normal form
+# ---------------------------------------------------------------------------
+
+
+def nnf(f: Formula, *, positive: bool = True) -> Formula:
+    """Negation-normal form of ``f`` (or of its negation when positive=False).
+
+    Eliminates ``Implies`` and ``Iff`` and pushes negation to atoms.
+    """
+    if isinstance(f, Top):
+        return Top() if positive else Bottom()
+    if isinstance(f, Bottom):
+        return Bottom() if positive else Top()
+    if isinstance(f, (Eq, Pred)):
+        return f if positive else Not(f)
+    if isinstance(f, Not):
+        return nnf(f.body, positive=not positive)
+    if isinstance(f, And):
+        parts = tuple(nnf(p, positive=positive) for p in f.parts)
+        return conj(parts) if positive else disj(parts)
+    if isinstance(f, Or):
+        parts = tuple(nnf(p, positive=positive) for p in f.parts)
+        return disj(parts) if positive else conj(parts)
+    if isinstance(f, Implies):
+        if positive:
+            return disj((nnf(f.hyp, positive=False), nnf(f.conc, positive=True)))
+        return conj((nnf(f.hyp, positive=True), nnf(f.conc, positive=False)))
+    if isinstance(f, Iff):
+        forward = Implies(f.lhs, f.rhs)
+        backward = Implies(f.rhs, f.lhs)
+        return nnf(conj((forward, backward)), positive=positive)
+    if isinstance(f, Forall):
+        if positive:
+            return Forall(f.vars, nnf(f.body, positive=True), f.triggers)
+        return Exists(f.vars, nnf(f.body, positive=False))
+    if isinstance(f, Exists):
+        if positive:
+            return Exists(f.vars, nnf(f.body, positive=True))
+        return Forall(f.vars, nnf(f.body, positive=False))
+    raise TypeError(f"not a formula: {f!r}")
+
+
+# ---------------------------------------------------------------------------
+# Skolemization
+# ---------------------------------------------------------------------------
+
+
+class _SkolemGen:
+    def __init__(self, prefix: str) -> None:
+        self.prefix = prefix
+        self.counter = itertools.count()
+
+    def fresh(self, hint: str, args: Sequence[Term]) -> Term:
+        name = f"{self.prefix}{hint}!{next(self.counter)}"
+        return App(name, tuple(args))
+
+
+def skolemize(f: Formula, *, prefix: str = "sk_") -> Formula:
+    """Replace existentials in an NNF formula with Skolem functions.
+
+    Each existential variable becomes a fresh function of the universal
+    variables in scope at its binder.
+    """
+    gen = _SkolemGen(prefix)
+
+    def go(g: Formula, universals: Tuple[str, ...]) -> Formula:
+        if isinstance(g, (Top, Bottom, Eq, Pred, Not)):
+            return g
+        if isinstance(g, And):
+            return And(tuple(go(p, universals) for p in g.parts))
+        if isinstance(g, Or):
+            return Or(tuple(go(p, universals) for p in g.parts))
+        if isinstance(g, Forall):
+            return Forall(g.vars, go(g.body, universals + g.vars), g.triggers)
+        if isinstance(g, Exists):
+            binding: Dict[str, Term] = {}
+            for v in g.vars:
+                binding[v] = gen.fresh(v, tuple(LVar(u) for u in universals))
+            return go(subst_formula(g.body, binding), universals)
+        raise TypeError(f"formula not in NNF: {g!r}")
+
+    return go(f, ())
+
+
+# ---------------------------------------------------------------------------
+# Clauses
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A signed atom."""
+
+    positive: bool
+    atom: Atom
+
+    def negate(self) -> "Literal":
+        return Literal(not self.positive, self.atom)
+
+    def __str__(self) -> str:
+        return str(self.atom) if self.positive else f"~{self.atom}"
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A disjunction of literals; free variables are implicitly universal.
+
+    ``triggers`` guide E-matching for non-ground clauses; empty means
+    auto-select.  ``origin`` names the axiom the clause came from (for
+    counterexample reporting).
+    """
+
+    literals: Tuple[Literal, ...]
+    triggers: Tuple[Tuple[Term, ...], ...] = ()
+    origin: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "literals", tuple(self.literals))
+        object.__setattr__(self, "triggers", tuple(tuple(t) for t in self.triggers))
+
+    def vars(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for lit in self.literals:
+            if isinstance(lit.atom, Eq):
+                out |= free_vars(lit.atom.lhs) | free_vars(lit.atom.rhs)
+            else:
+                for a in lit.atom.args:
+                    out |= free_vars(a)
+        return out
+
+    def is_ground(self) -> bool:
+        return not self.vars()
+
+    def substitute(self, binding: Subst) -> "Clause":
+        lits = []
+        for lit in self.literals:
+            if isinstance(lit.atom, Eq):
+                atom: Atom = Eq(subst(lit.atom.lhs, binding), subst(lit.atom.rhs, binding))
+            else:
+                atom = Pred(lit.atom.name, tuple(subst(a, binding) for a in lit.atom.args))
+            lits.append(Literal(lit.positive, atom))
+        return Clause(tuple(lits), (), self.origin)
+
+    def __str__(self) -> str:
+        return " | ".join(map(str, self.literals)) or "<empty>"
+
+
+def clausify(f: Formula, *, origin: str = "", prefix: str = "sk_") -> List[Clause]:
+    """Convert a closed formula to clauses (NNF, Skolemize, distribute).
+
+    The input may contain arbitrary nesting; distribution is naive (the
+    formulas produced by the obligation generators are small).  Triggers
+    attached to outermost ``Forall`` binders are propagated to every clause
+    produced from their bodies.
+    """
+    g = skolemize(nnf(f), prefix=prefix)
+
+    def gather(h: Formula, triggers: Tuple[Tuple[Term, ...], ...]) -> List[Tuple[Formula, Tuple[Tuple[Term, ...], ...]]]:
+        if isinstance(h, Forall):
+            merged = triggers + h.triggers
+            return gather(h.body, merged)
+        if isinstance(h, And):
+            out: List[Tuple[Formula, Tuple[Tuple[Term, ...], ...]]] = []
+            for p in h.parts:
+                out.extend(gather(p, triggers))
+            return out
+        return [(h, triggers)]
+
+    clauses: List[Clause] = []
+    for body, triggers in gather(g, ()):
+        for disjunct_set in _cnf(body):
+            if disjunct_set is None:  # tautology
+                continue
+            simplified = _simplify_clause(tuple(disjunct_set))
+            if simplified is None:
+                continue
+            clauses.append(Clause(simplified, triggers, origin))
+    return clauses
+
+
+def _cnf(f: Formula) -> List[Optional[Tuple[Literal, ...]]]:
+    """CNF of a quantifier-free NNF formula, as lists of literal tuples.
+
+    ``None`` entries mark clauses that simplified to tautologies.
+    """
+    if isinstance(f, Top):
+        return []
+    if isinstance(f, Bottom):
+        return [tuple()]
+    if isinstance(f, (Eq, Pred)):
+        return [(Literal(True, f),)]
+    if isinstance(f, Not):
+        assert isinstance(f.body, (Eq, Pred)), f"not NNF: {f}"
+        return [(Literal(False, f.body),)]
+    if isinstance(f, And):
+        out: List[Optional[Tuple[Literal, ...]]] = []
+        for p in f.parts:
+            out.extend(_cnf(p))
+        return out
+    if isinstance(f, Or):
+        # Cartesian product of the children's clause sets.
+        product: List[Tuple[Literal, ...]] = [tuple()]
+        for p in f.parts:
+            child = [c for c in _cnf(p) if c is not None]
+            if not child:
+                # The child is a tautology, so the whole disjunction is true.
+                return []
+            product = [a + b for a in product for b in child]
+        return [_simplify_clause(c) for c in product]
+    if isinstance(f, Forall):
+        # Inner quantifier: hoist its variables (they are distinct by
+        # construction in our generators).
+        inner = _cnf(f.body)
+        return inner
+    raise TypeError(f"unexpected formula in CNF conversion: {f!r}")
+
+
+def _simplify_clause(lits: Tuple[Literal, ...]) -> Optional[Tuple[Literal, ...]]:
+    seen: Dict[Tuple[bool, Atom], None] = {}
+    for lit in lits:
+        if (not lit.positive, lit.atom) in seen:
+            return None  # p | ~p
+        key = (lit.positive, lit.atom)
+        if key not in seen:
+            seen[key] = None
+    # Reflexive equalities.
+    out = []
+    for lit, _ in seen.items():
+        positive, atom = lit
+        if isinstance(atom, Eq) and atom.lhs == atom.rhs:
+            if positive:
+                return None  # t = t is true, clause is a tautology
+            continue  # ~(t = t) is false, drop the literal
+        out.append(Literal(positive, atom))
+    return tuple(out)

@@ -1,0 +1,126 @@
+"""First-order terms.
+
+A term is an application ``App(fn, args)``, an integer literal
+``IntConst(v)``, or a logic variable ``LVar(name)``.  Ground terms contain no
+logic variables.  Nullary applications play the role of uninterpreted
+constants (including the Skolem constants introduced when obligations are
+negated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class LVar:
+    """A logic variable, bound by a quantifier or free in a rewrite pattern."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True)
+class IntConst:
+    """An integer literal.  Distinct literals denote distinct values."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class App:
+    """Application of a function symbol to argument terms."""
+
+    fn: str
+    args: Tuple["Term", ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.fn
+        return f"{self.fn}({', '.join(map(str, self.args))})"
+
+
+Term = Union[App, IntConst, LVar]
+
+Subst = Mapping[str, Term]
+
+
+def mk(fn: str, *args: Term) -> App:
+    """Shorthand application constructor."""
+    return App(fn, tuple(args))
+
+
+def free_vars(t: Term) -> FrozenSet[str]:
+    """Names of the logic variables occurring in ``t``."""
+    if isinstance(t, LVar):
+        return frozenset([t.name])
+    if isinstance(t, App):
+        out: FrozenSet[str] = frozenset()
+        for a in t.args:
+            out |= free_vars(a)
+        return out
+    return frozenset()
+
+
+def is_ground(t: Term) -> bool:
+    """True if ``t`` contains no logic variables."""
+    return not free_vars(t)
+
+
+def subst(t: Term, binding: Subst) -> Term:
+    """Apply a substitution (by variable name) to a term."""
+    if isinstance(t, LVar):
+        return binding.get(t.name, t)
+    if isinstance(t, App):
+        return App(t.fn, tuple(subst(a, binding) for a in t.args))
+    return t
+
+
+def term_size(t: Term) -> int:
+    """Number of nodes in ``t`` (used for picking small representatives)."""
+    if isinstance(t, App):
+        return 1 + sum(term_size(a) for a in t.args)
+    return 1
+
+
+def subterms(t: Term) -> Iterator[Term]:
+    """All subterms of ``t`` including ``t`` itself, outside-in."""
+    yield t
+    if isinstance(t, App):
+        for a in t.args:
+            yield from subterms(a)
+
+
+def match(pattern: Term, target: Term, binding: Optional[Dict[str, Term]] = None) -> Optional[Dict[str, Term]]:
+    """Syntactic one-way matching: find ``theta`` with ``pattern theta == target``.
+
+    Purely syntactic (used in unit tests and a few non-E-graph contexts);
+    the prover's E-matching lives in :mod:`repro.prover.ematch`.
+    """
+    binding = dict(binding or {})
+    stack = [(pattern, target)]
+    while stack:
+        p, t = stack.pop()
+        if isinstance(p, LVar):
+            bound = binding.get(p.name)
+            if bound is None:
+                binding[p.name] = t
+            elif bound != t:
+                return None
+        elif isinstance(p, IntConst):
+            if p != t:
+                return None
+        elif isinstance(p, App):
+            if not isinstance(t, App) or t.fn != p.fn or len(t.args) != len(p.args):
+                return None
+            stack.extend(zip(p.args, t.args))
+    return binding

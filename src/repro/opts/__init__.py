@@ -1,0 +1,68 @@
+"""The paper's optimization suite, written in Cobalt.
+
+Every optimization and pure analysis the paper reports (section 1: "a dozen
+forward and backward intraprocedural dataflow optimizations ... constant
+propagation and folding, copy propagation, common subexpression elimination,
+branch folding, partial redundancy elimination, partial dead assignment
+elimination, loop-invariant code motion, and simple pointer analyses") is
+defined here, one module per optimization, as a transformation pattern plus
+(where non-trivial) a profitability heuristic.
+
+``ALL_PATTERNS`` is the suite used by the soundness benchmark (experiment
+E2); :mod:`repro.opts.buggy` holds the deliberately broken variants used by
+the bug-catching experiment (E3).
+"""
+
+from repro.opts.constprop import const_prop, const_prop_pt
+from repro.opts.constfold import const_fold, branch_fold
+from repro.opts.constbranch import const_branch, const_value_analysis
+from repro.opts.copyprop import copy_prop
+from repro.opts.cse import cse, load_elim
+from repro.opts.dae import dae, partial_dae_sink
+from repro.opts.pre import pre_duplicate, self_assign_removal, pre_pipeline
+from repro.opts.licm import licm_duplicate
+from repro.opts.pointer import taintedness_analysis
+from repro.opts.algebraic import ALL_ALGEBRAIC
+
+ALL_ANALYSES = [taintedness_analysis, const_value_analysis]
+
+ALL_OPTIMIZATIONS = [
+    const_prop,
+    const_prop_pt,
+    copy_prop,
+    const_fold,
+    branch_fold,
+    const_branch,
+    cse,
+    load_elim,
+    dae,
+    partial_dae_sink,
+    pre_duplicate,
+    self_assign_removal,
+    licm_duplicate,
+] + ALL_ALGEBRAIC
+
+ALL_PATTERNS = [opt.pattern for opt in ALL_OPTIMIZATIONS]
+
+__all__ = [
+    "ALL_ALGEBRAIC",
+    "ALL_ANALYSES",
+    "ALL_OPTIMIZATIONS",
+    "ALL_PATTERNS",
+    "branch_fold",
+    "const_branch",
+    "const_fold",
+    "const_prop",
+    "const_prop_pt",
+    "const_value_analysis",
+    "copy_prop",
+    "cse",
+    "dae",
+    "licm_duplicate",
+    "load_elim",
+    "partial_dae_sink",
+    "pre_duplicate",
+    "pre_pipeline",
+    "self_assign_removal",
+    "taintedness_analysis",
+]

@@ -1,0 +1,53 @@
+"""Algebraic simplifications: strength-reduction-style identity rewrites.
+
+These are one-statement rewrite rules with trivially true guards, like
+constant folding — their correctness is purely local (obligation F3), via
+the arithmetic-identity axioms: on *integer* values, ``y + 0 = y``,
+``y * 1 = y``, ``y * 0 = 0``, ``y / 1 = y``, and the integer-ness of the
+operands follows from the original statement's progress premise (a stuck
+original constrains nothing).
+
+Each rule is its own pattern so the checker proves (and reports) them
+individually; :data:`ALL_ALGEBRAIC` bundles them for pipelines.
+"""
+
+from typing import List
+
+from repro.cobalt.dsl import ForwardPattern, Optimization
+from repro.cobalt.guards import GTrue
+from repro.cobalt.patterns import parse_pattern_stmt
+from repro.cobalt.witness import TrueWitness
+
+
+def _rule(name: str, lhs: str, rhs: str) -> Optimization:
+    return Optimization(
+        ForwardPattern(
+            name=name,
+            psi1=GTrue(),
+            psi2=GTrue(),
+            s=parse_pattern_stmt(lhs),
+            s_new=parse_pattern_stmt(rhs),
+            witness=TrueWitness(),
+        )
+    )
+
+
+add_zero_right = _rule("addZeroRight", "X := Y + 0", "X := Y")
+add_zero_left = _rule("addZeroLeft", "X := 0 + Y", "X := Y")
+sub_zero = _rule("subZero", "X := Y - 0", "X := Y")
+mul_one_right = _rule("mulOneRight", "X := Y * 1", "X := Y")
+mul_one_left = _rule("mulOneLeft", "X := 1 * Y", "X := Y")
+mul_zero_right = _rule("mulZeroRight", "X := Y * 0", "X := 0")
+mul_zero_left = _rule("mulZeroLeft", "X := 0 * Y", "X := 0")
+div_one = _rule("divOne", "X := Y / 1", "X := Y")
+
+ALL_ALGEBRAIC: List[Optimization] = [
+    add_zero_right,
+    add_zero_left,
+    sub_zero,
+    mul_one_right,
+    mul_one_left,
+    mul_zero_right,
+    mul_zero_left,
+    div_one,
+]

@@ -1,0 +1,203 @@
+"""Deliberately unsound optimization variants (experiment E3).
+
+Section 6 of the paper reports that the checker "found several subtle
+problems in previous versions of our optimizations"; the flagship example
+is redundant-load elimination whose witnessing region allowed direct
+assignments even though the loaded pointer could target the assigned
+variable.  This module collects that bug and several other classic
+mistakes.  Each entry is a pattern the soundness checker must *reject* —
+and for each we also provide a small counterexample program on which the
+engine-applied transformation changes behaviour, demonstrating the bug is
+real (see tests/test_buggy.py).
+"""
+
+from repro.cobalt.dsl import BackwardPattern, ForwardPattern, Optimization
+from repro.cobalt.guards import GAnd, GCase, GEq, GFalse, GLabel, GNot, GOr, GTrue
+from repro.cobalt.patterns import ConstPat, ExprPat, VarPat, parse_pattern_stmt
+from repro.cobalt.witness import (
+    EqualExceptVar,
+    TrueWitness,
+    VarEqConst,
+    VarEqExpr,
+    VarEqVar,
+)
+from repro.il.ast import Deref
+
+_X = VarPat("X")
+_Y = VarPat("Y")
+_Z = VarPat("Z")
+_W = VarPat("W")
+_C = ConstPat("C")
+_E = ExprPat("E")
+
+#: Constant propagation whose innocuous condition forgets that pointer
+#: stores may redefine Y (uses syntacticDef instead of mayDef).
+const_prop_no_pointers = Optimization(
+    ForwardPattern(
+        name="buggyConstPropNoPointers",
+        psi1=GLabel("stmt", (parse_pattern_stmt("Y := C"),)),
+        psi2=GNot(GLabel("syntacticDef", (_Y,))),
+        s=parse_pattern_stmt("X := Y"),
+        s_new=parse_pattern_stmt("X := C"),
+        witness=VarEqConst(_Y, _C),
+    )
+)
+
+#: The paper's section 6 bug: redundant-load elimination that precludes
+#: pointer stores in the witnessing region but allows *direct* assignments,
+#: missing that ``Y := ...`` can change ``*X`` when X points to Y.
+load_elim_direct_assign = Optimization(
+    ForwardPattern(
+        name="buggyLoadElimDirectAssign",
+        psi1=GAnd(
+            (
+                GLabel("stmt", (parse_pattern_stmt("X := *W"),)),
+                GNot(GEq(_X, _W)),
+            )
+        ),
+        psi2=GAnd(
+            (
+                GNot(GLabel("mayDef", (_X,))),
+                GNot(GLabel("mayDef", (_W,))),
+                # "cell unchanged" without the taintedness requirement on
+                # direct assignments:
+                GCase(
+                    (
+                        (parse_pattern_stmt("*Z := E"), GFalse()),
+                        (parse_pattern_stmt("Z := P(...)"), GFalse()),
+                    ),
+                    GTrue(),
+                ),
+            )
+        ),
+        s=parse_pattern_stmt("Y := *W"),
+        s_new=parse_pattern_stmt("Y := X"),
+        witness=VarEqExpr(_X, Deref(_W)),
+    )
+)
+
+#: Dead assignment elimination that forgets the use check on the *enabling*
+#: statement: ``X := X + 1`` both defines and uses X, so treating any
+#: redefinition as enabling is wrong.
+dae_no_use_check = Optimization(
+    BackwardPattern(
+        name="buggyDaeNoUseCheck",
+        psi1=GOr(
+            (
+                GLabel("stmt", (parse_pattern_stmt("X := ..."),)),
+                GLabel("stmt", (parse_pattern_stmt("return ..."),)),
+            )
+        ),
+        psi2=GNot(GLabel("mayUse", (_X,))),
+        s=parse_pattern_stmt("X := E"),
+        s_new=parse_pattern_stmt("skip"),
+        witness=EqualExceptVar(_X),
+    )
+)
+
+#: Copy propagation that only protects the source Z but forgets that the
+#: copy target Y may be redefined inside the region.
+copy_prop_no_target_check = Optimization(
+    ForwardPattern(
+        name="buggyCopyPropNoTargetCheck",
+        psi1=GLabel("stmt", (parse_pattern_stmt("Y := Z"),)),
+        psi2=GNot(GLabel("mayDef", (_Z,))),
+        s=parse_pattern_stmt("X := Y"),
+        s_new=parse_pattern_stmt("X := Z"),
+        witness=VarEqVar(_Y, _Z),
+    )
+)
+
+#: CSE that forgets that the defining expression may use X itself
+#: (``X := X + 1`` does not establish eta(X) = eta(X + 1)).
+cse_self_referential = Optimization(
+    ForwardPattern(
+        name="buggyCseSelfReferential",
+        psi1=GAnd(
+            (
+                GLabel("stmt", (parse_pattern_stmt("X := E"),)),
+                GLabel("pureExpr", (_E,)),
+            )
+        ),
+        psi2=GAnd((GNot(GLabel("mayDef", (_X,))), GLabel("unchanged", (_E,)))),
+        s=parse_pattern_stmt("Y := E"),
+        s_new=parse_pattern_stmt("Y := X"),
+        witness=VarEqExpr(_X, _E),
+    )
+)
+
+#: Constant propagation with a wrong witness (claims Y = C + 1): the checker
+#: must reject it at obligation F1 even though the transformation itself
+#: happens to coincide with the sound one.  Exercises the "correctness does
+#: not depend on the witness" footnote: a bogus witness fails the proof.
+const_prop_wrong_witness = Optimization(
+    ForwardPattern(
+        name="buggyConstPropWrongWitness",
+        psi1=GLabel("stmt", (parse_pattern_stmt("Y := C"),)),
+        psi2=GNot(GLabel("mayDef", (_Y,))),
+        s=parse_pattern_stmt("X := Y"),
+        s_new=parse_pattern_stmt("X := C"),
+        witness=VarEqVar(_Y, _X),  # nonsense: relates Y to the not-yet-bound X
+    )
+)
+
+#: Self-"assignment" removal over-generalized to any assignment X := Y.
+assign_removal_overbroad = Optimization(
+    ForwardPattern(
+        name="buggyAssignRemovalOverbroad",
+        psi1=GTrue(),
+        psi2=GTrue(),
+        s=parse_pattern_stmt("X := Y"),
+        s_new=parse_pattern_stmt("skip"),
+        witness=TrueWitness(),
+    )
+)
+
+#: PRE code duplication that forgets ``unchanged(E)``: the expression may be
+#: recomputed with different operand values at the insertion point.
+pre_duplicate_no_unchanged = Optimization(
+    BackwardPattern(
+        name="buggyPreDuplicateNoUnchanged",
+        psi1=GAnd(
+            (
+                GLabel("stmt", (parse_pattern_stmt("X := E"),)),
+                GNot(GLabel("mayUse", (_X,))),
+                GLabel("pureExpr", (_E,)),
+                GNot(GLabel("exprUses", (_E, _X))),
+            )
+        ),
+        psi2=GAnd(
+            (
+                GNot(GLabel("mayDef", (_X,))),
+                GNot(GLabel("mayUse", (_X,))),
+            )
+        ),
+        s=parse_pattern_stmt("skip"),
+        s_new=parse_pattern_stmt("X := E"),
+        witness=EqualExceptVar(_X),
+    )
+)
+
+#: Constant folding with the fold flipped: X := C1 OP C2 => X := C1.
+const_fold_wrong_result = Optimization(
+    ForwardPattern(
+        name="buggyConstFoldWrongResult",
+        psi1=GTrue(),
+        psi2=GTrue(),
+        s=parse_pattern_stmt("X := C1 OP C2"),
+        s_new=parse_pattern_stmt("X := C1"),
+        witness=TrueWitness(),
+    )
+)
+
+ALL_BUGGY = [
+    const_prop_no_pointers,
+    load_elim_direct_assign,
+    dae_no_use_check,
+    copy_prop_no_target_check,
+    cse_self_referential,
+    const_prop_wrong_witness,
+    assign_removal_overbroad,
+    pre_duplicate_no_unchanged,
+    const_fold_wrong_result,
+]

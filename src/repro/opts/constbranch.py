@@ -1,0 +1,56 @@
+"""Constant-value analysis and branch strengthening.
+
+A pure analysis in the style of example 4, but tracking *values*: after
+``Y := C``, as long as Y is not redefined, the node is labeled
+``hasConst(Y, C)`` whose meaning (witness) is ``eta(Y) = C``.
+
+The ``const_branch`` optimization consumes that label to rewrite a branch
+on a variable into a branch on its known constant::
+
+    hasConst(Y, C) && !mayDef(Y)
+    followed by !mayDef(Y)
+    until  if Y goto I1 else I2  =>  if C goto I1 else I2
+    with witness eta(Y) = C
+
+after which ``branch_fold`` collapses it to an unconditional jump.  This
+exercises a forward optimization consuming a forward pure analysis — the
+composition section 2.4 sets up (and section 4.1 permits; only *backward*
+consumers are disallowed).
+"""
+
+from repro.cobalt.dsl import ForwardPattern, Optimization, PureAnalysis
+from repro.cobalt.guards import GAnd, GLabel, GNot, GOr
+from repro.cobalt.patterns import ConstPat, VarPat, parse_pattern_stmt
+from repro.cobalt.witness import VarEqConst
+
+_Y = VarPat("Y")
+_C = ConstPat("C")
+
+const_value_analysis = PureAnalysis(
+    name="constValue",
+    psi1=GLabel("stmt", (parse_pattern_stmt("Y := C"),)),
+    psi2=GNot(GLabel("mayDef", (_Y,))),
+    label_name="hasConst",
+    label_args=(_Y, _C),
+    witness=VarEqConst(_Y, _C),
+)
+
+# The enabling statement is either the defining assignment itself or any
+# non-defining statement already labeled hasConst(Y, C) (labels describe
+# the state *before* a node, so the defining node itself is not labeled).
+const_branch = Optimization(
+    ForwardPattern(
+        name="constBranch",
+        psi1=GOr(
+            (
+                GLabel("stmt", (parse_pattern_stmt("Y := C"),)),
+                GAnd((GLabel("hasConst", (_Y, _C)), GNot(GLabel("mayDef", (_Y,))))),
+            )
+        ),
+        psi2=GNot(GLabel("mayDef", (_Y,))),
+        s=parse_pattern_stmt("if Y goto I1 else I2"),
+        s_new=parse_pattern_stmt("if C goto I1 else I2"),
+        witness=VarEqConst(_Y, _C),
+    ),
+    analyses=(const_value_analysis,),
+)

@@ -1,0 +1,69 @@
+"""Constant folding and branch folding.
+
+Constant folding rewrites ``X := C1 op C2`` to ``X := C3`` where
+``C3 = C1 op C2``; the binding of ``C3`` is a :class:`Computed` side
+condition: the engine evaluates the operator (declining to fold operations
+that could fail, like division by zero), and the checker assumes the
+corresponding premise ``C3 = applyOp(op, C1, C2)`` together with the
+operation's definedness.
+
+Branch folding rewrites ``if C goto I1 else I2`` to a branch whose both
+targets are the one the constant condition selects; a later clean-up can
+treat it as an unconditional jump.  The side condition computes the
+surviving target ``I3``.
+
+Both have trivially true guards: their correctness is purely local to the
+rewritten statement (obligation F3), so the witness is ``true``.
+"""
+
+from repro.il.ast import Const
+from repro.il.interp import apply_binop
+from repro.cobalt.dsl import Computed, ForwardPattern, Optimization
+from repro.cobalt.guards import GTrue
+from repro.cobalt.patterns import Subst, parse_pattern_stmt
+from repro.cobalt.witness import TrueWitness
+
+
+def _fold_constants(theta: Subst):
+    c1 = theta.get("C1")
+    c2 = theta.get("C2")
+    op = theta.get("OP")
+    if not isinstance(c1, Const) or not isinstance(c2, Const) or not isinstance(op, str):
+        return None
+    value = apply_binop(op, c1.value, c2.value)
+    if value is None or not isinstance(value, int):
+        return None  # undefined (e.g. division by zero): do not fold
+    return Const(value)
+
+
+const_fold = Optimization(
+    ForwardPattern(
+        name="constFold",
+        psi1=GTrue(),
+        psi2=GTrue(),
+        s=parse_pattern_stmt("X := C1 OP C2"),
+        s_new=parse_pattern_stmt("X := C3"),
+        witness=TrueWitness(),
+        computed=(Computed("C3", _fold_constants, premise="fold"),),
+    )
+)
+
+
+def _fold_branch(theta: Subst):
+    c = theta.get("C")
+    if not isinstance(c, Const):
+        return None
+    return theta["I1"] if c.value != 0 else theta["I2"]
+
+
+branch_fold = Optimization(
+    ForwardPattern(
+        name="branchFold",
+        psi1=GTrue(),
+        psi2=GTrue(),
+        s=parse_pattern_stmt("if C goto I1 else I2"),
+        s_new=parse_pattern_stmt("if C goto I3 else I3"),
+        witness=TrueWitness(),
+        computed=(Computed("I3", _fold_branch, premise="branch"),),
+    )
+)

@@ -1,0 +1,45 @@
+"""Constant propagation (paper example 1).
+
+::
+
+    stmt(Y := C)  followed by  !mayDef(Y)  until  X := Y => X := C
+    with witness  eta(Y) = C
+
+Two variants are provided: ``const_prop`` uses the conservative ``mayDef``
+label (any pointer store or call kills every fact), and ``const_prop_pt``
+uses the pointer-aware ``mayDefPT`` label fed by the taintedness pure
+analysis (section 2.4), so facts about untainted variables survive pointer
+stores and calls.
+"""
+
+from repro.cobalt.dsl import ForwardPattern, Optimization
+from repro.cobalt.guards import GLabel, GNot
+from repro.cobalt.patterns import parse_pattern_stmt, VarPat, ConstPat
+from repro.cobalt.witness import VarEqConst
+from repro.opts.pointer import taintedness_analysis
+
+_Y = VarPat("Y")
+_C = ConstPat("C")
+
+const_prop = Optimization(
+    ForwardPattern(
+        name="constProp",
+        psi1=GLabel("stmt", (parse_pattern_stmt("Y := C"),)),
+        psi2=GNot(GLabel("mayDef", (_Y,))),
+        s=parse_pattern_stmt("X := Y"),
+        s_new=parse_pattern_stmt("X := C"),
+        witness=VarEqConst(_Y, _C),
+    )
+)
+
+const_prop_pt = Optimization(
+    ForwardPattern(
+        name="constPropPT",
+        psi1=GLabel("stmt", (parse_pattern_stmt("Y := C"),)),
+        psi2=GNot(GLabel("mayDefPT", (_Y,))),
+        s=parse_pattern_stmt("X := Y"),
+        s_new=parse_pattern_stmt("X := C"),
+        witness=VarEqConst(_Y, _C),
+    ),
+    analyses=(taintedness_analysis,),
+)

@@ -1,0 +1,31 @@
+"""Copy propagation.
+
+::
+
+    stmt(Y := Z)  followed by  !mayDef(Y) && !mayDef(Z)
+    until  X := Y => X := Z
+    with witness  eta(Y) = eta(Z)
+
+After the copy ``Y := Z``, and as long as neither variable is redefined,
+``Y`` and ``Z`` hold the same value, so a use of ``Y`` can read ``Z``
+instead.
+"""
+
+from repro.cobalt.dsl import ForwardPattern, Optimization
+from repro.cobalt.guards import GAnd, GLabel, GNot
+from repro.cobalt.patterns import VarPat, parse_pattern_stmt
+from repro.cobalt.witness import VarEqVar
+
+_Y = VarPat("Y")
+_Z = VarPat("Z")
+
+copy_prop = Optimization(
+    ForwardPattern(
+        name="copyProp",
+        psi1=GLabel("stmt", (parse_pattern_stmt("Y := Z"),)),
+        psi2=GAnd((GNot(GLabel("mayDef", (_Y,))), GNot(GLabel("mayDef", (_Z,))))),
+        s=parse_pattern_stmt("X := Y"),
+        s_new=parse_pattern_stmt("X := Z"),
+        witness=VarEqVar(_Y, _Z),
+    )
+)

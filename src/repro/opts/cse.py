@@ -1,0 +1,77 @@
+"""Common subexpression elimination, including redundant-load elimination.
+
+``cse`` (pure expressions)::
+
+    stmt(X := E) && pureExpr(E) && !exprUses(E, X)
+    followed by  !mayDef(X) && unchanged(E)
+    until  Y := E => Y := X
+    with witness  eta(X) = eta(E)
+
+``load_elim`` (the section 6 debugging example, in its *fixed*,
+pointer-aware form): a load ``X := *W`` makes later identical loads
+redundant, provided neither ``X`` nor ``W`` is redefined and the pointed-to
+cell cannot change.  The cell can change through a pointer store or a call,
+and — the subtle case the paper's checker caught — through a *direct*
+assignment ``Z := ...`` when ``W`` might point to ``Z``; the ``cellUnchanged``
+label therefore requires ``notTainted(Z)`` for direct assignments, using the
+taintedness analysis.  The deliberately buggy original is in
+:mod:`repro.opts.buggy`.
+"""
+
+from repro.cobalt.dsl import ForwardPattern, Optimization
+from repro.cobalt.guards import GAnd, GLabel, GNot, GEq
+from repro.cobalt.patterns import ExprPat, VarPat, parse_pattern_stmt
+from repro.cobalt.witness import VarEqExpr
+from repro.il.ast import Deref, Var
+from repro.opts.pointer import taintedness_analysis
+
+_X = VarPat("X")
+_W = VarPat("W")
+_E = ExprPat("E")
+
+cse = Optimization(
+    ForwardPattern(
+        name="cse",
+        psi1=GAnd(
+            (
+                GLabel("stmt", (parse_pattern_stmt("X := E"),)),
+                GLabel("pureExpr", (_E,)),
+                GLabel("compoundExpr", (_E,)),
+                GNot(GLabel("exprUses", (_E, _X))),
+            )
+        ),
+        psi2=GAnd(
+            (
+                GNot(GLabel("mayDef", (_X,))),
+                GLabel("unchanged", (_E,)),
+                GLabel("pureExpr", (_E,)),
+            )
+        ),
+        s=parse_pattern_stmt("Y := E"),
+        s_new=parse_pattern_stmt("Y := X"),
+        witness=VarEqExpr(_X, _E),
+    )
+)
+
+load_elim = Optimization(
+    ForwardPattern(
+        name="loadElim",
+        psi1=GAnd(
+            (
+                GLabel("stmt", (parse_pattern_stmt("X := *W"),)),
+                GNot(GEq(_X, _W)),
+            )
+        ),
+        psi2=GAnd(
+            (
+                GNot(GLabel("mayDef", (_X,))),
+                GNot(GLabel("mayDef", (_W,))),
+                GLabel("cellUnchanged", (_W,)),
+            )
+        ),
+        s=parse_pattern_stmt("Y := *W"),
+        s_new=parse_pattern_stmt("Y := X"),
+        witness=VarEqExpr(_X, Deref(_W)),
+    ),
+    analyses=(taintedness_analysis,),
+)

@@ -1,0 +1,77 @@
+"""Dead assignment elimination (paper example 2) and the code-sinking half
+of partial dead assignment elimination.
+
+``dae``::
+
+    (stmt(X := ...) || stmt(return ...)) && !mayUse(X)
+    preceded by  !mayUse(X)
+    since  X := E => skip
+    with witness  etaOld/X = etaNew/X
+
+An assignment is dead when, on every path to the procedure's exit, the
+variable is overwritten or the procedure returns before the variable is
+used.  The backward witness says corresponding states of the original and
+transformed traces agree everywhere but X's cell; the region is closed by a
+redefinition of X (both traces write the same value) or by a return (the
+frame — including X's cell — is deallocated in both).
+
+``partial_dae_sink`` duplicates an assignment downward (the dual of PRE's
+code duplication): a ``skip`` may be rewritten to ``X := E`` when every path
+onward re-establishes equality by executing the *same* assignment ``X := E``
+with ``E`` and ``X`` untouched in between.  Sinking the copy into the branch
+where it is live and then running ``dae`` on the original implements partial
+dead assignment elimination.
+"""
+
+from repro.cobalt.dsl import BackwardPattern, Optimization
+from repro.cobalt.guards import GAnd, GLabel, GNot, GOr
+from repro.cobalt.patterns import ExprPat, VarPat, parse_pattern_stmt
+from repro.cobalt.witness import EqualExceptVar
+
+_X = VarPat("X")
+_E = ExprPat("E")
+
+dae = Optimization(
+    BackwardPattern(
+        name="deadAssignElim",
+        psi1=GAnd(
+            (
+                GOr(
+                    (
+                        GLabel("stmt", (parse_pattern_stmt("X := ..."),)),
+                        GLabel("stmt", (parse_pattern_stmt("return ..."),)),
+                    )
+                ),
+                GNot(GLabel("mayUse", (_X,))),
+            )
+        ),
+        psi2=GNot(GLabel("mayUse", (_X,))),
+        s=parse_pattern_stmt("X := E"),
+        s_new=parse_pattern_stmt("skip"),
+        witness=EqualExceptVar(_X),
+    )
+)
+
+partial_dae_sink = Optimization(
+    BackwardPattern(
+        name="partialDaeSink",
+        psi1=GAnd(
+            (
+                GLabel("stmt", (parse_pattern_stmt("X := E"),)),
+                GLabel("pureExpr", (_E,)),
+                GNot(GLabel("exprUses", (_E, _X))),
+            )
+        ),
+        psi2=GAnd(
+            (
+                GNot(GLabel("mayUse", (_X,))),
+                GNot(GLabel("mayDef", (_X,))),
+                GLabel("unchanged", (_E,)),
+                GLabel("pureExpr", (_E,)),
+            )
+        ),
+        s=parse_pattern_stmt("skip"),
+        s_new=parse_pattern_stmt("X := E"),
+        witness=EqualExceptVar(_X),
+    )
+)

@@ -1,0 +1,47 @@
+"""Loop-invariant code motion, decomposed as the paper prescribes.
+
+Section 6: "optimizations that traditionally are expressed as having
+effects at multiple points in the program, such as various sorts of code
+motion, can in fact be decomposed into several simpler transformations,
+each of which fits Cobalt's transformation pattern syntax."
+
+LICM is the PRE duplication pattern pointed at loop preheaders: duplicating
+the loop-invariant assignment into a preheader ``skip`` makes the in-loop
+occurrence fully redundant, after which CSE + self-assignment removal (and
+optionally DAE) hoist it.  The legality pattern is *identical* to PRE's
+duplication — only the profitability heuristic differs.
+"""
+
+from typing import List, Sequence
+
+from repro.il.cfg import Cfg
+from repro.il.program import Procedure
+from repro.cobalt.dsl import Optimization
+from repro.cobalt.engine import TransformationInstance
+from repro.opts.pre import _duplicate_pattern
+
+
+def choose_preheaders(
+    delta: Sequence[TransformationInstance], proc: Procedure
+) -> List[TransformationInstance]:
+    """Keep duplications at sites that sit immediately before a loop head
+    (a node with an incoming back edge), i.e. loop preheaders."""
+    cfg = Cfg.build(proc)
+    loop_heads = {
+        node
+        for node in cfg.nodes()
+        for pred in cfg.predecessors(node)
+        if pred >= node  # back edge (targets only jump backward to heads)
+    }
+    chosen = []
+    for inst in delta:
+        if any(s in loop_heads for s in cfg.successors(inst.index)):
+            chosen.append(inst)
+    return chosen
+
+
+from dataclasses import replace
+
+licm_duplicate = Optimization(
+    replace(_duplicate_pattern, name="licmDuplicate"), choose=choose_preheaders
+)

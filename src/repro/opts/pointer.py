@@ -1,0 +1,29 @@
+"""Pointer (taintedness) analysis — the pure analysis of paper example 4.
+
+::
+
+    stmt(decl X)  followed by  !stmt(... := &X)
+    defines  notTainted(X)
+    with witness  notPointedTo(X, eta)
+
+A variable is *not tainted* at a node if on every path to it the variable
+was declared and its address never taken since.  The ``notTainted`` label is
+consumed by the pointer-aware ``mayDefPT``/``mayUsePT`` labels and by the
+``cellUnchanged`` label of redundant-load elimination.
+"""
+
+from repro.cobalt.dsl import PureAnalysis
+from repro.cobalt.guards import GLabel, GNot
+from repro.cobalt.patterns import VarPat, parse_pattern_stmt
+from repro.cobalt.witness import NotPointedTo
+
+_X = VarPat("X")
+
+taintedness_analysis = PureAnalysis(
+    name="taintedness",
+    psi1=GLabel("stmt", (parse_pattern_stmt("decl X"),)),
+    psi2=GNot(GLabel("stmt", (parse_pattern_stmt("... := &X"),))),
+    label_name="notTainted",
+    label_args=(_X,),
+    witness=NotPointedTo(_X),
+)

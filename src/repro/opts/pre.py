@@ -1,0 +1,127 @@
+"""Partial redundancy elimination (paper example 3).
+
+PRE is implemented the way the paper describes: a backward *code
+duplication* pass converts partial redundancies into full ones by rewriting
+well-chosen ``skip`` statements into copies of a later assignment, and then
+ordinary CSE plus self-assignment removal eliminate the now-full
+redundancies.
+
+The duplication transformation pattern (legality) is::
+
+    stmt(X := E) && !mayUse(X)
+    preceded by  unchanged(E) && !mayDef(X) && !mayUse(X)
+    since  skip => X := E
+    with witness  etaOld/X = etaNew/X
+
+Most of PRE's intelligence is the *profitability heuristic*: which of the
+many legal duplications to perform.  We provide:
+
+* :func:`choose_latest` — keep only the duplications closest to the
+  partially redundant computation (no other legal site for the same
+  substitution lies strictly between the site and the enabling statement);
+  this is the classic "latest" placement that avoids lengthening any path
+  unnecessarily.
+* :func:`make_site_chooser` — explicit site selection for tests/examples.
+
+The soundness checker never sees either (section 2.3: the choose function
+"can be ignored when verifying the soundness of PRE").
+
+``self_assign_removal`` (``X := X => skip``, trivially true guard) finishes
+the pipeline, and :func:`pre_pipeline` bundles the three passes.
+"""
+
+from typing import Callable, Iterable, List, Sequence
+
+from repro.il.cfg import Cfg
+from repro.il.program import Procedure
+from repro.cobalt.dsl import BackwardPattern, ForwardPattern, Optimization
+from repro.cobalt.engine import TransformationInstance
+from repro.cobalt.guards import GAnd, GLabel, GNot, GTrue
+from repro.cobalt.patterns import ExprPat, VarPat, parse_pattern_stmt
+from repro.cobalt.witness import EqualExceptVar, TrueWitness
+
+_X = VarPat("X")
+_E = ExprPat("E")
+
+_duplicate_pattern = BackwardPattern(
+    name="preDuplicate",
+    psi1=GAnd(
+        (
+            GLabel("stmt", (parse_pattern_stmt("X := E"),)),
+            GNot(GLabel("mayUse", (_X,))),
+            GLabel("pureExpr", (_E,)),
+            GNot(GLabel("exprUses", (_E, _X))),
+        )
+    ),
+    psi2=GAnd(
+        (
+            GLabel("unchanged", (_E,)),
+            GLabel("pureExpr", (_E,)),
+            GNot(GLabel("mayDef", (_X,))),
+            GNot(GLabel("mayUse", (_X,))),
+        )
+    ),
+    s=parse_pattern_stmt("skip"),
+    s_new=parse_pattern_stmt("X := E"),
+    witness=EqualExceptVar(_X),
+)
+
+
+def choose_latest(delta: Sequence[TransformationInstance], proc: Procedure) -> List[TransformationInstance]:
+    """Keep a legal duplication only if no other legal site for the same
+    substitution is strictly later (reachable from it).  This places copies
+    as late as possible, the key PRE placement idea."""
+    cfg = Cfg.build(proc)
+    by_theta: dict = {}
+    for inst in delta:
+        by_theta.setdefault(inst.theta, []).append(inst.index)
+
+    def reachable_from(src: int) -> set:
+        seen = set()
+        work = list(cfg.successors(src))
+        while work:
+            node = work.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            work.extend(cfg.successors(node))
+        return seen
+
+    chosen: List[TransformationInstance] = []
+    for inst in delta:
+        later = reachable_from(inst.index)
+        if any(other != inst.index and other in later for other in by_theta[inst.theta]):
+            continue
+        chosen.append(inst)
+    return chosen
+
+
+def make_site_chooser(sites: Iterable[int]) -> Callable:
+    """A choose function selecting only the given statement indices."""
+    wanted = frozenset(sites)
+
+    def choose(delta: Sequence[TransformationInstance], proc: Procedure):
+        return [inst for inst in delta if inst.index in wanted]
+
+    return choose
+
+
+pre_duplicate = Optimization(_duplicate_pattern, choose=choose_latest)
+
+self_assign_removal = Optimization(
+    ForwardPattern(
+        name="selfAssignRemoval",
+        psi1=GTrue(),
+        psi2=GTrue(),
+        s=parse_pattern_stmt("X := X"),
+        s_new=parse_pattern_stmt("skip"),
+        witness=TrueWitness(),
+    )
+)
+
+
+def pre_pipeline() -> List[Optimization]:
+    """The full PRE pass sequence: duplicate, CSE, remove self-assignments."""
+    from repro.opts.cse import cse
+
+    return [pre_duplicate, cse, self_assign_removal]

@@ -1,0 +1,42 @@
+"""Ground integer arithmetic for the E-graph.
+
+Simplify includes a decision procedure for linear arithmetic; the Cobalt
+obligations only ever need *ground* evaluation (folding ``@plus(2, 3)`` to
+``5`` and knowing distinct numerals are distinct), so that is what we
+implement.  Numeral distinctness itself is handled by the E-graph's
+constructor discipline (each :class:`~repro.logic.terms.IntConst` acts as a
+distinct nullary constructor).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+#: Function symbols the E-graph folds when all arguments are known numerals.
+ARITH_FNS = frozenset({"@plus", "@minus", "@times", "@div", "@mod", "@neg"})
+
+
+def eval_arith(fn: str, args: Sequence[int]) -> Optional[int]:
+    """Evaluate an arithmetic function symbol on known integer arguments.
+
+    Returns None when the application is undefined (division by zero) or the
+    symbol is not arithmetic; the E-graph then leaves the term uninterpreted,
+    which is sound (it just proves less).
+    """
+    if fn == "@plus" and len(args) == 2:
+        return args[0] + args[1]
+    if fn == "@minus" and len(args) == 2:
+        return args[0] - args[1]
+    if fn == "@times" and len(args) == 2:
+        return args[0] * args[1]
+    if fn == "@neg" and len(args) == 1:
+        return -args[0]
+    if fn == "@div" and len(args) == 2:
+        if args[1] == 0:
+            return None
+        return int(args[0] / args[1])
+    if fn == "@mod" and len(args) == 2:
+        if args[1] == 0:
+            return None
+        return args[0] - args[1] * int(args[0] / args[1])
+    return None

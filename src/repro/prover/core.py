@@ -1,0 +1,474 @@
+"""The refutation prover: DPLL case splitting over ground clauses, theory
+reasoning via the E-graph, and quantifier instantiation by E-matching.
+
+The public entry point is :class:`Prover`.  A ``Prover`` is constructed with
+a set of background axioms (the optimization-independent IL semantics plus
+the optimization-dependent label axioms, see :mod:`repro.verify.encode`) and
+asked to prove goals.  Internally the goal is negated, clausified, and the
+prover searches for a refutation:
+
+* **propagation** — evaluate ground literals against the E-graph; clauses
+  with all-false literals close the branch, unit clauses are asserted;
+* **case splitting** — pick an undetermined literal and try both truth
+  values (this is where ``k1 = k2 \\/ select(update(m,k1,v),k2) = select(m,k2)``
+  style axioms get their case analysis);
+* **instantiation rounds** — when a branch is propositionally satisfied,
+  E-match the quantified clauses' triggers against the E-graph and add any
+  new ground instances, then continue.
+
+``PROVED`` answers are sound.  When the instantiation rounds dry up while a
+consistent branch remains, the prover answers ``UNKNOWN`` and reports the
+branch's asserted literals — the *counterexample context*, just as Simplify
+does (section 7 of the paper).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.logic.formulas import (
+    Clause,
+    Eq,
+    Formula,
+    Literal,
+    Not,
+    Pred,
+    clausify,
+)
+from repro.logic.terms import App, Term
+from repro.prover.egraph import EGraph, EGraphConflict, FALSE, TRUE
+from repro.prover.ematch import binding_to_terms, ematch, select_triggers
+
+
+class Status(Enum):
+    PROVED = "proved"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class ProverConfig:
+    """Resource limits and search heuristics for one ``prove`` call."""
+
+    max_rounds: int = 12  # quantifier-instantiation rounds per branch
+    max_instances: int = 20_000  # total ground instances per prove call
+    max_decisions: int = 200_000
+    timeout_s: float = 120.0
+    #: Literal scoring for case splits: higher scores are decided first.
+    #: The default prefers literals from clauses whose origin marks them as
+    #: deliberate case-split seeds (the Cobalt checker's kind-exhaustiveness
+    #: instances) — the analogue of Simplify's case-split ordering.
+    split_priority: Optional[object] = None
+
+
+def default_split_priority(lit: "Literal", clause: "Clause") -> int:
+    """Split preference (clause-level): seed clauses first, ordinary clauses
+    next, kind-conditional clauses never.
+
+    A clause containing a constructor-kind discrimination (``stmtKind(t) =
+    K_...``) outside the seeds is a conditional-semantics instance for a
+    term of *unknown* kind; deciding any of its literals only spawns phantom
+    structure (projections of opaque terms, their evaluations, ...), blowing
+    up the search without contributing to refutations.  Such clauses return
+    -1 and the search refuses to split on them — any case analysis over
+    kinds must come from a deliberately seeded exhaustiveness instance.
+    This loses only completeness, never soundness.
+    """
+    if "seed" in clause.origin:
+        return 2
+    if "nosplit" in clause.origin:
+        return -1
+    if _is_kind_literal(lit):
+        return -1
+    return 0
+
+
+def _is_kind_literal(lit: "Literal") -> bool:
+    atom = lit.atom
+    if not isinstance(atom, Eq):
+        return False
+    for side in (atom.lhs, atom.rhs):
+        if isinstance(side, App) and not side.args and (
+            side.fn.startswith("K_")
+            or side.fn.startswith("EK_")
+            or side.fn.startswith("LK_")
+        ):
+            return True
+    return False
+
+
+@dataclass
+class Stats:
+    decisions: int = 0
+    propagations: int = 0
+    instances: int = 0
+    rounds: int = 0
+    elapsed_s: float = 0.0
+
+
+@dataclass
+class Result:
+    """Outcome of a ``prove`` call."""
+
+    status: Status
+    goal_name: str
+    context: List[str] = field(default_factory=list)
+    stats: Stats = field(default_factory=Stats)
+
+    @property
+    def proved(self) -> bool:
+        return self.status is Status.PROVED
+
+    def __str__(self) -> str:
+        head = f"[{self.status.value}] {self.goal_name}"
+        if self.proved:
+            return head
+        ctx = "\n  ".join(self.context[:40])
+        return f"{head}\n  counterexample context:\n  {ctx}"
+
+
+class _Timeout(Exception):
+    pass
+
+
+class _Budget(Exception):
+    pass
+
+
+class Prover:
+    """A reusable prover instance over a fixed axiom set."""
+
+    def __init__(
+        self,
+        axioms: Sequence[Union[Formula, Clause]] = (),
+        *,
+        constructors: Iterable[str] = (),
+        config: Optional[ProverConfig] = None,
+    ) -> None:
+        self.constructors = frozenset(constructors)
+        self.config = config or ProverConfig()
+        self._base_clauses: List[Clause] = []
+        self._axiom_counter = 0
+        for ax in axioms:
+            if isinstance(ax, tuple):
+                origin, formula = ax
+                self.add_axiom(formula, origin)
+            else:
+                self.add_axiom(ax)
+
+    def add_axiom(self, axiom: Union[Formula, Clause], origin: str = "") -> None:
+        """Add a background axiom (formula or pre-clausified clause)."""
+        if isinstance(axiom, Clause):
+            self._base_clauses.append(axiom)
+            return
+        self._axiom_counter += 1
+        name = origin or f"axiom#{self._axiom_counter}"
+        self._base_clauses.extend(
+            clausify(axiom, origin=name, prefix=f"sk_ax{self._axiom_counter}_")
+        )
+
+    # ------------------------------------------------------------------
+
+    def prove(
+        self,
+        goal: Formula,
+        *,
+        extra_axioms: Sequence[Union[Formula, Clause]] = (),
+        name: str = "goal",
+        config: Optional[ProverConfig] = None,
+    ) -> Result:
+        """Attempt to prove ``goal`` valid modulo the axioms."""
+        cfg = config or self.config
+        clauses: List[Clause] = list(self._base_clauses)
+        for i, ax in enumerate(extra_axioms):
+            if isinstance(ax, Clause):
+                clauses.append(ax)
+            else:
+                clauses.extend(clausify(ax, origin=f"extra#{i}", prefix=f"sk_x{i}_"))
+        clauses.extend(clausify(Not(goal), origin="negated-goal", prefix="sk_goal_"))
+        search = _Search(clauses, self.constructors, cfg)
+        return search.run(name)
+
+
+class _Search:
+    """One refutation search (fresh E-graph, fresh instance cache)."""
+
+    def __init__(self, clauses: Sequence[Clause], constructors: frozenset, cfg: ProverConfig) -> None:
+        self.cfg = cfg
+        self.egraph = EGraph(constructors)
+        self.ground: List[Clause] = []
+        self.quantified: List[Tuple[Clause, Tuple[Tuple[Term, ...], ...]]] = []
+        self.seen_instances: Set[Tuple] = set()
+        self.stats = Stats()
+        self.deadline = 0.0
+        self.assertion_log: List[str] = []
+        self.saturated_context: List[str] = []
+        # Satisfied-clause marks, scoped to decision levels: a clause found
+        # satisfied is skipped by later scans until the level that satisfied
+        # it is popped.
+        self.sat: List[bool] = []
+        self.sat_scopes: List[List[int]] = [[]]
+        for clause in clauses:
+            self._classify(clause)
+
+    def _classify(self, clause: Clause) -> None:
+        if clause.is_ground():
+            key = _clause_key(clause)
+            if key not in self.seen_instances:
+                self.seen_instances.add(key)
+                self.ground.append(clause)
+                self.sat.append(False)
+            return
+        triggers = tuple(
+            tuple(App(p.name, p.args) if isinstance(p, Pred) else p for p in trig)
+            for trig in clause.triggers
+        )
+        if not triggers:
+            atom_terms: List[Term] = []
+            for lit in clause.literals:
+                if isinstance(lit.atom, Eq):
+                    atom_terms.extend((lit.atom.lhs, lit.atom.rhs))
+                else:
+                    atom_terms.append(App(lit.atom.name, lit.atom.args))
+            triggers = select_triggers(atom_terms, sorted(clause.vars()))
+        self.quantified.append((clause, triggers))
+
+    # ------------------------------------------------------------------
+
+    def run(self, name: str) -> Result:
+        self.deadline = time.monotonic() + self.cfg.timeout_s
+        start = time.monotonic()
+        self.egraph.push()
+        try:
+            refuted = self._dpll(0)
+            status = Status.PROVED if refuted else Status.UNKNOWN
+        except (_Timeout, _Budget, RecursionError):
+            status = Status.UNKNOWN
+            self.saturated_context = ["<resource limit reached>"] + list(self.assertion_log)
+        finally:
+            self.egraph.pop()
+        self.stats.elapsed_s = time.monotonic() - start
+        context = self.saturated_context if status is Status.UNKNOWN else []
+        return Result(status, name, context, self.stats)
+
+    # ------------------------------------------------------------------
+
+    def _lit_value(self, lit: Literal) -> Optional[bool]:
+        atom = lit.atom
+        if isinstance(atom, Eq):
+            value: Optional[bool]
+            if self.egraph.are_equal(atom.lhs, atom.rhs):
+                value = True
+            elif self.egraph.are_diseq(atom.lhs, atom.rhs):
+                value = False
+            else:
+                self.egraph.add_term(atom.lhs)
+                self.egraph.add_term(atom.rhs)
+                if self.egraph.are_equal(atom.lhs, atom.rhs):
+                    value = True
+                elif self.egraph.are_diseq(atom.lhs, atom.rhs):
+                    value = False
+                else:
+                    value = None
+        else:
+            term = App(atom.name, atom.args)
+            self.egraph.add_term(term)
+            if self.egraph.are_equal(term, TRUE):
+                value = True
+            elif self.egraph.are_equal(term, FALSE) or self.egraph.are_diseq(term, TRUE):
+                value = False
+            else:
+                value = None
+        if value is None:
+            return None
+        return value if lit.positive else not value
+
+    def _assert_literal(self, lit: Literal, why: str) -> bool:
+        """Assert a literal; False means the branch is contradictory."""
+        atom = lit.atom
+        if isinstance(atom, Eq):
+            ok = (
+                self.egraph.assert_eq(atom.lhs, atom.rhs)
+                if lit.positive
+                else self.egraph.assert_diseq(atom.lhs, atom.rhs)
+            )
+        else:
+            term = App(atom.name, atom.args)
+            ok = self.egraph.assert_eq(term, TRUE if lit.positive else FALSE)
+        if ok:
+            self.assertion_log.append(f"{lit}  [{why}]")
+        return ok
+
+    def _mark_sat(self, index: int) -> None:
+        self.sat[index] = True
+        self.sat_scopes[-1].append(index)
+
+    def _push_level(self) -> None:
+        self.egraph.push()
+        self.sat_scopes.append([])
+
+    def _pop_level(self) -> None:
+        self.egraph.pop()
+        for index in self.sat_scopes.pop():
+            self.sat[index] = False
+
+    def _dpll(self, depth: int) -> bool:
+        """True when the current branch is refuted."""
+        if time.monotonic() > self.deadline:
+            raise _Timeout()
+        rounds = 0
+        while True:
+            outcome, split = self._scan()
+            if outcome == "conflict":
+                return True
+            if outcome == "progress":
+                continue
+            if split is not None and split[2] >= 0:
+                return self._decide(split[0], split[1], depth)
+            # All ground clauses satisfied; try instantiating quantifiers.
+            rounds += 1
+            self.stats.rounds += 1
+            if rounds > self.cfg.max_rounds or not self._instantiate():
+                self.saturated_context = list(self.assertion_log)
+                return False
+
+    def _scan(self) -> Tuple[str, Optional[Tuple[Literal, Clause, int]]]:
+        """One pass over the unsatisfied ground clauses: detect conflicts,
+        assert units, and remember the best split candidate."""
+        progress = False
+        priority_fn = self.cfg.split_priority or default_split_priority
+        best: Optional[Tuple[Literal, Clause, int]] = None
+        best_score: Tuple[int, int] = (-(1 << 30), -(1 << 30))
+        for index in range(len(self.ground)):
+            if self.sat[index]:
+                continue
+            clause = self.ground[index]
+            width = 0
+            candidate: Optional[Literal] = None
+            satisfied = False
+            has_undetermined_kind = False
+            for lit in clause.literals:
+                try:
+                    value = self._lit_value(lit)
+                except EGraphConflict:
+                    return "conflict", None
+                if value is True:
+                    satisfied = True
+                    break
+                if value is None:
+                    width += 1
+                    if _is_kind_literal(lit):
+                        has_undetermined_kind = True
+                    if candidate is None:
+                        candidate = lit
+            if satisfied:
+                self._mark_sat(index)
+                continue
+            if width == 0:
+                return "conflict", None
+            if width == 1 and candidate is not None:
+                self.stats.propagations += 1
+                if not self._assert_literal(candidate, f"unit from {clause.origin or clause}"):
+                    return "conflict", None
+                self._mark_sat(index)
+                progress = True
+                continue
+            if candidate is not None:
+                if "seed" in clause.origin:
+                    clause_priority = 2
+                elif "nosplit" in clause.origin:
+                    clause_priority = -1
+                elif has_undetermined_kind:
+                    # A conditional-semantics instance whose term's kind is
+                    # unknown: splitting it only spawns phantom structure.
+                    clause_priority = -1
+                else:
+                    clause_priority = priority_fn(candidate, clause)
+                score = (clause_priority, -width)
+                if score > best_score:
+                    best, best_score = (candidate, clause, clause_priority), score
+        if progress:
+            return "progress", None
+        return "stable", best
+
+    def _decide(self, lit: Literal, clause: Clause, depth: int) -> bool:
+        self.stats.decisions += 1
+        if self.stats.decisions > self.cfg.max_decisions:
+            raise _Budget()
+        # Phase selection: explore the generic branch first.  In a seed
+        # clause the literal is a deliberate case pick, so take it as-is;
+        # for other equality atoms, the disequal branch usually carries the
+        # real proof (the equal branch is the degenerate corner), and
+        # crucially it creates no new terms, so the instances the proof
+        # needs get derived before DPLL wanders into term-building branches.
+        if "seed" in clause.origin or not isinstance(lit.atom, Eq):
+            first = lit
+        else:
+            first = Literal(False, lit.atom) if lit.positive else lit
+        log_mark = len(self.assertion_log)
+        self._push_level()
+        if self._assert_literal(first, f"decision@{depth}"):
+            refuted = self._dpll(depth + 1)
+        else:
+            refuted = True
+        self._pop_level()
+        del self.assertion_log[log_mark:]
+        if not refuted:
+            return False
+        self._push_level()
+        if self._assert_literal(first.negate(), f"decision@{depth}"):
+            refuted = self._dpll(depth + 1)
+        else:
+            refuted = True
+        self._pop_level()
+        del self.assertion_log[log_mark:]
+        return refuted
+
+    def _instantiate(self) -> bool:
+        """One E-matching round; True if any new ground clause appeared."""
+        added = False
+        for clause, triggers in self.quantified:
+            for trigger in triggers:
+                try:
+                    bindings = ematch(self.egraph, trigger)
+                except EGraphConflict:
+                    return True  # conflict will be picked up by propagation
+                for binding in bindings:
+                    if len(self.seen_instances) >= self.cfg.max_instances:
+                        return added
+                    terms = binding_to_terms(self.egraph, binding)
+                    if set(terms) < set(clause.vars()):
+                        continue  # trigger did not bind everything
+                    instance = clause.substitute(terms)
+                    key = _clause_key(instance)
+                    if key in self.seen_instances:
+                        continue
+                    # Relevance guard: a conditional-semantics instance whose
+                    # constructor-kind guard is still undetermined would only
+                    # intern phantom structure (nested projections of opaque
+                    # terms).  Defer it — once propagation fixes the kind, a
+                    # later round will admit it.  Evaluating just the kind
+                    # literal interns only the small kind atom itself.
+                    deferred = False
+                    for ilit in instance.literals:
+                        if not ilit.positive and _is_kind_literal(ilit):
+                            try:
+                                if self._lit_value(ilit) is None:
+                                    deferred = True
+                                    break
+                            except EGraphConflict:
+                                return True
+                    if deferred:
+                        continue
+                    self.seen_instances.add(key)
+                    self.stats.instances += 1
+                    self.ground.append(instance)
+                    self.sat.append(False)
+                    added = True
+        return added
+
+
+def _clause_key(clause: Clause) -> Tuple:
+    return tuple(sorted((lit.positive, str(lit.atom)) for lit in clause.literals))

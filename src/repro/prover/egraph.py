@@ -1,0 +1,402 @@
+"""Congruence closure over ground terms, with theories and backtracking.
+
+The E-graph is the heart of the prover.  It maintains equivalence classes of
+ground terms under asserted equalities, closed under congruence, and detects
+conflicts with:
+
+* asserted **disequalities**;
+* **free constructors**: two terms headed by distinct constructor symbols
+  are never equal, and equal constructor applications have equal arguments
+  (injectivity, applied eagerly);
+* **numerals**: distinct integer literals are distinct, and arithmetic
+  function symbols applied to known numerals fold to their value
+  (:mod:`repro.prover.arith`).
+
+All mutations are recorded on a trail so the DPLL core can ``push`` before a
+decision and ``pop`` to undo it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.logic.terms import App, IntConst, LVar, Term, term_size
+from repro.prover.arith import ARITH_FNS, eval_arith
+
+TRUE = App("@true")
+FALSE = App("@false")
+
+
+class EGraphConflict(Exception):
+    """Raised internally when an assertion contradicts the current state."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass
+class _Node:
+    term: Term
+    fn: Optional[str]  # function symbol, None for numerals
+    args: Tuple[int, ...]  # child node ids
+    int_value: Optional[int]
+
+
+class EGraph:
+    """A backtrackable congruence closure engine."""
+
+    def __init__(self, constructors: Optional[Iterable[str]] = None) -> None:
+        self.constructors: FrozenSet[str] = frozenset(constructors or ())
+        self.nodes: List[_Node] = []
+        self.term_to_node: Dict[Term, int] = {}
+        self.parent: List[int] = []  # union-find parent
+        self.rank: List[int] = []
+        self.class_members: Dict[int, List[int]] = {}  # root -> node ids
+        self.use_list: Dict[int, List[int]] = {}  # root -> parent app nodes
+        self.sig_table: Dict[Tuple[str, Tuple[int, ...]], int] = {}
+        self.class_int: Dict[int, int] = {}  # root -> numeral value
+        self.class_ctor: Dict[int, int] = {}  # root -> constructor node id
+        self.diseq: Dict[int, Set[int]] = {}  # root -> set of disequal roots
+        self.best_term: Dict[int, Term] = {}  # root -> small representative
+        self.fn_index: Dict[str, List[int]] = {}  # fn symbol -> node ids
+        self.trail: List[Tuple] = []
+        self.scopes: List[int] = []
+        self.conflict: Optional[str] = None
+        # Interned booleans, pre-asserted distinct.
+        t = self.add_term(TRUE)
+        f = self.add_term(FALSE)
+        self._assert_diseq_ids(t, f)
+
+    # -- union-find -----------------------------------------------------------
+
+    def find(self, node_id: int) -> int:
+        while self.parent[node_id] != node_id:
+            node_id = self.parent[node_id]
+        return node_id
+
+    # -- term interning ---------------------------------------------------------
+
+    def add_term(self, term: Term) -> int:
+        """Intern a ground term, returning its node id (congruence-aware)."""
+        existing = self.term_to_node.get(term)
+        if existing is not None:
+            return existing
+        if isinstance(term, LVar):
+            raise ValueError(f"cannot intern non-ground term {term}")
+        if isinstance(term, IntConst):
+            node_id = self._new_node(term, None, (), term.value)
+            return node_id
+        arg_ids = tuple(self.add_term(a) for a in term.args)
+        node_id = self._new_node(term, term.fn, arg_ids, None)
+        # Congruence with an existing application.
+        sig = (term.fn, tuple(self.find(a) for a in arg_ids))
+        other = self.sig_table.get(sig)
+        if other is not None and self.find(other) != self.find(node_id):
+            self._merge_ids(node_id, other, f"congruence on {term.fn}")
+        elif other is None:
+            self.sig_table[sig] = node_id
+            self.trail.append(("sig", sig))
+        for a in arg_ids:
+            root = self.find(a)
+            self.use_list.setdefault(root, []).append(node_id)
+            self.trail.append(("use", root))
+        self._post_node_theories(node_id)
+        return node_id
+
+    def _new_node(self, term: Term, fn: Optional[str], args: Tuple[int, ...], int_value: Optional[int]) -> int:
+        node_id = len(self.nodes)
+        self.nodes.append(_Node(term, fn, args, int_value))
+        self.parent.append(node_id)
+        self.rank.append(0)
+        self.class_members[node_id] = [node_id]
+        self.use_list.setdefault(node_id, [])
+        self.diseq.setdefault(node_id, set())
+        self.best_term[node_id] = term
+        if int_value is not None:
+            self.class_int[node_id] = int_value
+        if fn is not None and fn in self.constructors:
+            self.class_ctor[node_id] = node_id
+        if fn is not None:
+            self.fn_index.setdefault(fn, []).append(node_id)
+        self.term_to_node[term] = node_id
+        self.trail.append(("node", term, node_id))
+        return node_id
+
+    def _post_node_theories(self, node_id: int) -> None:
+        """Constructor/arith bookkeeping for a freshly interned application."""
+        node = self.nodes[node_id]
+        root = self.find(node_id)
+        if node.fn in self.constructors and root not in self.class_ctor:
+            self._set_class_ctor(root, node_id)
+        self._try_fold_arith(node_id)
+
+    # -- assertions ------------------------------------------------------------
+
+    def assert_eq(self, t1: Term, t2: Term) -> bool:
+        """Assert ``t1 = t2``; False (and a recorded conflict) on contradiction."""
+        try:
+            a, b = self.add_term(t1), self.add_term(t2)
+            self._merge_ids(a, b, f"asserted {t1} = {t2}")
+            return True
+        except EGraphConflict as c:
+            self.conflict = c.reason
+            return False
+
+    def assert_diseq(self, t1: Term, t2: Term) -> bool:
+        """Assert ``t1 != t2``."""
+        try:
+            a, b = self.add_term(t1), self.add_term(t2)
+            self._assert_diseq_ids(a, b)
+            return True
+        except EGraphConflict as c:
+            self.conflict = c.reason
+            return False
+
+    def _assert_diseq_ids(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            raise EGraphConflict(
+                f"disequality between equal terms {self.nodes[a].term} and {self.nodes[b].term}"
+            )
+        if rb not in self.diseq.setdefault(ra, set()):
+            self.diseq[ra].add(rb)
+            self.diseq.setdefault(rb, set()).add(ra)
+            self.trail.append(("diseq", ra, rb))
+
+    def are_equal(self, t1: Term, t2: Term) -> bool:
+        """Congruence-aware equality check (interns the terms if needed).
+
+        May raise :class:`EGraphConflict` if interning triggers a congruence
+        merge that contradicts an asserted disequality; callers treat that as
+        a refuted branch.
+        """
+        a = self.add_term(t1)
+        b = self.add_term(t2)
+        return self.find(a) == self.find(b)
+
+    def are_diseq(self, t1: Term, t2: Term) -> bool:
+        """Congruence-aware disequality check (interns the terms if needed)."""
+        a = self.add_term(t1)
+        b = self.add_term(t2)
+        return self._ids_diseq(a, b)
+
+    def _ids_diseq(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if rb in self.diseq.get(ra, ()):
+            return True
+        # Theory-level disequality: distinct numerals / distinct constructors.
+        va, vb = self.class_int.get(ra), self.class_int.get(rb)
+        if va is not None and vb is not None and va != vb:
+            return True
+        ca, cb = self.class_ctor.get(ra), self.class_ctor.get(rb)
+        if ca is not None and cb is not None:
+            if self.nodes[ca].fn != self.nodes[cb].fn:
+                return True
+        if (va is not None and cb is not None) or (vb is not None and ca is not None):
+            return True
+        return False
+
+    # -- merging ------------------------------------------------------------------
+
+    def _merge_ids(self, a: int, b: int, reason: str) -> None:
+        pending: List[Tuple[int, int, str]] = [(a, b, reason)]
+        while pending:
+            x, y, why = pending.pop()
+            rx, ry = self.find(x), self.find(y)
+            if rx == ry:
+                continue
+            if ry in self.diseq.get(rx, ()):
+                raise EGraphConflict(
+                    f"merge of disequal classes ({self.best_term[rx]} vs {self.best_term[ry]}): {why}"
+                )
+            # Theory checks and propagation before the union.
+            self._theory_premerge(rx, ry, pending, why)
+            if self.rank[rx] < self.rank[ry]:
+                rx, ry = ry, rx
+            # ry is absorbed into rx.
+            self.trail.append(
+                (
+                    "union",
+                    ry,
+                    rx,
+                    self.rank[rx],
+                    len(self.class_members[rx]),
+                    self.class_int.get(rx),
+                    self.class_ctor.get(rx),
+                    self.best_term[rx],
+                )
+            )
+            if self.rank[rx] == self.rank[ry]:
+                self.rank[rx] += 1
+            self.parent[ry] = rx
+            self.class_members[rx].extend(self.class_members[ry])
+            # Merge theory annotations.
+            if ry in self.class_int and rx not in self.class_int:
+                self.class_int[rx] = self.class_int[ry]
+            if ry in self.class_ctor and rx not in self.class_ctor:
+                self.class_ctor[rx] = self.class_ctor[ry]
+            if self._term_order(self.best_term[ry]) < self._term_order(self.best_term[rx]):
+                self.best_term[rx] = self.best_term[ry]
+            # Migrate disequalities.
+            for other in list(self.diseq.get(ry, ())):
+                was_in_rx = other in self.diseq.setdefault(rx, set())
+                self.diseq[other].discard(ry)
+                self.diseq[other].add(rx)
+                self.diseq[rx].add(other)
+                self.trail.append(("diseq_moved", ry, other, rx, was_in_rx))
+            # Congruence: parents of ry may now collide.
+            moved_parents = self.use_list.get(ry, [])
+            self.trail.append(("use_merge", rx, ry, len(self.use_list.get(rx, []))))
+            self.use_list.setdefault(rx, []).extend(moved_parents)
+            for p in moved_parents:
+                node = self.nodes[p]
+                sig = (node.fn, tuple(self.find(c) for c in node.args))
+                other = self.sig_table.get(sig)
+                if other is None:
+                    self.sig_table[sig] = p
+                    self.trail.append(("sig", sig))
+                elif self.find(other) != self.find(p):
+                    pending.append((p, other, f"congruence on {node.fn}"))
+            # Arithmetic folding may now apply to parents.
+            for p in self.use_list.get(rx, []):
+                self._try_fold_arith(p, pending)
+
+    def _theory_premerge(self, rx: int, ry: int, pending: List[Tuple[int, int, str]], why: str) -> None:
+        vx, vy = self.class_int.get(rx), self.class_int.get(ry)
+        if vx is not None and vy is not None and vx != vy:
+            raise EGraphConflict(f"distinct numerals {vx} and {vy} merged: {why}")
+        cx, cy = self.class_ctor.get(rx), self.class_ctor.get(ry)
+        if cx is not None and cy is not None:
+            nx, ny = self.nodes[cx], self.nodes[cy]
+            if nx.fn != ny.fn or len(nx.args) != len(ny.args):
+                raise EGraphConflict(
+                    f"distinct constructors {nx.fn} and {ny.fn} merged: {why}"
+                )
+            # Injectivity: equal constructor applications have equal fields.
+            for ca, cb in zip(nx.args, ny.args):
+                pending.append((ca, cb, f"injectivity of {nx.fn}"))
+        if (vx is not None and cy is not None) or (vy is not None and cx is not None):
+            raise EGraphConflict(f"numeral merged with constructor term: {why}")
+
+    def _set_class_ctor(self, root: int, node_id: int) -> None:
+        self.trail.append(("ctor", root, self.class_ctor.get(root)))
+        self.class_ctor[root] = node_id
+
+    def _try_fold_arith(self, node_id: int, pending: Optional[List[Tuple[int, int, str]]] = None) -> None:
+        node = self.nodes[node_id]
+        if node.fn not in ARITH_FNS:
+            return
+        values = []
+        for c in node.args:
+            v = self.class_int.get(self.find(c))
+            if v is None:
+                return
+            values.append(v)
+        result = eval_arith(node.fn, values)
+        if result is None:
+            return
+        lit = self.add_term(IntConst(result))
+        if pending is not None:
+            pending.append((node_id, lit, f"arithmetic {node.fn}{tuple(values)}"))
+        else:
+            self._merge_ids(node_id, lit, f"arithmetic {node.fn}{tuple(values)}")
+
+    @staticmethod
+    def _term_order(t: Term) -> Tuple[int, str]:
+        return (term_size(t), str(t))
+
+    # -- scopes ------------------------------------------------------------------
+
+    def push(self) -> None:
+        """Open a backtracking scope."""
+        self.scopes.append(len(self.trail))
+
+    def pop(self) -> None:
+        """Undo everything since the matching :meth:`push`."""
+        mark = self.scopes.pop()
+        while len(self.trail) > mark:
+            entry = self.trail.pop()
+            kind = entry[0]
+            if kind == "node":
+                _, term, node_id = entry
+                assert node_id == len(self.nodes) - 1
+                self.nodes.pop()
+                self.parent.pop()
+                self.rank.pop()
+                del self.class_members[node_id]
+                self.use_list.pop(node_id, None)
+                self.diseq.pop(node_id, None)
+                self.class_int.pop(node_id, None)
+                self.class_ctor.pop(node_id, None)
+                self.best_term.pop(node_id, None)
+                fn = term.fn if isinstance(term, App) else None
+                if fn is not None:
+                    self.fn_index[fn].pop()
+                del self.term_to_node[term]
+            elif kind == "sig":
+                _, sig = entry
+                self.sig_table.pop(sig, None)
+            elif kind == "use":
+                _, root = entry
+                self.use_list[root].pop()
+            elif kind == "union":
+                _, ry, rx, old_rank, old_len, old_int, old_ctor, old_best = entry
+                self.parent[ry] = ry
+                self.rank[rx] = old_rank
+                del self.class_members[rx][old_len:]
+                if old_int is None:
+                    self.class_int.pop(rx, None)
+                else:
+                    self.class_int[rx] = old_int
+                if old_ctor is None:
+                    self.class_ctor.pop(rx, None)
+                else:
+                    self.class_ctor[rx] = old_ctor
+                self.best_term[rx] = old_best
+            elif kind == "diseq":
+                _, ra, rb = entry
+                self.diseq[ra].discard(rb)
+                self.diseq[rb].discard(ra)
+            elif kind == "diseq_moved":
+                _, ry, other, rx, was_in_rx = entry
+                self.diseq[other].add(ry)
+                if not was_in_rx:
+                    self.diseq[other].discard(rx)
+                    self.diseq[rx].discard(other)
+            elif kind == "use_merge":
+                _, rx, ry, old_len = entry
+                del self.use_list[rx][old_len:]
+            elif kind == "ctor":
+                _, root, old = entry
+                if old is None:
+                    self.class_ctor.pop(root, None)
+                else:
+                    self.class_ctor[root] = old
+            else:  # pragma: no cover - defensive
+                raise AssertionError(f"unknown trail entry {kind}")
+        self.conflict = None
+
+    # -- queries for E-matching and reporting ---------------------------------------
+
+    def nodes_with_fn(self, fn: str) -> List[int]:
+        """All application nodes with head symbol ``fn`` (live view)."""
+        return self.fn_index.get(fn, [])
+
+    def class_of(self, node_id: int) -> int:
+        return self.find(node_id)
+
+    def members(self, root: int) -> List[int]:
+        return self.class_members[self.find(root)]
+
+    def representative(self, root: int) -> Term:
+        return self.best_term[self.find(root)]
+
+    def node_term(self, node_id: int) -> Term:
+        return self.nodes[node_id].term
+
+    def class_int_value(self, root: int) -> Optional[int]:
+        return self.class_int.get(self.find(root))

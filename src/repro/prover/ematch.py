@@ -1,0 +1,157 @@
+"""E-matching: matching trigger patterns against the E-graph.
+
+Given a (multi-)pattern — a tuple of terms with logic variables — E-matching
+enumerates substitutions ``variable -> equivalence class`` such that each
+pattern term, under the substitution, is congruent to some term already in
+the E-graph.  This is how the prover instantiates universally quantified
+axioms, exactly as in Simplify (Detlefs, Nelson & Saxe).
+
+Bindings map variables to class *roots*; instantiation uses each class's
+small representative term, so instantiated clauses stay readable and do not
+grow unboundedly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.logic.terms import App, IntConst, LVar, Term, free_vars
+from repro.prover.egraph import EGraph
+
+Binding = Dict[str, int]  # variable name -> class root
+
+
+def ematch(egraph: EGraph, patterns: Sequence[Term]) -> List[Binding]:
+    """All bindings under which every pattern matches the E-graph.
+
+    Results are deduplicated by the canonical (variable, class-root) map.
+    """
+    results: List[Binding] = []
+    seen: set = set()
+
+    def go(index: int, binding: Binding) -> None:
+        if index == len(patterns):
+            key = tuple(sorted((v, egraph.find(c)) for v, c in binding.items()))
+            if key not in seen:
+                seen.add(key)
+                results.append(dict(binding))
+            return
+        for extended in _match_anywhere(egraph, patterns[index], binding):
+            go(index + 1, extended)
+
+    go(0, {})
+    return results
+
+
+def _match_anywhere(egraph: EGraph, pattern: Term, binding: Binding) -> Iterator[Binding]:
+    """Match ``pattern`` against any class in the E-graph."""
+    if isinstance(pattern, LVar):
+        # A bare-variable pattern would match every class; triggers never do
+        # this (it is rejected at trigger-selection time).
+        raise ValueError("bare variable used as a trigger pattern")
+    if isinstance(pattern, IntConst):
+        node = egraph.term_to_node.get(pattern)
+        if node is not None:
+            yield binding
+        return
+    for node_id in list(egraph.nodes_with_fn(pattern.fn)):
+        node = egraph.nodes[node_id]
+        if len(node.args) != len(pattern.args):
+            continue
+        yield from _match_args(egraph, pattern.args, node.args, binding)
+
+
+def _match_in_class(egraph: EGraph, pattern: Term, root: int, binding: Binding) -> Iterator[Binding]:
+    """Match ``pattern`` against the equivalence class of ``root``."""
+    root = egraph.find(root)
+    if isinstance(pattern, LVar):
+        bound = binding.get(pattern.name)
+        if bound is None:
+            extended = dict(binding)
+            extended[pattern.name] = root
+            yield extended
+        elif egraph.find(bound) == root:
+            yield binding
+        return
+    if isinstance(pattern, IntConst):
+        if egraph.class_int_value(root) == pattern.value:
+            yield binding
+        return
+    for member in egraph.members(root):
+        node = egraph.nodes[member]
+        if node.fn != pattern.fn or len(node.args) != len(pattern.args):
+            continue
+        yield from _match_args(egraph, pattern.args, node.args, binding)
+
+
+def _match_args(
+    egraph: EGraph,
+    patterns: Tuple[Term, ...],
+    arg_ids: Tuple[int, ...],
+    binding: Binding,
+) -> Iterator[Binding]:
+    if not patterns:
+        yield binding
+        return
+    head, rest = patterns[0], patterns[1:]
+    for extended in _match_in_class(egraph, head, arg_ids[0], binding):
+        yield from _match_args(egraph, rest, arg_ids[1:], extended)
+
+
+def binding_to_terms(egraph: EGraph, binding: Binding) -> Dict[str, Term]:
+    """Resolve a class-level binding to concrete representative terms."""
+    return {v: egraph.representative(root) for v, root in binding.items()}
+
+
+def select_triggers(literal_terms: Sequence[Term], variables: Sequence[str]) -> Tuple[Tuple[Term, ...], ...]:
+    """Choose triggers for a quantified clause with no user-provided ones.
+
+    Strategy (mirroring Simplify's automatic trigger selection):
+
+    1. prefer a single application term that contains every bound variable
+       and is not itself a variable (smallest such term wins);
+    2. otherwise, build one multi-pattern greedily from application terms,
+       adding the term that covers the most uncovered variables.
+    """
+    needed = set(variables)
+    candidates: List[Term] = []
+    for t in literal_terms:
+        for sub in _app_subterms(t):
+            if free_vars(sub) & needed:
+                candidates.append(sub)
+    # Single-term triggers first.
+    full = [c for c in candidates if free_vars(c) >= needed]
+    if full:
+        best = min(full, key=_trigger_order)
+        return ((best,),)
+    # Greedy multi-pattern.
+    covered: set = set()
+    multi: List[Term] = []
+    while covered < needed:
+        best = None
+        best_gain = 0
+        for c in candidates:
+            gain = len((free_vars(c) & needed) - covered)
+            if gain > best_gain or (
+                gain == best_gain and gain > 0 and best is not None and _trigger_order(c) < _trigger_order(best)
+            ):
+                best, best_gain = c, gain
+        if best is None or best_gain == 0:
+            return ()  # cannot cover all variables; clause is uninstantiable
+        multi.append(best)
+        covered |= free_vars(best) & needed
+    return (tuple(multi),)
+
+
+def _trigger_order(t: Term) -> Tuple[int, int, str]:
+    from repro.logic.terms import term_size
+
+    return (term_size(t), len(free_vars(t)), str(t))
+
+
+def _app_subterms(t: Term) -> Iterator[Term]:
+    if isinstance(t, App):
+        if t.args:
+            yield t
+        for a in t.args:
+            yield from _app_subterms(a)

@@ -1,0 +1,16 @@
+"""Testing harnesses: differential interpretation and witness oracles.
+
+These utilities close the loop between the symbolic soundness proofs and the
+concrete semantics: optimizations proven sound by the checker are run on
+random programs and the original and transformed programs are interpreted
+side by side (translation-validation style), and witness predicates proven
+to hold symbolically are re-checked on concrete execution traces.
+"""
+
+from repro.testing.differential import (
+    DifferentialResult,
+    check_equivalence,
+    differential_campaign,
+)
+
+__all__ = ["DifferentialResult", "check_equivalence", "differential_campaign"]

@@ -1,0 +1,19 @@
+"""The automatic soundness checker (paper sections 4 and 5.1).
+
+For each Cobalt transformation pattern the checker generates the
+non-inductive, optimization-specific proof obligations — F1–F3 for forward
+patterns, B1–B3 for backward patterns, F1–F2 for pure analyses — and asks
+the Simplify-style prover (:mod:`repro.prover`) to discharge them against:
+
+* the optimization-independent axioms encoding the IL semantics
+  (:mod:`repro.verify.encode`), and
+* the optimization-dependent axioms generated from the label definitions
+  (:mod:`repro.verify.labels2logic`).
+
+The inductive lifting of these obligations to full soundness (the paper's
+Theorems 1 and 2) is a manual meta-proof; see docs/THEOREMS.md.
+"""
+
+from repro.verify.checker import ObligationResult, SoundnessChecker, SoundnessReport
+
+__all__ = ["ObligationResult", "SoundnessChecker", "SoundnessReport"]

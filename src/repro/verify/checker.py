@@ -1,0 +1,185 @@
+"""The soundness checker: orchestrates obligations and the prover.
+
+``SoundnessChecker.check_optimization(opt)`` verifies, in order:
+
+1. every pure analysis the optimization consumes (semantic labels may only
+   be trusted once their defining analysis is proven sound);
+2. the optimization's transformation pattern (F1–F3 or B1–B3).
+
+A pattern is declared sound only if *every* obligation is proved.  Failed
+obligations carry the prover's counterexample context, which is what made
+the paper's checker useful as a debugging tool (section 6).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cobalt.dsl import BackwardPattern, ForwardPattern, Optimization, PureAnalysis
+from repro.cobalt.labels import LabelRegistry, standard_registry
+from repro.prover import Prover, ProverConfig, Result
+from repro.verify.encode import CONSTRUCTORS, all_axioms
+from repro.verify.obligations import Obligation, ObligationBuilder
+
+
+@dataclass
+class ObligationResult:
+    """Outcome of one obligation."""
+
+    obligation: str
+    proved: bool
+    elapsed_s: float
+    context: List[str] = field(default_factory=list)
+
+
+@dataclass
+class SoundnessReport:
+    """Outcome of checking one pattern or analysis."""
+
+    name: str
+    results: List[ObligationResult] = field(default_factory=list)
+    #: reports for the pure analyses this pattern depends on
+    dependencies: List["SoundnessReport"] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def sound(self) -> bool:
+        if self.error is not None:
+            return False
+        if not all(dep.sound for dep in self.dependencies):
+            return False
+        return bool(self.results) and all(r.proved for r in self.results)
+
+    @property
+    def elapsed_s(self) -> float:
+        own = sum(r.elapsed_s for r in self.results)
+        return own + sum(dep.elapsed_s for dep in self.dependencies)
+
+    def failed_obligations(self) -> List[ObligationResult]:
+        return [r for r in self.results if not r.proved]
+
+    def summary(self) -> str:
+        status = "SOUND" if self.sound else "REJECTED"
+        parts = [f"{self.name}: {status} ({self.elapsed_s:.2f}s)"]
+        for r in self.results:
+            mark = "ok" if r.proved else "FAILED"
+            parts.append(f"  {r.obligation}: {mark} ({r.elapsed_s:.2f}s)")
+        if self.error:
+            parts.append(f"  error: {self.error}")
+        return "\n".join(parts)
+
+
+class SoundnessChecker:
+    """Automatically proves Cobalt optimizations sound (or rejects them)."""
+
+    def __init__(
+        self,
+        registry: Optional[LabelRegistry] = None,
+        *,
+        analyses: Sequence[PureAnalysis] = (),
+        config: Optional[ProverConfig] = None,
+    ) -> None:
+        self.registry = registry or standard_registry()
+        self.semantic_meanings: Dict[str, PureAnalysis] = {
+            a.label_name: a for a in analyses
+        }
+        self.config = config or ProverConfig(timeout_s=300.0)
+        self._prover = Prover(
+            all_axioms(), constructors=CONSTRUCTORS, config=self.config
+        )
+        self._analysis_cache: Dict[str, SoundnessReport] = {}
+
+    # ------------------------------------------------------------------
+
+    def register_analysis(self, analysis: PureAnalysis) -> None:
+        """Make a pure analysis's label available to later patterns."""
+        self.semantic_meanings[analysis.label_name] = analysis
+
+    def _builder(self) -> ObligationBuilder:
+        return ObligationBuilder(self.registry, self.semantic_meanings)
+
+    def _discharge(self, name: str, obligations: Sequence[Obligation]) -> SoundnessReport:
+        from repro.logic.formulas import Eq, Implies, clausify
+        from repro.verify import encode as E
+
+        report = SoundnessReport(name)
+        for ob in obligations:
+            seed_clauses = []
+            for i, seed in enumerate(ob.seeds):
+                seed_clauses.extend(
+                    clausify(seed, origin="case-split-seed", prefix=f"sk_seed{i}_")
+                )
+            # Obligations over an arbitrary statement are discharged one
+            # statement kind at a time: the top level of the case analysis
+            # is performed by the checker, each sub-case by the prover.
+            if ob.split_term is not None:
+                cases = [
+                    (f"{ob.name}[{kind.fn}]", Implies(Eq(E.stmt_kind(ob.split_term), kind), ob.goal))
+                    for kind in E.STMT_KINDS
+                ]
+            else:
+                cases = [(ob.name, ob.goal)]
+            start = time.monotonic()
+            proved = True
+            context: list = []
+            for case_name, goal in cases:
+                result: Result = self._prover.prove(
+                    goal, extra_axioms=seed_clauses, name=f"{name}:{case_name}"
+                )
+                if not result.proved:
+                    proved = False
+                    context = [f"in case {case_name}:"] + result.context
+                    break
+            elapsed = time.monotonic() - start
+            report.results.append(ObligationResult(ob.name, proved, elapsed, context))
+        return report
+
+    # ------------------------------------------------------------------
+
+    def check_pattern(self, pattern) -> SoundnessReport:
+        """Prove a transformation pattern's obligations (no dependencies)."""
+        builder = self._builder()
+        try:
+            if isinstance(pattern, ForwardPattern):
+                obligations = builder.forward_obligations(pattern)
+            elif isinstance(pattern, BackwardPattern):
+                obligations = builder.backward_obligations(pattern)
+            else:
+                raise TypeError(f"not a transformation pattern: {pattern!r}")
+        except Exception as exc:  # translation failures reject the pattern
+            return SoundnessReport(pattern.name, error=str(exc))
+        return self._discharge(pattern.name, obligations)
+
+    def check_analysis(self, analysis: PureAnalysis) -> SoundnessReport:
+        """Prove a pure analysis sound (its label means its witness)."""
+        cached = self._analysis_cache.get(analysis.name)
+        if cached is not None:
+            return cached
+        builder = self._builder()
+        try:
+            obligations = builder.analysis_obligations(analysis)
+        except Exception as exc:
+            report = SoundnessReport(analysis.name, error=str(exc))
+        else:
+            report = self._discharge(analysis.name, obligations)
+        self._analysis_cache[analysis.name] = report
+        if report.sound:
+            self.register_analysis(analysis)
+        return report
+
+    def check_optimization(self, opt: Optimization) -> SoundnessReport:
+        """Prove an optimization sound: its analyses first, then its pattern.
+
+        The profitability heuristic (``opt.choose``) is never examined —
+        this is the paper's key factoring (section 2.3).
+        """
+        dependencies = []
+        for analysis in opt.analyses:
+            self.register_analysis(analysis)
+        for analysis in opt.analyses:
+            dependencies.append(self.check_analysis(analysis))
+        report = self.check_pattern(opt.pattern)
+        report.dependencies = dependencies
+        return report

@@ -1,0 +1,127 @@
+"""Witness inference (paper section 7, future work).
+
+    "We plan to try inferring the witnesses, which are currently provided
+    by the user.  It may be possible to use some simple heuristics to guess
+    a witness from the given transformation pattern.  As a simple example,
+    in the constant propagation example of section 2, the appropriate
+    witness ... is simply the strongest postcondition of the enabling
+    statement Y := C.  Many of the other forward optimizations that we have
+    written also have this property."
+
+This module implements those heuristics.  For forward patterns, candidate
+witnesses are strongest-postcondition sketches of the enabling statement
+shapes found in psi1 (``Y := C`` yields ``eta(Y) = C``; ``Y := Z`` yields
+``eta(Y) = eta(Z)``; ``X := E`` yields ``eta(X) = eta(E)``; ``X := *W``
+yields ``eta(X) = eta(*W)``; ``decl X`` yields ``notPointedTo(X)``), plus
+the trivial witness when the guard is trivial.  For backward patterns the
+rewrite rule drives the guess: removal/insertion of an assignment to ``X``
+yields ``etaOld/X = etaNew/X``.
+
+Candidates are returned most-specific first; :func:`infer_and_check` tries
+them in order against the soundness checker and returns the first pattern
+variant that proves — inference never compromises soundness, because every
+guess is *verified* (the paper's footnote 1: correctness does not depend
+on the witness being right).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Tuple
+
+from repro.il.ast import Assign, Const, Decl, Deref, Var, VarLhs
+from repro.cobalt.dsl import BackwardPattern, ForwardPattern
+from repro.cobalt.guards import GAnd, GCase, GLabel, GNot, GOr, GTrue, Guard
+from repro.cobalt.patterns import ConstPat, ExprPat, VarPat
+from repro.cobalt.witness import (
+    EqualExceptVar,
+    NotPointedTo,
+    TrueWitness,
+    VarEqConst,
+    VarEqExpr,
+    VarEqVar,
+)
+
+
+def _enabling_stmt_patterns(guard: Guard) -> List[object]:
+    """All statement patterns appearing in stmt(...) atoms of psi1."""
+    out: List[object] = []
+
+    def walk(g: Guard) -> None:
+        if isinstance(g, GLabel) and g.name == "stmt":
+            out.append(g.args[0])
+        elif isinstance(g, GNot):
+            walk(g.body)
+        elif isinstance(g, (GAnd, GOr)):
+            for p in g.parts:
+                walk(p)
+        elif isinstance(g, GCase):
+            walk(g.default)
+            for _, arm in g.arms:
+                walk(arm)
+
+    walk(guard)
+    return out
+
+
+def candidate_witnesses(pattern) -> List[object]:
+    """Candidate witnesses, most informative first."""
+    candidates: List[object] = []
+
+    if isinstance(pattern, BackwardPattern):
+        # Removal or insertion of an assignment to X: states equal up to X.
+        for stmt in (pattern.s, pattern.s_new):
+            if isinstance(stmt, Assign) and isinstance(stmt.lhs, VarLhs):
+                leaf = stmt.lhs.var
+                if isinstance(leaf, (VarPat, Var)):
+                    candidates.append(EqualExceptVar(leaf))
+                    break
+        candidates.append(TrueWitness())
+        return _dedupe(candidates)
+
+    # Forward: strongest postcondition of each enabling statement shape.
+    for stmt in _enabling_stmt_patterns(pattern.psi1):
+        if isinstance(stmt, Assign) and isinstance(stmt.lhs, VarLhs):
+            target = stmt.lhs.var
+            rhs = stmt.rhs
+            if not isinstance(target, (VarPat, Var)):
+                continue
+            if isinstance(rhs, (ConstPat, Const)):
+                candidates.append(VarEqConst(target, rhs))
+            elif isinstance(rhs, (VarPat, Var)):
+                candidates.append(VarEqVar(target, rhs))
+            elif isinstance(rhs, Deref):
+                candidates.append(VarEqExpr(target, rhs))
+            elif isinstance(rhs, ExprPat):
+                candidates.append(VarEqExpr(target, rhs))
+        elif isinstance(stmt, Decl):
+            leaf = stmt.var
+            if isinstance(leaf, (VarPat, Var)):
+                candidates.append(NotPointedTo(leaf))
+    candidates.append(TrueWitness())
+    return _dedupe(candidates)
+
+
+def _dedupe(items: List[object]) -> List[object]:
+    out: List[object] = []
+    for item in items:
+        if item not in out:
+            out.append(item)
+    return out
+
+
+def infer_and_check(pattern, checker) -> Tuple[Optional[object], List[Tuple[object, object]]]:
+    """Try candidate witnesses in order; return (first sound variant, trail).
+
+    ``trail`` records every attempted (witness, report) pair.  Returns
+    (None, trail) when no candidate proves — the pattern may be unsound, or
+    simply need a hand-written witness.
+    """
+    trail: List[Tuple[object, object]] = []
+    for witness in candidate_witnesses(pattern):
+        attempt = replace(pattern, witness=witness)
+        report = checker.check_pattern(attempt)
+        trail.append((witness, report))
+        if report.sound:
+            return attempt, trail
+    return None, trail

@@ -1,0 +1,633 @@
+"""Optimization-dependent axioms: translating Cobalt syntax into logic.
+
+This module is the reproduction of the paper's "optimization-dependent
+axioms [that] encode the semantics of user-defined labels and are generated
+automatically from the Cobalt label definitions".  It translates:
+
+* pattern statements/expressions into constructor terms (for rewrite-rule
+  premises) and into *kind + projection* match conditions (for label case
+  arms, which must be negatable without quantifiers);
+* guard formulas ``psi`` into facts about the statement term
+  ``stmtAt(pi, index(eta))`` — and, for semantic labels, about the state
+  ``eta`` itself via the defining analysis's witness;
+* witnesses into state predicates.
+
+Pattern variables of an optimization become Skolem constants with sort
+premises (a pattern constant ``C`` is an integer; an expression variable
+``E`` satisfies the expression-kind exhaustiveness seeded by the obligation
+generator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.il.ast import (
+    AddrOf,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Decl,
+    Deref,
+    DerefLhs,
+    IfGoto,
+    New,
+    Return,
+    Skip,
+    UnOp,
+    Var,
+    VarLhs,
+)
+from repro.logic.formulas import (
+    And,
+    Bottom,
+    Eq,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Pred,
+    Top,
+    conj,
+    disj,
+)
+from repro.logic.terms import App, IntConst, LVar, Term, mk
+from repro.cobalt.dsl import PureAnalysis
+from repro.cobalt.guards import (
+    GAnd,
+    GCase,
+    GEq,
+    GFalse,
+    GLabel,
+    GNot,
+    GOr,
+    GTrue,
+    Guard,
+    guard_leaves,
+)
+from repro.cobalt.labels import CaseLabel, LabelRegistry, NativeLabel, SemanticLabel
+from repro.cobalt.patterns import (
+    ConstPat,
+    ExprPat,
+    IndexPat,
+    OpPat,
+    PStmt,
+    VarPat,
+    Wildcard,
+)
+from repro.cobalt.witness import (
+    Conj,
+    EqualExceptVar,
+    NotPointedTo,
+    TrueWitness,
+    VarEqConst,
+    VarEqExpr,
+    VarEqVar,
+)
+from repro.verify import encode as E
+
+
+class TranslationError(Exception):
+    """Raised when Cobalt syntax has no logical translation."""
+
+
+# ---------------------------------------------------------------------------
+# Pattern-variable environments
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VarMap:
+    """Maps pattern-variable names to Skolem logic terms, with sort facts."""
+
+    entries: Dict[str, Term] = field(default_factory=dict)
+    sort_premises: List[Formula] = field(default_factory=list)
+
+    def term_for(self, leaf: object) -> Term:
+        name = leaf.name  # type: ignore[attr-defined]
+        if name in self.entries:
+            return self.entries[name]
+        if isinstance(leaf, VarPat):
+            term: Term = App(f"pid_{name}")
+        elif isinstance(leaf, ConstPat):
+            term = App(f"pcv_{name}")
+            self.sort_premises.append(E.is_int_val(term))
+        elif isinstance(leaf, ExprPat):
+            term = App(f"pex_{name}")
+        elif isinstance(leaf, OpPat):
+            term = App(f"pop_{name}")
+        elif isinstance(leaf, IndexPat):
+            term = App(f"pix_{name}")
+        else:
+            raise TranslationError(f"not a pattern leaf: {leaf!r}")
+        self.entries[name] = term
+        return term
+
+    def extended(self, local: Dict[str, Term]) -> "VarMap":
+        out = VarMap(dict(self.entries), self.sort_premises)
+        out.entries.update(local)
+        return out
+
+
+def concrete_id(name: str) -> Term:
+    """The logic term for a concrete program-variable identifier."""
+    return App(f"id:{name}")
+
+
+# ---------------------------------------------------------------------------
+# Encoding rewrite-rule statements as constructor terms
+# ---------------------------------------------------------------------------
+
+
+def encode_id(leaf: object, vm: VarMap) -> Term:
+    if isinstance(leaf, VarPat):
+        return vm.term_for(leaf)
+    if isinstance(leaf, Var):
+        return concrete_id(leaf.name)
+    raise TranslationError(f"cannot encode {leaf!r} as an identifier")
+
+
+def encode_op(op: object, vm: VarMap) -> Term:
+    if isinstance(op, OpPat):
+        return vm.term_for(op)
+    if isinstance(op, str):
+        return E.op_const(op)
+    raise TranslationError(f"cannot encode {op!r} as an operator")
+
+
+def encode_index(leaf: object, vm: VarMap) -> Term:
+    if isinstance(leaf, IndexPat):
+        return vm.term_for(leaf)
+    if isinstance(leaf, int):
+        return IntConst(leaf)
+    raise TranslationError(f"cannot encode {leaf!r} as an index")
+
+
+def encode_expr(e: object, vm: VarMap) -> Term:
+    if isinstance(e, ExprPat):
+        return vm.term_for(e)
+    if isinstance(e, (VarPat, Var)):
+        return E.varE(encode_id(e, vm))
+    if isinstance(e, ConstPat):
+        return E.constE(vm.term_for(e))
+    if isinstance(e, Const):
+        return E.constE(IntConst(e.value))
+    if isinstance(e, Deref):
+        return E.derefE(encode_id(e.var, vm))
+    if isinstance(e, AddrOf):
+        return E.addrE(encode_id(e.var, vm))
+    if isinstance(e, UnOp):
+        return E.unopE(encode_op(e.op, vm), encode_expr(e.arg, vm))
+    if isinstance(e, BinOp):
+        return E.binopE(encode_op(e.op, vm), encode_expr(e.left, vm), encode_expr(e.right, vm))
+    raise TranslationError(f"cannot encode expression {e!r}")
+
+
+def encode_stmt(s: PStmt, vm: VarMap) -> Term:
+    """Encode a (wildcard-free) pattern statement as a constructor term."""
+    if isinstance(s, Skip):
+        return E.skipS()
+    if isinstance(s, Decl):
+        return E.declS(encode_id(s.var, vm))
+    if isinstance(s, Assign):
+        if isinstance(s.lhs, VarLhs):
+            lhs = E.lvar(encode_id(s.lhs.var, vm))
+        elif isinstance(s.lhs, DerefLhs):
+            lhs = E.lderef(encode_id(s.lhs.var, vm))
+        else:
+            raise TranslationError("wildcard lhs cannot appear in a rewrite rule")
+        return E.assgn(lhs, encode_expr(s.rhs, vm))
+    if isinstance(s, New):
+        return E.newS(encode_id(s.var, vm))
+    if isinstance(s, Call):
+        return E.callS(encode_id(s.var, vm), encode_expr(s.arg, vm))
+    if isinstance(s, IfGoto):
+        return E.ifgoto(
+            encode_expr(s.cond, vm),
+            encode_index(s.then_index, vm),
+            encode_index(s.else_index, vm),
+        )
+    if isinstance(s, Return):
+        return E.retS(encode_id(s.var, vm))
+    raise TranslationError(f"cannot encode statement {s!r}")
+
+
+# ---------------------------------------------------------------------------
+# Match conditions: kind + projection constraints (quantifier-free)
+# ---------------------------------------------------------------------------
+
+
+def _id_slot(leaf: object, slot: Term, vm: VarMap, local: Dict[str, Term]) -> List[Formula]:
+    if isinstance(leaf, Wildcard):
+        return []
+    if isinstance(leaf, VarPat):
+        if leaf.name in vm.entries:
+            return [Eq(slot, vm.entries[leaf.name])]
+        local[leaf.name] = slot
+        return []
+    if isinstance(leaf, Var):
+        return [Eq(slot, concrete_id(leaf.name))]
+    raise TranslationError(f"bad identifier slot {leaf!r}")
+
+
+def _op_slot(op: object, slot: Term, vm: VarMap, local: Dict[str, Term]) -> List[Formula]:
+    if isinstance(op, Wildcard):
+        return []
+    if isinstance(op, OpPat):
+        if op.name in vm.entries:
+            return [Eq(slot, vm.entries[op.name])]
+        local[op.name] = slot
+        return []
+    if isinstance(op, str):
+        return [Eq(slot, E.op_const(op))]
+    raise TranslationError(f"bad operator slot {op!r}")
+
+
+def _index_slot(leaf: object, slot: Term, vm: VarMap, local: Dict[str, Term]) -> List[Formula]:
+    if isinstance(leaf, Wildcard):
+        return []
+    if isinstance(leaf, IndexPat):
+        if leaf.name in vm.entries:
+            return [Eq(slot, vm.entries[leaf.name])]
+        local[leaf.name] = slot
+        return []
+    if isinstance(leaf, int):
+        return [Eq(slot, IntConst(leaf))]
+    raise TranslationError(f"bad index slot {leaf!r}")
+
+
+def _expr_slot(e: object, slot: Term, vm: VarMap, local: Dict[str, Term]) -> List[Formula]:
+    if isinstance(e, Wildcard):
+        return []
+    if isinstance(e, ExprPat):
+        if e.name in vm.entries:
+            return [Eq(slot, vm.entries[e.name])]
+        local[e.name] = slot
+        return []
+    if isinstance(e, (VarPat, Var)):
+        return [Eq(E.expr_kind(slot), E.EK_VAR)] + _id_slot(e, mk("varId", slot), vm, local)
+    if isinstance(e, ConstPat):
+        out = [Eq(E.expr_kind(slot), E.EK_CONST)]
+        if e.name in vm.entries:
+            out.append(Eq(mk("constArg", slot), vm.entries[e.name]))
+        else:
+            local[e.name] = mk("constArg", slot)
+        return out
+    if isinstance(e, Const):
+        return [Eq(E.expr_kind(slot), E.EK_CONST), Eq(mk("constArg", slot), IntConst(e.value))]
+    if isinstance(e, Deref):
+        return [Eq(E.expr_kind(slot), E.EK_DEREF)] + _id_slot(e.var, mk("derefId", slot), vm, local)
+    if isinstance(e, AddrOf):
+        return [Eq(E.expr_kind(slot), E.EK_ADDR)] + _id_slot(e.var, mk("addrId", slot), vm, local)
+    if isinstance(e, UnOp):
+        return (
+            [Eq(E.expr_kind(slot), E.EK_UNOP)]
+            + _op_slot(e.op, mk("unopOp", slot), vm, local)
+            + _expr_slot(e.arg, mk("unopArg", slot), vm, local)
+        )
+    if isinstance(e, BinOp):
+        return (
+            [Eq(E.expr_kind(slot), E.EK_BINOP)]
+            + _op_slot(e.op, mk("binopOp", slot), vm, local)
+            + _expr_slot(e.left, mk("binopL", slot), vm, local)
+            + _expr_slot(e.right, mk("binopR", slot), vm, local)
+        )
+    raise TranslationError(f"bad expression slot {e!r}")
+
+
+def match_condition(
+    pattern: PStmt, s_term: Term, vm: VarMap
+) -> Tuple[List[Formula], Dict[str, Term]]:
+    """Quantifier-free conditions under which ``s_term`` matches ``pattern``,
+    plus the local bindings (pattern variable -> projection term)."""
+    local: Dict[str, Term] = {}
+    k = E.stmt_kind(s_term)
+    if isinstance(pattern, Skip):
+        return [Eq(k, E.K_SKIP)], local
+    if isinstance(pattern, Decl):
+        return [Eq(k, E.K_DECL)] + _id_slot(pattern.var, mk("declVar", s_term), vm, local), local
+    if isinstance(pattern, Assign):
+        conds = [Eq(k, E.K_ASSGN)]
+        lhs_term = mk("assgnLhs", s_term)
+        if isinstance(pattern.lhs, VarLhs):
+            conds.append(Eq(E.lhs_kind(lhs_term), E.LK_VAR))
+            conds += _id_slot(pattern.lhs.var, mk("lvarId", lhs_term), vm, local)
+        elif isinstance(pattern.lhs, DerefLhs):
+            conds.append(Eq(E.lhs_kind(lhs_term), E.LK_DEREF))
+            conds += _id_slot(pattern.lhs.var, mk("lderefId", lhs_term), vm, local)
+        elif not isinstance(pattern.lhs, Wildcard):
+            raise TranslationError(f"bad lhs pattern {pattern.lhs!r}")
+        conds += _expr_slot(pattern.rhs, mk("assgnRhs", s_term), vm, local)
+        return conds, local
+    if isinstance(pattern, New):
+        return [Eq(k, E.K_NEW)] + _id_slot(pattern.var, mk("newVar", s_term), vm, local), local
+    if isinstance(pattern, Call):
+        conds = [Eq(k, E.K_CALL)]
+        conds += _id_slot(pattern.var, mk("callDest", s_term), vm, local)
+        conds += _expr_slot(pattern.arg, mk("callArg", s_term), vm, local)
+        return conds, local
+    if isinstance(pattern, IfGoto):
+        conds = [Eq(k, E.K_IF)]
+        conds += _expr_slot(pattern.cond, mk("ifCond", s_term), vm, local)
+        conds += _index_slot(pattern.then_index, mk("ifThen", s_term), vm, local)
+        conds += _index_slot(pattern.else_index, mk("ifElse", s_term), vm, local)
+        return conds, local
+    if isinstance(pattern, Return):
+        return [Eq(k, E.K_RET)] + _id_slot(pattern.var, mk("retVar", s_term), vm, local), local
+    raise TranslationError(f"cannot build match condition for {pattern!r}")
+
+
+# ---------------------------------------------------------------------------
+# Guard translation
+# ---------------------------------------------------------------------------
+
+
+class GuardTranslator:
+    """Translates guard truths ``iota |=theta psi`` into logic.
+
+    ``s_term`` is the statement at the node (``stmtAt(pi, index(eta))``);
+    ``eta`` is the state about to execute it (used by semantic labels).
+    """
+
+    def __init__(
+        self,
+        registry: LabelRegistry,
+        vm: VarMap,
+        semantic_meanings: Optional[Dict[str, PureAnalysis]] = None,
+    ) -> None:
+        self.registry = registry
+        self.vm = vm
+        self.semantic_meanings = semantic_meanings or {}
+        self._depth = 0
+
+    # -- terms -------------------------------------------------------------
+
+    def guard_term(self, t: object, vm: VarMap) -> Term:
+        """A guard-level term (label argument / equality operand)."""
+        if isinstance(t, (VarPat, Var)):
+            return encode_id(t, vm) if isinstance(t, Var) else self._pattern_term(t, vm)
+        if isinstance(t, (ConstPat, ExprPat, OpPat, IndexPat)):
+            return self._pattern_term(t, vm)
+        if isinstance(t, Const):
+            return IntConst(t.value)
+        if isinstance(t, int):
+            return IntConst(t)
+        if isinstance(t, str):
+            return E.op_const(t)
+        # Composite expression argument (e.g. Deref(W)).
+        return encode_expr(t, vm)
+
+    def _pattern_term(self, leaf, vm: VarMap) -> Term:
+        if leaf.name in vm.entries:
+            return vm.entries[leaf.name]
+        return vm.term_for(leaf)
+
+    # -- guards ------------------------------------------------------------
+
+    def translate(self, guard: Guard, s_term: Term, eta: Term, vm: Optional[VarMap] = None) -> Formula:
+        vm = vm or self.vm
+        self._depth += 1
+        if self._depth > 64:
+            raise TranslationError("label definitions too deeply nested (cycle?)")
+        try:
+            return self._translate(guard, s_term, eta, vm)
+        finally:
+            self._depth -= 1
+
+    def _translate(self, guard: Guard, s_term: Term, eta: Term, vm: VarMap) -> Formula:
+        if isinstance(guard, GTrue):
+            return Top()
+        if isinstance(guard, GFalse):
+            return Bottom()
+        if isinstance(guard, GNot):
+            return Not(self.translate(guard.body, s_term, eta, vm))
+        if isinstance(guard, GAnd):
+            return conj(tuple(self.translate(p, s_term, eta, vm) for p in guard.parts))
+        if isinstance(guard, GOr):
+            return disj(tuple(self.translate(p, s_term, eta, vm) for p in guard.parts))
+        if isinstance(guard, GEq):
+            return Eq(self.guard_term(guard.lhs, vm), self.guard_term(guard.rhs, vm))
+        if isinstance(guard, GCase):
+            return self._translate_case(guard, s_term, eta, vm)
+        if isinstance(guard, GLabel):
+            return self._translate_label(guard, s_term, eta, vm)
+        raise TranslationError(f"not a guard: {guard!r}")
+
+    def _translate_case(self, case: GCase, s_term: Term, eta: Term, vm: VarMap) -> Formula:
+        branches: List[Formula] = []
+        earlier_conds: List[Formula] = []
+        for pattern, arm in case.arms:
+            conds, local = match_condition(pattern, s_term, vm)
+            arm_vm = vm.extended(local)
+            body = self.translate(arm, s_term, eta, arm_vm)
+            branch = conj(tuple(Not(c) for c in _packaged(earlier_conds)) + tuple(conds) + (body,))
+            branches.append(branch)
+            earlier_conds.append(conj(tuple(conds)))
+        default = self.translate(case.default, s_term, eta, vm)
+        branches.append(conj(tuple(Not(c) for c in _packaged(earlier_conds)) + (default,)))
+        return disj(tuple(branches))
+
+    def _translate_label(self, label: GLabel, s_term: Term, eta: Term, vm: VarMap) -> Formula:
+        name = label.name
+        if name == "stmt":
+            conds, local = match_condition(label.args[0], s_term, vm)
+            if local:
+                raise TranslationError(
+                    f"stmt pattern binds unknown variables {sorted(local)} in a guard"
+                )
+            return conj(tuple(conds))
+        defn = self.registry.lookup(name)
+        if isinstance(defn, CaseLabel):
+            args = tuple(self.guard_term(a, vm) for a in label.args)
+            # Label bodies are scoped to their formal parameters: a fresh
+            # VarMap prevents arm-local pattern variables from capturing
+            # same-named pattern variables of the enclosing optimization.
+            inner_vm = VarMap(dict(zip(defn.params, args)), vm.sort_premises)
+            return self.translate(defn.body, s_term, eta, inner_vm)
+        if isinstance(defn, NativeLabel):
+            args = tuple(self.guard_term(a, vm) for a in label.args)
+            return self._native(name, args, s_term, eta, vm, label)
+        if isinstance(defn, SemanticLabel):
+            analysis = self.semantic_meanings.get(name)
+            if analysis is None:
+                raise TranslationError(
+                    f"semantic label {name} used but no defining analysis was "
+                    f"registered with the checker"
+                )
+            args = tuple(self.guard_term(a, vm) for a in label.args)
+            binding: Dict[str, Term] = {}
+            for formal, actual in zip(analysis.label_args, args):
+                binding[formal.name] = actual  # type: ignore[attr-defined]
+            return witness_to_logic(analysis.witness, (eta,), vm.extended(binding), self)
+        raise TranslationError(f"no translation for label kind {type(defn).__name__}")
+
+    # -- native labels ---------------------------------------------------------
+
+    def _native(
+        self,
+        name: str,
+        args: Tuple[Term, ...],
+        s_term: Term,
+        eta: Term,
+        vm: VarMap,
+        label: GLabel,
+    ) -> Formula:
+        if name == "usesVar":
+            return E.stmt_uses(s_term, args[0])
+        if name == "definesVar":
+            return self._translate_label(
+                GLabel("syntacticDef", label.args), s_term, eta, vm
+            )
+        if name == "exprUses":
+            return E.uses_e(args[0], args[1])
+        if name == "exprMentions":
+            return E.mentions_e(args[0], args[1])
+        if name == "pureExpr":
+            return E.pure_e(args[0])
+        if name == "compoundExpr":
+            return conj(
+                (
+                    Not(Eq(E.expr_kind(args[0]), E.EK_VAR)),
+                    Not(Eq(E.expr_kind(args[0]), E.EK_CONST)),
+                )
+            )
+        if name == "isAddrOf":
+            return conj(
+                (
+                    Eq(E.expr_kind(args[0]), E.EK_ADDR),
+                    Eq(mk("addrId", args[0]), args[1]),
+                )
+            )
+        if name == "unchanged":
+            return self._unchanged(args[0], s_term, eta, vm)
+        raise TranslationError(f"native label {name} has no logic translation")
+
+    def _unchanged(self, e_term: Term, s_term: Term, eta: Term, vm: VarMap) -> Formula:
+        """unchanged(E): no variable mentioned in E is possibly defined, and
+        if E reads memory the statement writes none."""
+        x = LVar("ux")
+        may_def = self._translate_label(GLabel("mayDef", (VarPat("__U"),)), s_term, eta, vm.extended({"__U": x}))
+        per_var = Forall(
+            ("ux",),
+            Implies(E.mentions_e(e_term, x), Not(may_def)),
+            ((Pred("mentionsE", (e_term, x)),),),
+        )
+        memory_safe = disj(
+            (
+                E.pure_e(e_term),
+                Eq(E.stmt_kind(s_term), E.K_SKIP),
+                Eq(E.stmt_kind(s_term), E.K_DECL),
+                Eq(E.stmt_kind(s_term), E.K_IF),
+                Eq(E.stmt_kind(s_term), E.K_RET),
+            )
+        )
+        return conj((per_var, memory_safe))
+
+
+def _packaged(conds: List[Formula]) -> List[Formula]:
+    return [c for c in conds if not isinstance(c, Top)]
+
+
+# ---------------------------------------------------------------------------
+# Witness translation
+# ---------------------------------------------------------------------------
+
+
+def _state_var_value(eta: Term, ident: Term) -> Term:
+    return E.select(E.s_store(eta), E.select(E.s_env(eta), ident))
+
+
+def witness_to_logic(
+    witness: object,
+    etas: Tuple[Term, ...],
+    vm: VarMap,
+    translator: Optional[GuardTranslator] = None,
+) -> Formula:
+    """The logical content of a witness at the given state(s).
+
+    Forward witnesses receive one state; backward witnesses two
+    (``eta_old, eta_new``).
+    """
+    if isinstance(witness, TrueWitness):
+        return Top()
+    if isinstance(witness, Conj):
+        return conj(tuple(witness_to_logic(p, etas, vm, translator) for p in witness.parts))
+    if isinstance(witness, VarEqConst):
+        (eta,) = etas
+        y = _leaf_term(witness.var, vm)
+        c = _leaf_term(witness.const, vm)
+        return Eq(_state_var_value(eta, y), c)
+    if isinstance(witness, VarEqVar):
+        (eta,) = etas
+        lhs = _leaf_term(witness.lhs, vm)
+        rhs = _leaf_term(witness.rhs, vm)
+        return conj(
+            (
+                Eq(_state_var_value(eta, lhs), _state_var_value(eta, rhs)),
+                E.bound_env(E.s_env(eta), lhs),
+                E.bound_env(E.s_env(eta), rhs),
+            )
+        )
+    if isinstance(witness, VarEqExpr):
+        (eta,) = etas
+        x = _leaf_term(witness.var, vm)
+        e = _expr_leaf_term(witness.expr, vm)
+        return conj(
+            (
+                Eq(_state_var_value(eta, x), E.eval_expr(eta, e)),
+                E.bound_env(E.s_env(eta), x),
+            )
+        )
+    if isinstance(witness, NotPointedTo):
+        (eta,) = etas
+        x = _leaf_term(witness.var, vm)
+        return E.npt(E.s_store(eta), E.select(E.s_env(eta), x))
+    if isinstance(witness, EqualExceptVar):
+        eta_old, eta_new = etas
+        x = _leaf_term(witness.var, vm)
+        lx = E.select(E.s_env(eta_old), x)
+        l = LVar("wl")
+        store_agree = Forall(
+            ("wl",),
+            Or(
+                (
+                    Eq(l, lx),
+                    Eq(E.select(E.s_store(eta_old), l), E.select(E.s_store(eta_new), l)),
+                )
+            ),
+            ((E.select(E.s_store(eta_old), l),), (E.select(E.s_store(eta_new), l),)),
+        )
+        return conj(
+            (
+                Eq(E.s_index(eta_old), E.s_index(eta_new)),
+                Eq(E.s_env(eta_old), E.s_env(eta_new)),
+                Eq(E.s_stack(eta_old), E.s_stack(eta_new)),
+                Eq(E.s_mem(eta_old), E.s_mem(eta_new)),
+                E.bound_env(E.s_env(eta_old), x),
+                store_agree,
+            )
+        )
+    raise TranslationError(f"witness {witness!r} has no logic translation")
+
+
+def _leaf_term(leaf: object, vm: VarMap) -> Term:
+    if isinstance(leaf, Var):
+        return concrete_id(leaf.name)
+    if isinstance(leaf, Const):
+        return IntConst(leaf.value)
+    if isinstance(leaf, (VarPat, ConstPat)):
+        if leaf.name in vm.entries:
+            return vm.entries[leaf.name]
+        return vm.term_for(leaf)
+    raise TranslationError(f"bad witness leaf {leaf!r}")
+
+
+def _expr_leaf_term(e: object, vm: VarMap) -> Term:
+    if isinstance(e, ExprPat):
+        if e.name in vm.entries:
+            return vm.entries[e.name]
+        return vm.term_for(e)
+    return encode_expr(e, vm)

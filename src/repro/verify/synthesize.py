@@ -1,0 +1,267 @@
+"""Counterexample program synthesis (paper section 7, future work).
+
+    "When Simplify cannot prove a given proposition, it returns a
+    counterexample context ... An interesting approach would be to use this
+    counterexample context to synthesize a small intermediate-language
+    program that illustrates a potential unsoundness of the given
+    optimization."
+
+This module realizes that idea as a search: for a rejected optimization,
+look for a small concrete program on which *performing the legal
+transformations changes observable behaviour* — turning the symbolic
+rejection into a runnable miscompilation.  The search combines the random
+program generator with shrinking:
+
+1. generate candidate programs (with and without pointers);
+2. compute the pattern's legal transformations; try applying the whole set
+   and each single instance;
+3. interpret original vs. transformed over an input range; any mismatch is
+   a counterexample;
+4. greedily shrink it: repeatedly delete statements (rewriting branch
+   targets) while the mismatch persists.
+
+A rejected-but-semantics-preserving pattern (e.g. a correct transformation
+with a wrong *witness*) has no counterexample program; the search then
+returns None, which is itself informative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.il.ast import IfGoto, Return, Skip
+from repro.il.generator import GeneratorConfig, ProgramGenerator
+from repro.il.printer import proc_to_str
+from repro.il.program import Procedure, Program
+from repro.cobalt.dsl import Optimization
+from repro.cobalt.engine import CobaltEngine, TransformationInstance
+from repro.cobalt.labels import standard_registry
+from repro.testing.differential import check_equivalence
+
+
+@dataclass
+class Counterexample:
+    """A concrete miscompilation witnessing an optimization's unsoundness."""
+
+    original: Program
+    transformed: Program
+    instances: List[TransformationInstance]
+    argument: int
+    original_value: object
+    transformed_outcome: str
+
+    def describe(self) -> str:
+        return (
+            f"main({self.argument}) = {self.original_value!r} in the original "
+            f"but {self.transformed_outcome} after transforming "
+            f"{[i.index for i in self.instances]}\n"
+            f"--- original ---\n{proc_to_str(self.original.main, indices=True)}\n"
+            f"--- transformed ---\n{proc_to_str(self.transformed.main, indices=True)}"
+        )
+
+
+DEFAULT_ARGS = (-2, -1, 0, 1, 2, 3, 7)
+
+
+def _mismatch_for(
+    optimization: Optimization,
+    engine: CobaltEngine,
+    program: Program,
+    args: Sequence[int],
+) -> Optional[Counterexample]:
+    from repro.cobalt.labels import Labeling
+
+    proc = program.main
+    labeling = Labeling()
+    for analysis in optimization.analyses:
+        labeling = labeling.merged_with(
+            engine.run_pure_analysis(analysis, proc, labeling)
+        )
+    delta = engine.legal_transformations(optimization.pattern, proc, labeling)
+    if not delta:
+        return None
+    subsets: List[List[TransformationInstance]] = [list(delta)]
+    if len(delta) > 1:
+        subsets.extend([inst] for inst in delta)
+    for subset in subsets:
+        transformed_proc = engine.apply_pattern(optimization.pattern, proc, subset)
+        transformed = program.with_proc(transformed_proc)
+        mismatch = check_equivalence(program, transformed, args)
+        if mismatch is None:
+            continue
+        return _build_counterexample(program, transformed, subset, args)
+    return None
+
+
+def _build_counterexample(program, transformed, subset, args) -> Counterexample:
+    from repro.testing.differential import _run
+
+    for arg in args:
+        kind, value = _run(program, arg, 50_000)
+        if kind != "value":
+            continue
+        kind2, value2 = _run(transformed, arg, 50_000)
+        if kind2 != "value" or value2 != value:
+            outcome = f"returns {value2!r}" if kind2 == "value" else f"gets {kind2}"
+            return Counterexample(program, transformed, list(subset), arg, value, outcome)
+    raise AssertionError("mismatch vanished while rebuilding the counterexample")
+
+
+#: Library statements that manipulate pointers; ordered first when the
+#: counterexample context mentions pointer machinery.
+_POINTER_SHAPES = ("p := &a", "p := &b", "*p := 0", "*p := 1", "a := *p", "b := *p")
+_SCALAR_SHAPES = ("a := 0", "a := 1", "b := a", "a := b", "b := 0", "a := a + 1", "skip")
+
+#: Context markers -> the shapes they implicate.  The prover's failed-branch
+#: context mentions the statement/lvalue/expression kinds it could not rule
+#: out; those name the interference shape a counterexample needs.
+_HINT_MARKERS = {
+    "LK_DEREF": _POINTER_SHAPES,
+    "EK_ADDR": _POINTER_SHAPES,
+    "EK_DEREF": _POINTER_SHAPES,
+    "NPT": _POINTER_SHAPES,
+    "K_ASSGN": _SCALAR_SHAPES,
+}
+
+
+def hints_from_context(context_lines) -> List[str]:
+    """Statement shapes implicated by a failed obligation's context, most
+    frequently mentioned first (the section 7 'use the counterexample
+    context' idea)."""
+    scores: dict = {}
+    for line in context_lines:
+        for marker, shapes in _HINT_MARKERS.items():
+            if marker in line:
+                for shape in shapes:
+                    scores[shape] = scores.get(shape, 0) + 1
+    return [shape for shape, _ in sorted(scores.items(), key=lambda kv: -kv[1])]
+
+
+def _template_library(hints: Sequence[str] = ()):
+    """A small statement library over three variables; straight-line
+    sequences drawn from it cover the classic interference shapes
+    (overwrites, copies, aliasing pointer stores, loads).  ``hints``
+    (statement texts) are moved to the front, so context-implicated shapes
+    are explored first."""
+    from repro.il.parser import parse_stmt
+
+    texts = list(_SCALAR_SHAPES[:5] + _POINTER_SHAPES + _SCALAR_SHAPES[5:])
+    ordered = [t for t in hints if t in texts] + [t for t in texts if t not in hints]
+    return [parse_stmt(text) for text in ordered]
+
+
+def _template_programs(max_body: int, hints: Sequence[str] = ()):
+    """Straight-line candidate programs: decls, then up to ``max_body``
+    library statements, then return a or b."""
+    import itertools
+
+    from repro.il.ast import Decl, Return, Var
+
+    library = _template_library(hints)
+    decls = (Decl(Var("a")), Decl(Var("b")), Decl(Var("p")))
+    for length in range(1, max_body + 1):
+        for body in itertools.product(library, repeat=length):
+            for result in ("a", "b"):
+                stmts = decls + tuple(body) + (Return(Var(result)),)
+                yield Program((Procedure("main", "n", stmts),))
+
+
+def find_counterexample(
+    optimization: Optimization,
+    *,
+    engine: Optional[CobaltEngine] = None,
+    seeds: Sequence[int] = range(150),
+    args: Sequence[int] = DEFAULT_ARGS,
+    shrink: bool = True,
+    max_template_body: int = 4,
+    context: Sequence[str] = (),
+) -> Optional[Counterexample]:
+    """Search for a program the (rejected) optimization miscompiles.
+
+    Phase 1 enumerates small straight-line templates (quickly pre-filtered
+    to those containing a syntactic match of the rewrite's source
+    statement; ordered by the shapes ``context`` implicates, when the
+    failed obligation's counterexample context is supplied); phase 2 falls
+    back to random generated programs.
+    """
+    from repro.cobalt.patterns import match_stmt
+
+    engine = engine or CobaltEngine(standard_registry())
+    hints = hints_from_context(context)
+
+    for program in _template_programs(max_template_body, hints):
+        proc = program.main
+        if not any(
+            match_stmt(optimization.pattern.s, s) is not None for s in proc.stmts
+        ):
+            continue
+        found = _mismatch_for(optimization, engine, program, args)
+        if found is not None:
+            if shrink:
+                found = shrink_counterexample(optimization, engine, found, args)
+            return found
+
+    configs = [
+        GeneratorConfig(num_stmts=10, num_vars=3),
+        GeneratorConfig(num_stmts=12, num_vars=4, allow_pointers=True),
+        GeneratorConfig(num_stmts=16, num_vars=4, allow_pointers=True, num_branches=3),
+    ]
+    for config in configs:
+        for seed in seeds:
+            program = Program((ProgramGenerator(config, seed=seed).gen_proc(),))
+            found = _mismatch_for(optimization, engine, program, args)
+            if found is not None:
+                if shrink:
+                    found = shrink_counterexample(optimization, engine, found, args)
+                return found
+    return None
+
+
+def shrink_counterexample(
+    optimization: Optimization,
+    engine: CobaltEngine,
+    counterexample: Counterexample,
+    args: Sequence[int] = DEFAULT_ARGS,
+) -> Counterexample:
+    """Greedy statement deletion while the miscompilation persists."""
+    current = counterexample
+    improved = True
+    while improved:
+        improved = False
+        proc = current.original.main
+        for index in range(len(proc.stmts) - 1):  # keep the final return
+            candidate_proc = _delete_stmt(proc, index)
+            if candidate_proc is None:
+                continue
+            candidate = current.original.with_proc(candidate_proc)
+            try:
+                candidate.validate()
+            except Exception:
+                continue
+            found = _mismatch_for(optimization, engine, candidate, args)
+            if found is not None:
+                current = found
+                improved = True
+                break
+    return current
+
+
+def _delete_stmt(proc: Procedure, index: int) -> Optional[Procedure]:
+    """Remove the statement at ``index``, remapping branch targets; None if
+    a branch would be left dangling."""
+    new_stmts = []
+    for i, stmt in enumerate(proc.stmts):
+        if i == index:
+            continue
+        if isinstance(stmt, IfGoto):
+            then_i, else_i = stmt.then_index, stmt.else_index
+            if then_i == index or else_i == index:
+                return None
+            then_i -= 1 if then_i > index else 0
+            else_i -= 1 if else_i > index else 0
+            stmt = IfGoto(stmt.cond, then_i, else_i)
+        new_stmts.append(stmt)
+    if not new_stmts or not isinstance(new_stmts[-1], Return):
+        return None
+    return Procedure(proc.name, proc.param, tuple(new_stmts))

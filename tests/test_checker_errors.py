@@ -1,0 +1,104 @@
+"""Checker error paths: untranslatable patterns are rejected gracefully,
+never accepted and never crashing."""
+
+import pytest
+
+from repro.prover import ProverConfig
+from repro.verify import SoundnessChecker
+from repro.cobalt.dsl import BackwardPattern, ForwardPattern, Optimization
+from repro.cobalt.guards import GLabel, GNot, GTrue
+from repro.cobalt.labels import standard_registry
+from repro.cobalt.patterns import VarPat, parse_pattern_stmt
+from repro.cobalt.witness import EqualExceptVar, TrueWitness, VarEqConst
+from repro.cobalt.patterns import ConstPat
+
+
+@pytest.fixture()
+def checker():
+    return SoundnessChecker(config=ProverConfig(timeout_s=20))
+
+
+class TestGracefulRejection:
+    def test_semantic_label_without_analysis(self, checker):
+        # hasConst consumed but no defining analysis registered: the pattern
+        # must be rejected with an error, not accepted or crashed.
+        pattern = ForwardPattern(
+            name="orphanLabel",
+            psi1=GLabel("hasConst", (VarPat("Y"), ConstPat("C"))),
+            psi2=GTrue(),
+            s=parse_pattern_stmt("X := Y"),
+            s_new=parse_pattern_stmt("X := C"),
+            witness=VarEqConst(VarPat("Y"), ConstPat("C")),
+        )
+        report = checker.check_pattern(pattern)
+        assert not report.sound
+        assert report.error is not None
+
+    def test_unknown_label_rejected(self, checker):
+        pattern = ForwardPattern(
+            name="unknownLabel",
+            psi1=GLabel("noSuchLabel", (VarPat("Y"),)),
+            psi2=GTrue(),
+            s=parse_pattern_stmt("X := Y"),
+            s_new=parse_pattern_stmt("X := Y"),
+            witness=TrueWitness(),
+        )
+        report = checker.check_pattern(pattern)
+        assert not report.sound
+        assert report.error
+
+    def test_wildcard_in_rewrite_rejected(self, checker):
+        pattern = ForwardPattern(
+            name="wildcardRule",
+            psi1=GTrue(),
+            psi2=GTrue(),
+            s=parse_pattern_stmt("X := ..."),
+            s_new=parse_pattern_stmt("skip"),
+            witness=TrueWitness(),
+        )
+        report = checker.check_pattern(pattern)
+        assert not report.sound
+        assert report.error
+
+    def test_report_summary_mentions_error(self, checker):
+        pattern = ForwardPattern(
+            name="broken",
+            psi1=GLabel("noSuchLabel", ()),
+            psi2=GTrue(),
+            s=parse_pattern_stmt("skip"),
+            s_new=parse_pattern_stmt("skip"),
+            witness=TrueWitness(),
+        )
+        report = checker.check_pattern(pattern)
+        assert "error" in report.summary()
+
+    def test_optimization_with_unsound_dependency(self, checker):
+        # An optimization whose pure analysis fails must be rejected even if
+        # its own obligations would prove.
+        from repro.cobalt.dsl import PureAnalysis
+        from repro.cobalt.witness import NotPointedTo
+
+        bogus_analysis = PureAnalysis(
+            name="bogusTaint",
+            psi1=GTrue(),  # nothing establishes the witness
+            psi2=GTrue(),
+            label_name="notTainted",
+            label_args=(VarPat("X"),),
+            witness=NotPointedTo(VarPat("X")),
+        )
+        opt = Optimization(
+            ForwardPattern(
+                name="dependsOnBogus",
+                psi1=GTrue(),
+                psi2=GTrue(),
+                s=parse_pattern_stmt("X := X"),
+                s_new=parse_pattern_stmt("skip"),
+                witness=TrueWitness(),
+            ),
+            analyses=(bogus_analysis,),
+        )
+        report = checker.check_optimization(opt)
+        assert not report.sound
+        assert any(not dep.sound for dep in report.dependencies)
+        # The pattern itself proved; the dependency is what failed.
+        assert all(r.proved for r in report.results)

@@ -1,0 +1,171 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_blocks, split_blocks
+from repro.cobalt.dsl import ForwardPattern, PureAnalysis
+
+GOOD_COBALT = """
+forward optimization cliConstProp {
+  stmt(Y := C)
+  followed by
+  !mayDef(Y)
+  until
+  X := Y  =>  X := C
+  with witness
+  eta(Y) == C
+}
+
+analysis cliTaint {
+  stmt(decl X)
+  followed by
+  !stmt(... := &X)
+  defines
+  notTainted(X)
+  with witness
+  notPointedTo(X)
+}
+"""
+
+BAD_COBALT = """
+forward optimization cliBroken {
+  stmt(Y := C)
+  followed by
+  !syntacticDef(Y)
+  until
+  X := Y  =>  X := C
+  with witness
+  eta(Y) == C
+}
+"""
+
+PROGRAM = """
+main(n) {
+  decl a;
+  decl b;
+  a := 2;
+  b := a;
+  return b;
+}
+"""
+
+
+@pytest.fixture()
+def cobalt_file(tmp_path):
+    path = tmp_path / "opts.cobalt"
+    path.write_text(GOOD_COBALT)
+    return str(path)
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "prog.il"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestBlockSplitting:
+    def test_splits_two_blocks(self):
+        blocks = split_blocks(GOOD_COBALT)
+        assert len(blocks) == 2
+        assert blocks[0].lstrip().startswith("forward optimization")
+        assert blocks[1].lstrip().startswith("analysis")
+
+    def test_parse_blocks_types(self):
+        items = parse_blocks(GOOD_COBALT)
+        assert isinstance(items[0], ForwardPattern)
+        assert isinstance(items[1], PureAnalysis)
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(SystemExit):
+            split_blocks("// nothing here")
+
+
+class TestCheckCommand:
+    def test_check_sound_file(self, cobalt_file, capsys):
+        assert main(["check", cobalt_file]) == 0
+        out = capsys.readouterr().out
+        assert "cliConstProp: SOUND" in out
+        assert "cliTaint: SOUND" in out
+
+    def test_check_unsound_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.cobalt"
+        path.write_text(BAD_COBALT)
+        assert main(["check", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "REJECTED" in out
+        assert "counterexample context" in out
+
+
+class TestWitnessInference:
+    def test_infer_flag_rescues_missing_witness(self, tmp_path, capsys):
+        # Correct guard/rule but a useless witness: plain check fails,
+        # --infer-witness reconstructs eta(Y) == C and proves it.
+        source = """
+        forward optimization lazyConstProp {
+          stmt(Y := C)
+          followed by
+          !mayDef(Y)
+          until
+          X := Y  =>  X := C
+          with witness
+          true
+        }
+        """
+        path = tmp_path / "lazy.cobalt"
+        path.write_text(source)
+        assert main(["check", str(path)]) == 1
+        assert main(["check", str(path), "--infer-witness"]) == 0
+        out = capsys.readouterr().out
+        assert "inferred witness" in out
+
+
+class TestRunCommand:
+    def test_run(self, program_file, capsys):
+        assert main(["run", program_file, "5"]) == 0
+        assert capsys.readouterr().out.strip() == "2"
+
+    def test_run_stuck(self, tmp_path, capsys):
+        path = tmp_path / "stuck.il"
+        path.write_text("main(n) { decl x; x := 1 / n; return x; }")
+        assert main(["run", str(path), "0"]) == 2
+
+
+class TestOptCommand:
+    def test_opt_with_trust(self, program_file, capsys):
+        assert main(["opt", program_file, "--passes", "constProp", "--trust"]) == 0
+        out = capsys.readouterr().out
+        assert "b := 2" in out
+
+    def test_opt_verifies_first(self, program_file, capsys):
+        assert main(["opt", program_file, "--passes", "constProp"]) == 0
+        err = capsys.readouterr().err
+        assert "constProp: sound" in err
+
+    def test_unknown_pass(self, program_file):
+        with pytest.raises(SystemExit):
+            main(["opt", program_file, "--passes", "noSuchPass", "--trust"])
+
+    def test_pipeline(self, program_file, capsys):
+        code = main(
+            [
+                "opt",
+                program_file,
+                "--passes",
+                "constProp,deadAssignElim",
+                "--trust",
+                "--iterate",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "skip" in out  # a := 2 became dead and was removed
+
+
+class TestCounterexampleCommand:
+    def test_synthesizes_for_unsound(self, tmp_path, capsys):
+        path = tmp_path / "bad.cobalt"
+        path.write_text(BAD_COBALT)
+        assert main(["counterexample", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "miscompilation found" in out

@@ -1,0 +1,76 @@
+"""The shipped textual suite (cobalt/suite.cobalt) parses to patterns that
+behave exactly like the library definitions and verify through the CLI."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main, parse_blocks
+from repro.il import parse_program
+from repro.cobalt.dsl import PureAnalysis
+from repro.cobalt.engine import CobaltEngine
+from repro.cobalt.labels import standard_registry
+from repro.opts import const_prop, copy_prop, cse, dae, pre_duplicate, self_assign_removal
+
+SUITE_PATH = Path(__file__).parent.parent / "cobalt" / "suite.cobalt"
+
+LIBRARY = {
+    "constProp": const_prop.pattern,
+    "copyProp": copy_prop.pattern,
+    "cse": cse.pattern,
+    "selfAssignRemoval": self_assign_removal.pattern,
+    "deadAssignElim": dae.pattern,
+    "preDuplicate": pre_duplicate.pattern,
+}
+
+WORKLOAD = """
+main(n) {
+  decl a;
+  decl b;
+  decl c;
+  decl t;
+  a := 2;
+  b := a;
+  t := n + 1;
+  c := n + 1;
+  c := c;
+  t := 9;
+  skip;
+  t := b + 1;
+  return t;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def parsed():
+    return parse_blocks(SUITE_PATH.read_text())
+
+
+class TestSuiteFile:
+    def test_parses_completely(self, parsed):
+        names = [getattr(item, "name") for item in parsed]
+        assert names == [
+            "constProp",
+            "copyProp",
+            "cse",
+            "selfAssignRemoval",
+            "deadAssignElim",
+            "preDuplicate",
+            "taintedness",
+        ]
+        assert isinstance(parsed[-1], PureAnalysis)
+
+    def test_textual_patterns_match_library_behaviour(self, parsed):
+        engine = CobaltEngine(standard_registry())
+        proc = parse_program(WORKLOAD).proc("main")
+        for item in parsed:
+            if isinstance(item, PureAnalysis):
+                continue
+            library = LIBRARY[item.name]
+            assert engine.legal_transformations(item, proc) == (
+                engine.legal_transformations(library, proc)
+            ), f"{item.name} differs from the library version"
+
+    def test_cli_check_proves_whole_file(self):
+        assert main(["--timeout", "120", "check", str(SUITE_PATH)]) == 0

@@ -1,0 +1,108 @@
+"""Composition tests: iterating passes to a global fixpoint uncovers
+mutually-enabling rewrites (the paper's section 5.2 composition story)."""
+
+import pytest
+
+from repro.il import parse_program, run_program
+from repro.il.ast import Assign, Const, Skip, Var, VarLhs
+from repro.il.printer import proc_to_str
+from repro.cobalt.engine import CobaltEngine
+from repro.cobalt.labels import standard_registry
+from repro.opts import (
+    branch_fold,
+    const_branch,
+    const_fold,
+    const_prop,
+    copy_prop,
+    dae,
+    self_assign_removal,
+)
+from repro.opts.algebraic import ALL_ALGEBRAIC
+
+
+@pytest.fixture()
+def engine():
+    return CobaltEngine(standard_registry())
+
+
+STANDARD_PASSES = [const_fold, const_prop, copy_prop, const_branch, dae] + ALL_ALGEBRAIC
+
+
+class TestFixpointComposition:
+    def test_fold_prop_fold_cascade(self, engine):
+        # 2*3 folds to 6; 6 propagates into b := a + 0; + 0 simplifies; the
+        # copy propagates; finally everything but the return chain is dead.
+        proc = parse_program(
+            """
+            main(n) {
+              decl a;
+              decl b;
+              decl c;
+              a := 2 * 3;
+              b := a;
+              c := b + 0;
+              return c;
+            }
+            """
+        ).proc("main")
+        out, counts = engine.run_to_fixpoint(STANDARD_PASSES, proc)
+        assert counts["constFold"] == 1
+        assert counts["constProp"] >= 1
+        assert counts["addZeroRight"] == 1
+        assert counts["deadAssignElim"] >= 2
+        # Every statement before the final constant assignment is dead.
+        assert isinstance(out.stmt_at(3), Skip)
+        assert isinstance(out.stmt_at(4), Skip)
+        assert out.stmt_at(5) == Assign(VarLhs(Var("c")), Const(6))
+        for n in (-1, 0, 9):
+            assert run_program(parse_program(proc_to_str(out)), n) == 6
+
+    def test_constant_branch_cascade(self, engine):
+        # f := 0 makes the branch constant; const_branch + branch_fold turn
+        # it unconditional; dae removes the flag.
+        proc = parse_program(
+            """
+            main(n) {
+              decl f;
+              decl x;
+              f := 0;
+              skip;
+              if f goto 5 else 6;
+              x := 1;
+              x := 2;
+              return x;
+            }
+            """
+        ).proc("main")
+        passes = [const_branch, branch_fold, dae]
+        out, counts = engine.run_to_fixpoint(passes, proc)
+        assert counts["constBranch"] == 1
+        assert counts["branchFold"] == 1
+        branch = out.stmt_at(4)
+        assert branch.then_index == branch.else_index == 6
+        assert counts.get("deadAssignElim", 0) >= 1  # f := 0 now dead
+        for n in (0, 1):
+            assert run_program(parse_program(proc_to_str(out)), n) == 2
+
+    def test_fixpoint_terminates_on_no_op(self, engine):
+        proc = parse_program("main(n) { return n; }").proc("main")
+        out, counts = engine.run_to_fixpoint(STANDARD_PASSES, proc)
+        assert out == proc
+        assert counts == {}
+
+    def test_fixpoint_preserves_semantics_on_random_programs(self, engine):
+        from repro.il.generator import GeneratorConfig, ProgramGenerator
+        from repro.il.program import Program
+        from repro.testing.differential import check_equivalence
+
+        for seed in range(25):
+            generator = ProgramGenerator(GeneratorConfig(num_stmts=12), seed=seed)
+            program = Program((generator.gen_proc(),))
+            out, _ = engine.run_to_fixpoint(STANDARD_PASSES, program.main)
+            mismatch = check_equivalence(
+                program, program.with_proc(out), (-2, 0, 1, 3)
+            )
+            assert mismatch is None, (
+                f"seed {seed}: {mismatch}\n{proc_to_str(program.main, indices=True)}"
+                f"\n->\n{proc_to_str(out, indices=True)}"
+            )

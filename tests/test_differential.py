@@ -1,0 +1,90 @@
+"""Differential testing (experiment E7): optimizations proven sound by the
+checker preserve behaviour on randomly generated programs.
+
+Also includes a meta-test: the harness itself detects the behaviour change
+introduced by a known-unsound transformation, so a silent pass is not an
+artifact of a toothless oracle.
+"""
+
+import pytest
+
+from repro.il.generator import GeneratorConfig
+from repro.testing import differential_campaign
+from repro.opts import (
+    branch_fold,
+    const_fold,
+    const_prop,
+    const_prop_pt,
+    copy_prop,
+    cse,
+    dae,
+    load_elim,
+    self_assign_removal,
+)
+from repro.opts.buggy import assign_removal_overbroad
+
+SEEDS = range(40)
+PTR_CONFIG = GeneratorConfig(allow_pointers=True, num_stmts=14)
+
+
+def assert_clean(result, min_transformations=1):
+    assert result.ok, "\n\n".join(result.mismatches[:3])
+    assert result.transformations >= min_transformations, (
+        "campaign exercised no transformations; tests prove nothing"
+    )
+
+
+class TestForwardOptimizations:
+    def test_const_prop(self):
+        assert_clean(differential_campaign(const_prop, seeds=SEEDS))
+
+    def test_const_prop_with_pointers(self):
+        assert_clean(
+            differential_campaign(const_prop, seeds=SEEDS, config=PTR_CONFIG)
+        )
+
+    def test_const_prop_pointer_aware(self):
+        assert_clean(
+            differential_campaign(const_prop_pt, seeds=SEEDS, config=PTR_CONFIG)
+        )
+
+    def test_copy_prop(self):
+        assert_clean(differential_campaign(copy_prop, seeds=SEEDS))
+
+    def test_const_fold(self):
+        assert_clean(differential_campaign(const_fold, seeds=SEEDS))
+
+    def test_branch_fold(self):
+        # The generator rarely emits constant branch conditions, so seed a
+        # wider net and accept fewer hits.
+        result = differential_campaign(
+            branch_fold, seeds=range(120), config=GeneratorConfig(num_branches=4)
+        )
+        assert result.ok, "\n\n".join(result.mismatches[:3])
+
+    def test_cse(self):
+        assert_clean(differential_campaign(cse, seeds=SEEDS))
+
+    def test_load_elim(self):
+        result = differential_campaign(load_elim, seeds=range(80), config=PTR_CONFIG)
+        assert result.ok, "\n\n".join(result.mismatches[:3])
+
+    def test_self_assign_removal(self):
+        result = differential_campaign(self_assign_removal, seeds=range(80))
+        assert result.ok, "\n\n".join(result.mismatches[:3])
+
+
+class TestBackwardOptimizations:
+    def test_dae(self):
+        assert_clean(differential_campaign(dae, seeds=SEEDS))
+
+    def test_dae_with_pointers(self):
+        assert_clean(differential_campaign(dae, seeds=SEEDS, config=PTR_CONFIG))
+
+
+class TestHarnessSensitivity:
+    def test_unsound_transformation_caught(self):
+        # Removing arbitrary assignments must produce visible mismatches —
+        # otherwise the oracle is too weak to mean anything.
+        result = differential_campaign(assign_removal_overbroad, seeds=range(60))
+        assert result.mismatches

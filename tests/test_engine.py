@@ -1,0 +1,500 @@
+"""Tests for the Cobalt execution engine (paper section 5.2)."""
+
+import pytest
+
+from repro.il import parse_program, run_program
+from repro.il.printer import proc_to_str
+from repro.il.ast import Assign, Const, Skip, Var, VarLhs
+from repro.cobalt.engine import CobaltEngine, InterferenceError
+from repro.cobalt.labels import standard_registry
+from repro.opts import (
+    branch_fold,
+    const_fold,
+    const_prop,
+    const_prop_pt,
+    copy_prop,
+    cse,
+    dae,
+    load_elim,
+    pre_pipeline,
+    self_assign_removal,
+)
+
+
+@pytest.fixture()
+def engine():
+    return CobaltEngine(standard_registry())
+
+
+def main_proc(text):
+    return parse_program(text).proc("main")
+
+
+class TestConstProp:
+    def test_simple_propagation(self, engine):
+        proc = main_proc(
+            """
+            main(n) {
+              decl a;
+              decl c;
+              a := 2;
+              c := a;
+              return c;
+            }
+            """
+        )
+        out, applied = engine.run_optimization(const_prop, proc)
+        assert len(applied) == 1
+        assert out.stmt_at(3) == Assign(VarLhs(Var("c")), Const(2))
+
+    def test_redefinition_kills_fact(self, engine):
+        proc = main_proc(
+            """
+            main(n) {
+              decl a;
+              decl c;
+              a := 2;
+              a := n;
+              c := a;
+              return c;
+            }
+            """
+        )
+        out, applied = engine.run_optimization(const_prop, proc)
+        assert applied == []
+
+    def test_join_requires_both_paths(self, engine):
+        proc = main_proc(
+            """
+            main(n) {
+              decl a;
+              decl c;
+              if n goto 3 else 5;
+              a := 2;
+              if 1 goto 6 else 6;
+              a := 2;
+              c := a;
+              return c;
+            }
+            """
+        )
+        out, applied = engine.run_optimization(const_prop, proc)
+        assert len(applied) == 1  # both paths establish a = 2
+
+    def test_join_with_conflicting_constants(self, engine):
+        proc = main_proc(
+            """
+            main(n) {
+              decl a;
+              decl c;
+              if n goto 3 else 5;
+              a := 2;
+              if 1 goto 6 else 6;
+              a := 3;
+              c := a;
+              return c;
+            }
+            """
+        )
+        out, applied = engine.run_optimization(const_prop, proc)
+        assert applied == []
+
+    def test_pointer_store_kills_conservatively(self, engine):
+        proc = main_proc(
+            """
+            main(n) {
+              decl a;
+              decl p;
+              decl c;
+              a := 2;
+              p := &a;
+              *p := 9;
+              c := a;
+              return c;
+            }
+            """
+        )
+        out, applied = engine.run_optimization(const_prop, proc)
+        assert applied == []
+
+    def test_pointer_aware_variant_survives_unrelated_store(self, engine):
+        # p points to b, never to a, so a := 2 survives *p := 9 under the
+        # pointer-aware mayDefPT but not under conservative mayDef.
+        proc = main_proc(
+            """
+            main(n) {
+              decl a;
+              decl b;
+              decl p;
+              decl c;
+              a := 2;
+              b := 1;
+              p := &b;
+              *p := 9;
+              c := a;
+              return c;
+            }
+            """
+        )
+        __, applied = engine.run_optimization(const_prop, proc)
+        assert applied == []
+        out, applied_pt = engine.run_optimization(const_prop_pt, proc)
+        assert len(applied_pt) == 1
+        assert run_program(parse_program(proc_to_wrapped(out)), 0) == 2
+
+    def test_semantics_preserved(self, engine):
+        proc = main_proc(
+            """
+            main(n) {
+              decl a;
+              decl c;
+              a := 2;
+              c := a;
+              c := c + n;
+              return c;
+            }
+            """
+        )
+        out, _ = engine.run_optimization(const_prop, proc)
+        for arg in (-3, 0, 5):
+            assert run_program(parse_program(proc_to_wrapped(out)), arg) == 2 + arg
+
+
+def proc_to_wrapped(proc):
+    return proc_to_str(proc)
+
+
+class TestFolding:
+    def test_const_fold(self, engine):
+        proc = main_proc(
+            """
+            main(n) {
+              decl a;
+              a := 2 + 3;
+              return a;
+            }
+            """
+        )
+        out, applied = engine.run_optimization(const_fold, proc)
+        assert len(applied) == 1
+        assert out.stmt_at(1) == Assign(VarLhs(Var("a")), Const(5))
+
+    def test_no_fold_division_by_zero(self, engine):
+        proc = main_proc(
+            """
+            main(n) {
+              decl a;
+              a := 1 / 0;
+              return n;
+            }
+            """
+        )
+        out, applied = engine.run_optimization(const_fold, proc)
+        assert applied == []
+
+    def test_entry_statement_not_foldable(self, engine):
+        # The guard quantifies over paths with at least one preceding node;
+        # the entry node has the empty path, so folding never fires there.
+        proc = main_proc(
+            """
+            main(n) {
+              n := 1 + 1;
+              return n;
+            }
+            """
+        )
+        out, applied = engine.run_optimization(const_fold, proc)
+        assert applied == []
+
+    def test_branch_fold(self, engine):
+        proc = main_proc(
+            """
+            main(n) {
+              decl a;
+              a := 1;
+              if 1 goto 4 else 3;
+              a := 2;
+              return a;
+            }
+            """
+        )
+        out, applied = engine.run_optimization(branch_fold, proc)
+        assert len(applied) == 1
+        stmt = out.stmt_at(2)
+        assert stmt.then_index == 4 and stmt.else_index == 4
+
+    def test_fold_then_prop(self, engine):
+        proc = main_proc(
+            """
+            main(n) {
+              decl a;
+              decl b;
+              a := 2 * 3;
+              b := a;
+              return b;
+            }
+            """
+        )
+        out, counts = engine.run_pipeline([const_fold, const_prop], proc)
+        assert counts["constFold"] == 1
+        assert counts["constProp"] == 1
+        assert out.stmt_at(3) == Assign(VarLhs(Var("b")), Const(6))
+
+
+class TestCopyPropAndCse:
+    def test_copy_prop(self, engine):
+        proc = main_proc(
+            """
+            main(n) {
+              decl y;
+              decl x;
+              y := n;
+              x := y;
+              return x;
+            }
+            """
+        )
+        out, applied = engine.run_optimization(copy_prop, proc)
+        assert len(applied) == 1
+        assert out.stmt_at(3) == Assign(VarLhs(Var("x")), Var("n"))
+
+    def test_cse(self, engine):
+        proc = main_proc(
+            """
+            main(n) {
+              decl x;
+              decl y;
+              x := n + 1;
+              y := n + 1;
+              return y;
+            }
+            """
+        )
+        out, applied = engine.run_optimization(cse, proc)
+        assert len(applied) >= 1
+        assert out.stmt_at(3) == Assign(VarLhs(Var("y")), Var("x"))
+
+    def test_cse_killed_by_operand_change(self, engine):
+        proc = main_proc(
+            """
+            main(n) {
+              decl x;
+              decl y;
+              x := n + 1;
+              n := 0;
+              y := n + 1;
+              return y;
+            }
+            """
+        )
+        out, applied = engine.run_optimization(cse, proc)
+        assert applied == []
+
+    def test_load_elim(self, engine):
+        proc = main_proc(
+            """
+            main(n) {
+              decl p;
+              decl x;
+              decl y;
+              p := new;
+              *p := n;
+              x := *p;
+              y := *p;
+              return y;
+            }
+            """
+        )
+        out, applied = engine.run_optimization(load_elim, proc)
+        assert len(applied) == 1
+        assert out.stmt_at(6) == Assign(VarLhs(Var("y")), Var("x"))
+
+    def test_load_elim_respects_intervening_direct_assignment_to_target(self, engine):
+        # q points at b; a direct assignment b := 7 changes *q, so the
+        # second load must not be eliminated (the section 6 bug).
+        proc = main_proc(
+            """
+            main(n) {
+              decl b;
+              decl q;
+              decl x;
+              decl y;
+              b := 1;
+              q := &b;
+              x := *q;
+              b := 7;
+              y := *q;
+              return y;
+            }
+            """
+        )
+        out, applied = engine.run_optimization(load_elim, proc)
+        assert applied == []
+
+
+class TestDae:
+    def test_removes_dead_assignment(self, engine):
+        proc = main_proc(
+            """
+            main(n) {
+              decl x;
+              x := 1;
+              x := 2;
+              return x;
+            }
+            """
+        )
+        out, applied = engine.run_optimization(dae, proc)
+        assert len(applied) == 1
+        assert isinstance(out.stmt_at(1), Skip)
+
+    def test_removes_unreturned_value(self, engine):
+        proc = main_proc(
+            """
+            main(n) {
+              decl x;
+              decl y;
+              y := n;
+              x := y + 1;
+              return y;
+            }
+            """
+        )
+        out, applied = engine.run_optimization(dae, proc)
+        assert any(inst.index == 3 for inst in applied)
+
+    def test_keeps_live_assignment(self, engine):
+        proc = main_proc(
+            """
+            main(n) {
+              decl x;
+              x := 1;
+              x := x + n;
+              return x;
+            }
+            """
+        )
+        out, applied = engine.run_optimization(dae, proc)
+        assert applied == []
+
+    def test_live_on_one_path_only(self, engine):
+        proc = main_proc(
+            """
+            main(n) {
+              decl x;
+              decl y;
+              x := 5;
+              if n goto 4 else 6;
+              y := x;
+              if 1 goto 7 else 7;
+              y := 1;
+              return y;
+            }
+            """
+        )
+        out, applied = engine.run_optimization(dae, proc)
+        assert applied == []  # x live on the true path, y returned
+
+    def test_iterated_dae_removes_chain(self, engine):
+        # y := x is dead only after x's consumer is removed: iterate.
+        from dataclasses import replace
+
+        proc = main_proc(
+            """
+            main(n) {
+              decl x;
+              decl y;
+              x := n;
+              y := x;
+              y := 2;
+              return y;
+            }
+            """
+        )
+        iterating = replace(dae, iterate=True)
+        out, applied = engine.run_optimization(iterating, proc)
+        assert len(applied) == 2
+        assert isinstance(out.stmt_at(2), Skip)
+        assert isinstance(out.stmt_at(3), Skip)
+
+
+class TestPrePipeline:
+    def test_paper_example(self, engine):
+        # The section 2.3 code fragment, in IL form.  The else branch
+        # contains the skip that PRE duplicates x := a + b into.
+        proc = main_proc(
+            """
+            main(n) {
+              decl b;
+              decl a;
+              decl x;
+              b := n;
+              if n goto 5 else 8;
+              a := 1;
+              x := a + b;
+              if 1 goto 9 else 9;
+              skip;
+              x := a + b;
+              return x;
+            }
+            """
+        )
+        baseline = [run_program(parse_program(proc_to_wrapped(proc)), v) for v in (0, 1, 7)]
+        out, counts = engine.run_pipeline(pre_pipeline(), proc)
+        # The skip became x := a + b, and the final assignment collapsed.
+        assert counts["preDuplicate"] >= 1
+        assert counts["cse"] >= 1
+        assert counts["selfAssignRemoval"] >= 1
+        assert isinstance(out.stmt_at(9), Skip)  # x := a + b collapsed away
+        assert str(out.stmt_at(8)) == "x := a + b"  # duplicated into the else leg
+        transformed = [
+            run_program(parse_program(proc_to_wrapped(out)), v) for v in (0, 1, 7)
+        ]
+        assert transformed == baseline
+
+    def test_self_assign_removal(self, engine):
+        proc = main_proc(
+            """
+            main(n) {
+              decl x;
+              x := n;
+              x := x;
+              return x;
+            }
+            """
+        )
+        out, applied = engine.run_optimization(self_assign_removal, proc)
+        assert len(applied) == 1
+        assert isinstance(out.stmt_at(2), Skip)
+
+
+class TestInterference:
+    def test_backward_cannot_use_forward_labels(self, engine):
+        from repro.cobalt.dsl import BackwardPattern, Optimization
+        from repro.cobalt.guards import GLabel, GNot
+        from repro.cobalt.labels import Labeling
+        from repro.cobalt.patterns import VarPat, parse_pattern_stmt
+        from repro.cobalt.witness import EqualExceptVar
+
+        bad = BackwardPattern(
+            name="badBackward",
+            psi1=GLabel("stmt", (parse_pattern_stmt("X := ..."),)),
+            psi2=GNot(GLabel("mayUsePT", (VarPat("X"),))),
+            s=parse_pattern_stmt("X := E"),
+            s_new=parse_pattern_stmt("skip"),
+            witness=EqualExceptVar(VarPat("X")),
+        )
+        proc = main_proc(
+            """
+            main(n) {
+              decl x;
+              x := 1;
+              x := 2;
+              return x;
+            }
+            """
+        )
+        labeling = Labeling()
+        labeling.add(1, "notTainted", (Var("x"),))
+        with pytest.raises(InterferenceError):
+            engine.legal_transformations(bad, proc, labeling)

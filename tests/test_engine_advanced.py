@@ -1,0 +1,322 @@
+"""Engine tests on loops, multi-procedure programs, composition, and the
+profitability-heuristic interface."""
+
+import pytest
+
+from repro.il import parse_program, run_program
+from repro.il.ast import Assign, Const, Skip, Var, VarLhs
+from repro.cobalt.engine import CobaltEngine, TransformationInstance
+from repro.cobalt.labels import standard_registry
+from repro.cobalt.patterns import freeze_subst
+from repro.opts import (
+    const_branch,
+    const_prop,
+    cse,
+    dae,
+    licm_duplicate,
+    pre_pipeline,
+    self_assign_removal,
+)
+from repro.opts.algebraic import add_zero_right, mul_zero_right
+from repro.opts.pre import make_site_chooser, pre_duplicate
+
+
+@pytest.fixture()
+def engine():
+    return CobaltEngine(standard_registry())
+
+
+class TestLoops:
+    def test_const_prop_through_loop(self, engine):
+        # a := 2 dominates the loop; the loop body does not redefine a.
+        proc = parse_program(
+            """
+            main(n) {
+              decl a;
+              decl s;
+              a := 2;
+              s := 0;
+              if n goto 5 else 8;
+              s := s + a;
+              n := n - 1;
+              if n goto 5 else 8;
+              return s;
+            }
+            """
+        ).proc("main")
+        out, applied = engine.run_optimization(const_prop, proc)
+        assert applied == []  # s + a is not an X := Y statement; nothing to do
+        # But a copy of a inside the loop does get rewritten:
+        proc2 = parse_program(
+            """
+            main(n) {
+              decl a;
+              decl t;
+              decl s;
+              a := 2;
+              s := 0;
+              if n goto 6 else 10;
+              t := a;
+              s := s + t;
+              n := n - 1;
+              if n goto 6 else 10;
+              return s;
+            }
+            """
+        ).proc("main")
+        out, applied = engine.run_optimization(const_prop, proc2)
+        assert any(inst.index == 6 for inst in applied)
+        assert out.stmt_at(6) == Assign(VarLhs(Var("t")), Const(2))
+
+    def test_loop_redefinition_kills_fact(self, engine):
+        proc = parse_program(
+            """
+            main(n) {
+              decl a;
+              decl t;
+              a := 2;
+              if n goto 4 else 7;
+              t := a;
+              a := a + 1;
+              if n goto 4 else 7;
+              return t;
+            }
+            """
+        ).proc("main")
+        out, applied = engine.run_optimization(const_prop, proc)
+        assert applied == []  # the back edge carries a redefined a
+
+    def test_dae_in_loop_body(self, engine):
+        # x := 1 inside the loop is overwritten before any use on all paths.
+        proc = parse_program(
+            """
+            main(n) {
+              decl x;
+              x := 0;
+              if n goto 3 else 6;
+              x := 1;
+              x := 2;
+              if 1 goto 6 else 6;
+              return x;
+            }
+            """
+        ).proc("main")
+        out, applied = engine.run_optimization(dae, proc)
+        assert any(inst.index == 3 for inst in applied)
+
+    def test_licm_pipeline_hoists(self, engine):
+        # skip at 3 is the preheader; t := a + b inside the loop is invariant.
+        proc = parse_program(
+            """
+            main(n) {
+              decl a;
+              decl b;
+              decl t;
+              decl s;
+              a := 3;
+              b := 4;
+              s := 0;
+              skip;
+              t := a + b;
+              s := s + t;
+              n := n - 1;
+              if n goto 8 else 12;
+              return s;
+            }
+            """
+        ).proc("main")
+        baseline = [run_program(parse_program(_wrap(proc)), v) for v in (1, 3)]
+        current, applied = engine.run_optimization(licm_duplicate, proc)
+        assert any(inst.index == 7 for inst in applied)  # duplicated into preheader
+        for opt in (cse, self_assign_removal):
+            current, _ = engine.run_optimization(opt, current)
+        assert isinstance(current.stmt_at(8), Skip)  # in-loop computation gone
+        after = [run_program(parse_program(_wrap(current)), v) for v in (1, 3)]
+        assert after == baseline
+
+
+def _wrap(proc):
+    from repro.il.printer import proc_to_str
+
+    return proc_to_str(proc)
+
+
+class TestMultiProcedure:
+    def test_run_on_program_touches_every_procedure(self, engine):
+        program = parse_program(
+            """
+            main(n) {
+              decl a;
+              decl b;
+              a := 1;
+              b := a;
+              return b;
+            }
+            helper(m) {
+              decl c;
+              decl d;
+              c := 2;
+              d := c;
+              return d;
+            }
+            """
+        )
+        out = engine.run_on_program(const_prop, program)
+        assert out.main.stmt_at(3) == Assign(VarLhs(Var("b")), Const(1))
+        assert out.proc("helper").stmt_at(3) == Assign(VarLhs(Var("d")), Const(2))
+
+    def test_calls_kill_facts_conservatively(self, engine):
+        program = parse_program(
+            """
+            main(n) {
+              decl a;
+              decl b;
+              a := 1;
+              b := helper(n);
+              b := a;
+              return b;
+            }
+            helper(m) {
+              return m;
+            }
+            """
+        )
+        out, applied = engine.run_optimization(const_prop, program.main)
+        assert applied == []  # the call may clobber a (conservatively)
+
+
+class TestChooseInterface:
+    def test_site_chooser_limits_applications(self, engine):
+        proc = parse_program(
+            """
+            main(n) {
+              decl a;
+              decl x;
+              decl y;
+              a := 1;
+              x := a;
+              y := a;
+              return y;
+            }
+            """
+        ).proc("main")
+        delta = engine.legal_transformations(const_prop.pattern, proc)
+        assert {inst.index for inst in delta} == {4, 5}
+        from dataclasses import replace
+
+        limited = replace(const_prop, choose=make_site_chooser([4]))
+        out, applied = engine.run_optimization(limited, proc)
+        assert [inst.index for inst in applied] == [4]
+        assert out.stmt_at(5) == Assign(VarLhs(Var("y")), Var("a"))
+
+    def test_choose_cannot_smuggle_extra_sites(self, engine):
+        # Definition 2 intersects choose's output with Delta.
+        proc = parse_program(
+            """
+            main(n) {
+              decl a;
+              decl x;
+              a := 1;
+              x := a;
+              return x;
+            }
+            """
+        ).proc("main")
+
+        def evil_choose(delta, p):
+            bogus = TransformationInstance(0, freeze_subst({"X": Var("x"), "Y": Var("a"), "C": Const(9)}))
+            return list(delta) + [bogus]
+
+        from dataclasses import replace
+
+        evil = replace(const_prop, choose=evil_choose)
+        out, applied = engine.run_optimization(evil, proc)
+        assert all(inst.index != 0 for inst in applied)
+
+    def test_pre_latest_placement(self, engine):
+        # Two legal skips on the same path: only the later one is chosen.
+        proc = parse_program(
+            """
+            main(n) {
+              decl a;
+              decl x;
+              a := 1;
+              skip;
+              skip;
+              x := a + n;
+              return x;
+            }
+            """
+        ).proc("main")
+        delta = engine.legal_transformations(pre_duplicate.pattern, proc)
+        indices = {inst.index for inst in delta if dict(inst.theta).get("X") == Var("x")}
+        assert {3, 4} <= indices
+        chosen = pre_duplicate.choose(delta, proc)
+        chosen_x = [i for i in chosen if dict(i.theta).get("X") == Var("x")]
+        assert all(inst.index == 4 for inst in chosen_x)
+
+
+class TestAlgebraicEngine:
+    def test_add_zero(self, engine):
+        proc = parse_program(
+            """
+            main(n) {
+              decl x;
+              x := n + 0;
+              return x;
+            }
+            """
+        ).proc("main")
+        out, applied = engine.run_optimization(add_zero_right, proc)
+        assert len(applied) == 1
+        assert out.stmt_at(1) == Assign(VarLhs(Var("x")), Var("n"))
+
+    def test_mul_zero(self, engine):
+        proc = parse_program(
+            """
+            main(n) {
+              decl x;
+              x := n * 0;
+              return x;
+            }
+            """
+        ).proc("main")
+        out, applied = engine.run_optimization(mul_zero_right, proc)
+        assert out.stmt_at(1) == Assign(VarLhs(Var("x")), Const(0))
+
+
+class TestConstBranch:
+    def test_branch_on_known_constant(self, engine):
+        proc = parse_program(
+            """
+            main(n) {
+              decl f;
+              decl x;
+              f := 0;
+              if f goto 4 else 5;
+              x := 1;
+              x := 2;
+              return x;
+            }
+            """
+        ).proc("main")
+        out, applied = engine.run_optimization(const_branch, proc)
+        assert len(applied) == 1
+        stmt = out.stmt_at(3)
+        assert stmt.cond == Const(0)
+        assert run_program(parse_program(_wrap(out)), 0) == 2
+
+    def test_redefined_flag_not_rewritten(self, engine):
+        proc = parse_program(
+            """
+            main(n) {
+              decl f;
+              f := 0;
+              f := n;
+              if f goto 4 else 4;
+              return f;
+            }
+            """
+        ).proc("main")
+        out, applied = engine.run_optimization(const_branch, proc)
+        assert applied == []

@@ -1,0 +1,102 @@
+"""Property-based tests tying the guard language's two evaluation modes
+together: everything generate() returns satisfies check(), and every
+fully-enumerated satisfying substitution is generated."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.il.ast import Const, Var
+from repro.il.cfg import Cfg
+from repro.il.generator import GeneratorConfig, ProgramGenerator
+from repro.cobalt.guards import (
+    GAnd,
+    GEq,
+    GLabel,
+    GNot,
+    GOr,
+    GTrue,
+    check,
+    generate,
+    guard_leaves,
+)
+from repro.cobalt.labels import Labeling, NodeCtx, standard_registry
+from repro.cobalt.patterns import ConstPat, VarPat, parse_pattern_stmt
+
+REGISTRY = standard_registry()
+
+GUARDS = [
+    GLabel("stmt", (parse_pattern_stmt("Y := C"),)),
+    GLabel("stmt", (parse_pattern_stmt("X := Y"),)),
+    GLabel("stmt", (parse_pattern_stmt("X := E"),)),
+    GAnd(
+        (
+            GLabel("stmt", (parse_pattern_stmt("Y := C"),)),
+            GNot(GLabel("mayDef", (VarPat("Y"),))),
+        )
+    ),
+    GOr(
+        (
+            GLabel("stmt", (parse_pattern_stmt("decl X"),)),
+            GLabel("stmt", (parse_pattern_stmt("X := new"),)),
+        )
+    ),
+    GAnd(
+        (
+            GLabel("stmt", (parse_pattern_stmt("return ..."),)),
+            GNot(GLabel("mayUse", (VarPat("X"),))),
+        )
+    ),
+    GAnd((GTrue(), GNot(GLabel("usesVar", (VarPat("X"),))))),
+    GAnd(
+        (
+            GLabel("stmt", (parse_pattern_stmt("X := Y"),)),
+            GNot(GEq(VarPat("X"), VarPat("Y"))),
+        )
+    ),
+]
+
+
+@st.composite
+def node_contexts(draw):
+    seed = draw(st.integers(0, 400))
+    config = GeneratorConfig(
+        num_stmts=draw(st.integers(2, 10)),
+        num_vars=draw(st.integers(1, 3)),
+        allow_pointers=draw(st.booleans()),
+    )
+    proc = ProgramGenerator(config, seed=seed).gen_proc()
+    index = draw(st.integers(0, len(proc.stmts) - 1))
+    return NodeCtx(proc, Cfg.build(proc), index, REGISTRY, Labeling())
+
+
+class TestGenerateCheckAgreement:
+    @given(node_contexts(), st.sampled_from(GUARDS))
+    @settings(max_examples=150, deadline=None)
+    def test_generated_bindings_check(self, ctx, guard):
+        for theta in generate(guard, {}, ctx):
+            assert check(guard, theta, ctx)
+
+    @given(node_contexts(), st.sampled_from(GUARDS))
+    @settings(max_examples=60, deadline=None)
+    def test_generation_is_complete(self, ctx, guard):
+        """Brute-force all total substitutions over the finite domains; each
+        one satisfying the guard must be produced by generate()."""
+        leaves = sorted(guard_leaves(guard), key=lambda l: l.name)
+        domains = []
+        for leaf in leaves:
+            if isinstance(leaf, VarPat):
+                domains.append([Var(v) for v in sorted(ctx.proc.mentioned_vars())])
+            elif isinstance(leaf, ConstPat):
+                domains.append([Const(c) for c in sorted(ctx.proc.constants())])
+            else:
+                return  # expression domains are handled by the engine itself
+        generated = {
+            tuple(sorted((k, repr(v)) for k, v in theta.items()))
+            for theta in generate(guard, {}, ctx)
+        }
+        for combo in itertools.product(*domains):
+            theta = {leaf.name: value for leaf, value in zip(leaves, combo)}
+            if check(guard, theta, ctx):
+                key = tuple(sorted((k, repr(v)) for k, v in theta.items()))
+                assert key in generated, f"missing {theta} at node {ctx.index}"

@@ -1,0 +1,88 @@
+"""Tests for witness inference (paper section 7, future work).
+
+The heuristics must reconstruct the hand-written witnesses of the shipped
+suite — and since every guess is verified, inference can never smuggle in
+an unsound optimization."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.prover import ProverConfig
+from repro.verify import SoundnessChecker
+from repro.verify.infer import candidate_witnesses, infer_and_check
+from repro.cobalt.witness import (
+    EqualExceptVar,
+    NotPointedTo,
+    TrueWitness,
+    VarEqConst,
+    VarEqExpr,
+    VarEqVar,
+)
+from repro.opts import const_prop, copy_prop, cse, dae, pre_duplicate, self_assign_removal
+from repro.opts.buggy import const_prop_no_pointers
+
+
+@pytest.fixture(scope="module")
+def checker():
+    return SoundnessChecker(config=ProverConfig(timeout_s=90))
+
+
+class TestCandidateGeneration:
+    def test_const_prop_guesses_strongest_postcondition(self):
+        candidates = candidate_witnesses(const_prop.pattern)
+        assert isinstance(candidates[0], VarEqConst)
+
+    def test_copy_prop_guesses_var_equality(self):
+        candidates = candidate_witnesses(copy_prop.pattern)
+        assert isinstance(candidates[0], VarEqVar)
+
+    def test_cse_guesses_expr_equality(self):
+        candidates = candidate_witnesses(cse.pattern)
+        assert isinstance(candidates[0], VarEqExpr)
+
+    def test_dae_guesses_equal_except(self):
+        candidates = candidate_witnesses(dae.pattern)
+        assert isinstance(candidates[0], EqualExceptVar)
+
+    def test_trivial_always_last_resort(self):
+        for pattern in (const_prop.pattern, dae.pattern):
+            assert isinstance(candidate_witnesses(pattern)[-1], TrueWitness)
+
+
+class TestInferAndCheck:
+    def test_const_prop_without_witness(self, checker):
+        stripped = replace(const_prop.pattern, witness=TrueWitness())
+        inferred, trail = infer_and_check(stripped, checker)
+        assert inferred is not None
+        assert isinstance(inferred.witness, VarEqConst)
+        assert trail[0][1].sound
+
+    def test_copy_prop_without_witness(self, checker):
+        stripped = replace(copy_prop.pattern, witness=TrueWitness())
+        inferred, _ = infer_and_check(stripped, checker)
+        assert inferred is not None
+        assert isinstance(inferred.witness, VarEqVar)
+
+    def test_dae_without_witness(self, checker):
+        stripped = replace(dae.pattern, witness=TrueWitness())
+        inferred, _ = infer_and_check(stripped, checker)
+        assert inferred is not None
+        assert isinstance(inferred.witness, EqualExceptVar)
+
+    def test_pre_duplicate_without_witness(self, checker):
+        stripped = replace(pre_duplicate.pattern, witness=TrueWitness())
+        inferred, _ = infer_and_check(stripped, checker)
+        assert inferred is not None
+        assert isinstance(inferred.witness, EqualExceptVar)
+
+    def test_trivial_guard_gets_trivial_witness(self, checker):
+        inferred, _ = infer_and_check(self_assign_removal.pattern, checker)
+        assert inferred is not None
+        assert isinstance(inferred.witness, TrueWitness)
+
+    def test_unsound_pattern_never_proves(self, checker):
+        # No witness can rescue a genuinely unsound optimization.
+        inferred, trail = infer_and_check(const_prop_no_pointers.pattern, checker)
+        assert inferred is None
+        assert all(not report.sound for _, report in trail)

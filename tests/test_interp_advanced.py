@@ -1,0 +1,254 @@
+"""Interpreter edge cases: frame deallocation, dangling pointers, heap
+sharing across calls, location comparisons, and the intraprocedural step."""
+
+import pytest
+
+from repro.il import Interpreter, parse_program, run_program
+from repro.il.interp import ExecError, Finished, Next, OutOfFuel, Stuck
+from repro.il.state import Loc
+
+
+class TestFrameDeallocation:
+    def test_dangling_pointer_read_is_stuck(self):
+        # leak returns the address of its own local; dereferencing it after
+        # the frame is gone is a run-time error.
+        program = parse_program(
+            """
+            main(n) {
+              decl p;
+              decl x;
+              p := leak(n);
+              x := *p;
+              return x;
+            }
+            leak(m) {
+              decl t;
+              decl q;
+              t := m;
+              q := &t;
+              return q;
+            }
+            """
+        )
+        with pytest.raises(ExecError):
+            run_program(program, 5)
+
+    def test_heap_cell_survives_return(self):
+        program = parse_program(
+            """
+            main(n) {
+              decl p;
+              decl x;
+              p := make(n);
+              x := *p;
+              return x;
+            }
+            make(m) {
+              decl q;
+              q := new;
+              *q := m;
+              return q;
+            }
+            """
+        )
+        assert run_program(program, 11) == 11
+
+    def test_callee_writes_through_caller_pointer(self):
+        program = parse_program(
+            """
+            main(n) {
+              decl x;
+              decl p;
+              decl r;
+              x := 1;
+              p := &x;
+              r := poke(p);
+              return x;
+            }
+            poke(q) {
+              decl z;
+              *q := 99;
+              z := 0;
+              return z;
+            }
+            """
+        )
+        assert run_program(program, 0) == 99
+
+    def test_recursion_frames_are_independent(self):
+        # Each activation's local t gets its own cell.
+        program = parse_program(
+            """
+            main(n) {
+              decl r;
+              r := fact(n);
+              return r;
+            }
+            fact(m) {
+              decl r;
+              decl t;
+              r := 1;
+              if m goto 4 else 7;
+              t := m - 1;
+              r := fact(t);
+              r := r * m;
+              return r;
+            }
+            """
+        )
+        assert run_program(program, 5) == 120
+
+
+class TestLocationValues:
+    def test_pointer_equality(self):
+        program = parse_program(
+            """
+            main(n) {
+              decl x;
+              decl p;
+              decl q;
+              decl r;
+              p := &x;
+              q := &x;
+              r := p == q;
+              return r;
+            }
+            """
+        )
+        assert run_program(program, 0) == 1
+
+    def test_distinct_pointers_unequal(self):
+        program = parse_program(
+            """
+            main(n) {
+              decl x;
+              decl y;
+              decl p;
+              decl q;
+              decl r;
+              p := &x;
+              q := &y;
+              r := p == q;
+              return r;
+            }
+            """
+        )
+        assert run_program(program, 0) == 0
+
+    def test_pointer_arithmetic_is_stuck(self):
+        program = parse_program(
+            """
+            main(n) {
+              decl x;
+              decl p;
+              decl r;
+              p := &x;
+              r := p + 1;
+              return r;
+            }
+            """
+        )
+        with pytest.raises(ExecError):
+            run_program(program, 0)
+
+    def test_returning_pointer_value_from_main(self):
+        program = parse_program(
+            """
+            main(n) {
+              decl p;
+              p := new;
+              return p;
+            }
+            """
+        )
+        assert isinstance(run_program(program, 0), Loc)
+
+
+class TestIntraStep:
+    def test_intra_step_of_noncall_equals_step(self):
+        program = parse_program("main(n) { decl x; x := n; return x; }")
+        interp = Interpreter(program)
+        state = interp.initial_state(3)
+        assert interp.intra_step(state) == interp.step(state)
+
+    def test_failing_call_has_no_intra_transition(self):
+        program = parse_program(
+            """
+            main(n) {
+              decl x;
+              x := crash(n);
+              return x;
+            }
+            crash(m) {
+              decl y;
+              y := 1 / m;
+              return y;
+            }
+            """
+        )
+        interp = Interpreter(program)
+        state = interp.initial_state(0)
+        state = interp.step(state).state  # decl x
+        result = interp.intra_step(state)
+        assert isinstance(result, Stuck)
+
+    def test_diverging_call_has_no_intra_transition(self):
+        program = parse_program(
+            """
+            main(n) {
+              decl x;
+              x := spin(n);
+              return x;
+            }
+            spin(m) {
+              if 1 goto 0 else 1;
+              return m;
+            }
+            """
+        )
+        interp = Interpreter(program)
+        state = interp.step(interp.initial_state(0)).state
+        result = interp.intra_step(state, fuel=500)
+        assert isinstance(result, Stuck)
+
+    def test_intra_step_skips_nested_calls(self):
+        program = parse_program(
+            """
+            main(n) {
+              decl x;
+              x := outer(n);
+              return x;
+            }
+            outer(a) {
+              decl r;
+              r := inner(a);
+              r := r + 1;
+              return r;
+            }
+            inner(b) {
+              decl s;
+              s := b * 2;
+              return s;
+            }
+            """
+        )
+        interp = Interpreter(program)
+        state = interp.step(interp.initial_state(10)).state
+        result = interp.intra_step(state)
+        assert isinstance(result, Next)
+        assert result.state.read_var("x") == 21
+        assert result.state.proc_name == "main"
+
+
+class TestTermination:
+    def test_infinite_loop_out_of_fuel(self):
+        program = parse_program("main(n) { if 1 goto 0 else 1; return n; }")
+        with pytest.raises(OutOfFuel):
+            run_program(program, 0, fuel=200)
+
+    def test_finished_result_has_value(self):
+        program = parse_program("main(n) { return n; }")
+        interp = Interpreter(program)
+        result = interp.step(interp.initial_state(13))
+        assert isinstance(result, Finished)
+        assert result.value == 13

@@ -1,0 +1,202 @@
+"""Unit tests for the Cobalt-to-logic translation layer."""
+
+import pytest
+
+from repro.il.ast import Const, Var
+from repro.logic.formulas import And, Eq, Forall, Implies, Not, Or, Pred, Top, Bottom
+from repro.logic.terms import App, IntConst, mk
+from repro.cobalt.guards import GAnd, GEq, GLabel, GNot, GTrue
+from repro.cobalt.labels import standard_registry
+from repro.cobalt.patterns import ConstPat, ExprPat, VarPat, parse_pattern_stmt
+from repro.cobalt.witness import EqualExceptVar, NotPointedTo, TrueWitness, VarEqConst
+from repro.verify import encode as E
+from repro.verify.labels2logic import (
+    GuardTranslator,
+    TranslationError,
+    VarMap,
+    concrete_id,
+    encode_expr,
+    encode_stmt,
+    match_condition,
+    witness_to_logic,
+)
+
+S = App("S0")  # a statement term
+ETA = App("ETA")
+
+
+@pytest.fixture()
+def vm():
+    return VarMap()
+
+
+@pytest.fixture()
+def translator(vm):
+    return GuardTranslator(standard_registry(), vm)
+
+
+class TestVarMap:
+    def test_var_pattern_gets_identifier_constant(self, vm):
+        term = vm.term_for(VarPat("X"))
+        assert term == App("pid_X")
+        assert vm.term_for(VarPat("X")) == term  # stable
+
+    def test_const_pattern_gets_sort_premise(self, vm):
+        term = vm.term_for(ConstPat("C"))
+        assert term == App("pcv_C")
+        assert E.is_int_val(App("pcv_C")) in vm.sort_premises
+
+    def test_expr_pattern(self, vm):
+        assert vm.term_for(ExprPat("E")) == App("pex_E")
+
+
+class TestEncodeStmt:
+    def test_assignment(self, vm):
+        term = encode_stmt(parse_pattern_stmt("X := Y"), vm)
+        assert term == E.assgn(E.lvar(App("pid_X")), E.varE(App("pid_Y")))
+
+    def test_const_assignment(self, vm):
+        term = encode_stmt(parse_pattern_stmt("X := C"), vm)
+        assert term == E.assgn(E.lvar(App("pid_X")), E.constE(App("pcv_C")))
+
+    def test_concrete_leaves(self, vm):
+        term = encode_stmt(parse_pattern_stmt("x := 5"), vm)
+        assert term == E.assgn(E.lvar(concrete_id("x")), E.constE(IntConst(5)))
+
+    def test_skip(self, vm):
+        assert encode_stmt(parse_pattern_stmt("skip"), vm) == E.skipS()
+
+    def test_binop(self, vm):
+        term = encode_stmt(parse_pattern_stmt("X := C1 OP C2"), vm)
+        assert term == E.assgn(
+            E.lvar(App("pid_X")),
+            E.binopE(App("pop_OP"), E.constE(App("pcv_C1")), E.constE(App("pcv_C2"))),
+        )
+
+    def test_deref_store(self, vm):
+        term = encode_stmt(parse_pattern_stmt("*X := Z"), vm)
+        assert term == E.assgn(E.lderef(App("pid_X")), E.varE(App("pid_Z")))
+
+    def test_wildcard_rejected(self, vm):
+        with pytest.raises(TranslationError):
+            encode_stmt(parse_pattern_stmt("X := ..."), vm)
+
+
+class TestMatchCondition:
+    def test_assignment_shape(self, vm):
+        vm.term_for(VarPat("Y"))
+        conds, local = match_condition(parse_pattern_stmt("Y := C"), S, vm)
+        assert Eq(E.stmt_kind(S), E.K_ASSGN) in conds
+        assert Eq(E.lhs_kind(mk("assgnLhs", S)), E.LK_VAR) in conds
+        # Y is globally bound: equality constraint; C is local: binding.
+        assert Eq(mk("lvarId", mk("assgnLhs", S)), App("pid_Y")) in conds
+        assert local == {"C": mk("constArg", mk("assgnRhs", S))}
+
+    def test_wildcard_produces_no_constraint(self, vm):
+        conds, local = match_condition(parse_pattern_stmt("return ..."), S, vm)
+        assert conds == [Eq(E.stmt_kind(S), E.K_RET)]
+        assert local == {}
+
+    def test_addr_of_pattern(self, vm):
+        vm.term_for(VarPat("X"))
+        conds, local = match_condition(parse_pattern_stmt("... := &X"), S, vm)
+        assert Eq(E.expr_kind(mk("assgnRhs", S)), E.EK_ADDR) in conds
+        assert Eq(mk("addrId", mk("assgnRhs", S)), App("pid_X")) in conds
+        # Wildcard lhs: no lhsKind constraint at all.
+        assert not any("lhsKind" in str(c) for c in conds)
+
+
+class TestGuardTranslation:
+    def test_true_false(self, translator):
+        assert isinstance(translator.translate(GTrue(), S, ETA), Top)
+
+    def test_stmt_label(self, translator, vm):
+        vm.term_for(VarPat("Y"))
+        vm.term_for(ConstPat("C"))
+        guard = GLabel("stmt", (parse_pattern_stmt("Y := C"),))
+        formula = translator.translate(guard, S, ETA)
+        assert isinstance(formula, And)
+        assert Eq(E.stmt_kind(S), E.K_ASSGN) in formula.parts
+
+    def test_negated_stmt_label(self, translator, vm):
+        vm.term_for(VarPat("X"))
+        guard = GNot(GLabel("stmt", (parse_pattern_stmt("... := &X"),)))
+        formula = translator.translate(guard, S, ETA)
+        assert isinstance(formula, Not)
+
+    def test_case_label_no_capture(self, translator, vm):
+        # The optimization's own X must not leak into syntacticDef's arms.
+        x_term = vm.term_for(VarPat("X"))
+        guard = GLabel("syntacticDef", (VarPat("X"),))
+        formula = translator.translate(guard, S, ETA)
+        text = str(formula)
+        # The argument X appears as pid_X; arm-locals appear as projections.
+        assert "pid_X" in text
+        assert "declVar" in text and "lvarId" in text
+
+    def test_equality(self, translator, vm):
+        formula = translator.translate(GEq(VarPat("X"), VarPat("Y")), S, ETA)
+        assert formula == Eq(App("pid_X"), App("pid_Y"))
+
+    def test_semantic_label_requires_registered_analysis(self, translator):
+        guard = GLabel("notTainted", (VarPat("X"),))
+        with pytest.raises(TranslationError):
+            translator.translate(guard, S, ETA)
+
+    def test_semantic_label_uses_analysis_witness(self, vm):
+        from repro.opts import taintedness_analysis
+
+        translator = GuardTranslator(
+            standard_registry(), vm, {"notTainted": taintedness_analysis}
+        )
+        guard = GLabel("notTainted", (VarPat("X"),))
+        formula = translator.translate(guard, S, ETA)
+        assert formula == E.npt(E.s_store(ETA), E.select(E.s_env(ETA), App("pid_X")))
+
+    def test_native_uses_var(self, translator):
+        formula = translator.translate(GLabel("usesVar", (VarPat("X"),)), S, ETA)
+        assert formula == E.stmt_uses(S, App("pid_X"))
+
+    def test_unchanged_has_quantified_core(self, translator, vm):
+        vm.term_for(ExprPat("E"))
+        formula = translator.translate(GLabel("unchanged", (ExprPat("E"),)), S, ETA)
+        assert isinstance(formula, And)
+        assert any(isinstance(p, Forall) for p in formula.parts)
+
+
+class TestWitnessTranslation:
+    def test_true(self, vm):
+        assert isinstance(witness_to_logic(TrueWitness(), (ETA,), vm), Top)
+
+    def test_var_eq_const(self, vm):
+        witness = VarEqConst(VarPat("Y"), ConstPat("C"))
+        formula = witness_to_logic(witness, (ETA,), vm)
+        expected = Eq(
+            E.select(E.s_store(ETA), E.select(E.s_env(ETA), App("pid_Y"))),
+            App("pcv_C"),
+        )
+        assert formula == expected
+
+    def test_concrete_leaves(self, vm):
+        witness = VarEqConst(Var("a"), Const(7))
+        formula = witness_to_logic(witness, (ETA,), vm)
+        assert formula == Eq(
+            E.select(E.s_store(ETA), E.select(E.s_env(ETA), concrete_id("a"))),
+            IntConst(7),
+        )
+
+    def test_not_pointed_to(self, vm):
+        formula = witness_to_logic(NotPointedTo(VarPat("X")), (ETA,), vm)
+        assert formula == E.npt(E.s_store(ETA), E.select(E.s_env(ETA), App("pid_X")))
+
+    def test_equal_except_mentions_both_states(self, vm):
+        eta2 = App("ETA2")
+        formula = witness_to_logic(EqualExceptVar(VarPat("X")), (ETA, eta2), vm)
+        text = str(formula)
+        assert "sIndex(ETA) = sIndex(ETA2)" in text
+        assert "boundEnv" in text
+        assert any(isinstance(p, Forall) for p in formula.parts)
+
+    def test_forward_witness_needs_one_state(self, vm):
+        with pytest.raises(ValueError):
+            witness_to_logic(VarEqConst(VarPat("Y"), ConstPat("C")), (ETA, App("X2")), vm)

@@ -1,0 +1,150 @@
+"""Unit tests for terms, formulas, NNF, skolemization and clausification."""
+
+from repro.logic.formulas import (
+    And,
+    Bottom,
+    Clause,
+    Eq,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Literal,
+    Not,
+    Or,
+    Pred,
+    Top,
+    clausify,
+    conj,
+    disj,
+    formula_free_vars,
+    nnf,
+    skolemize,
+)
+from repro.logic.terms import App, IntConst, LVar, free_vars, is_ground, match, mk, subst
+
+
+class TestTerms:
+    def test_free_vars(self):
+        t = mk("f", LVar("x"), mk("g", LVar("y"), IntConst(3)))
+        assert free_vars(t) == {"x", "y"}
+
+    def test_ground(self):
+        assert is_ground(mk("f", IntConst(1)))
+        assert not is_ground(mk("f", LVar("x")))
+
+    def test_subst(self):
+        t = mk("f", LVar("x"), LVar("y"))
+        out = subst(t, {"x": IntConst(1)})
+        assert out == mk("f", IntConst(1), LVar("y"))
+
+    def test_match_success(self):
+        pattern = mk("f", LVar("x"), LVar("x"))
+        target = mk("f", IntConst(2), IntConst(2))
+        assert match(pattern, target) == {"x": IntConst(2)}
+
+    def test_match_nonlinear_failure(self):
+        pattern = mk("f", LVar("x"), LVar("x"))
+        target = mk("f", IntConst(2), IntConst(3))
+        assert match(pattern, target) is None
+
+    def test_match_mismatched_head(self):
+        assert match(mk("f", LVar("x")), mk("g", IntConst(1))) is None
+
+
+class TestNnf:
+    def test_implies(self):
+        p, q = Pred("p"), Pred("q")
+        out = nnf(Implies(p, q))
+        assert out == Or((Not(p), q))
+
+    def test_negated_and(self):
+        p, q = Pred("p"), Pred("q")
+        out = nnf(Not(And((p, q))))
+        assert out == Or((Not(p), Not(q)))
+
+    def test_negated_forall_becomes_exists(self):
+        body = Pred("p", (LVar("x"),))
+        out = nnf(Not(Forall(("x",), body)))
+        assert isinstance(out, Exists)
+
+    def test_iff_expansion(self):
+        p, q = Pred("p"), Pred("q")
+        out = nnf(Iff(p, q))
+        assert isinstance(out, And)
+
+    def test_double_negation(self):
+        p = Pred("p")
+        assert nnf(Not(Not(p))) == p
+
+
+class TestSkolemize:
+    def test_toplevel_exists_becomes_constant(self):
+        f = Exists(("x",), Pred("p", (LVar("x"),)))
+        out = skolemize(nnf(f))
+        assert isinstance(out, Pred)
+        arg = out.args[0]
+        assert isinstance(arg, App) and not arg.args
+
+    def test_nested_exists_becomes_function(self):
+        f = Forall(("y",), Exists(("x",), Eq(LVar("x"), LVar("y"))))
+        out = skolemize(nnf(f))
+        assert isinstance(out, Forall)
+        body = out.body
+        assert isinstance(body, Eq)
+        assert isinstance(body.lhs, App)
+        assert body.lhs.args == (LVar("y"),)
+
+
+class TestClausify:
+    def test_simple_implication(self):
+        p, q = Pred("p"), Pred("q")
+        clauses = clausify(Implies(p, q))
+        assert len(clauses) == 1
+        lits = clauses[0].literals
+        assert Literal(False, p) in lits and Literal(True, q) in lits
+
+    def test_conjunction_splits(self):
+        p, q = Pred("p"), Pred("q")
+        clauses = clausify(And((p, q)))
+        assert len(clauses) == 2
+
+    def test_distribution(self):
+        p, q, r = Pred("p"), Pred("q"), Pred("r")
+        clauses = clausify(Or((And((p, q)), r)))
+        assert len(clauses) == 2
+        for clause in clauses:
+            assert Literal(True, r) in clause.literals
+
+    def test_tautology_dropped(self):
+        p = Pred("p")
+        clauses = clausify(Or((p, Not(p))))
+        assert clauses == []
+
+    def test_reflexive_equality_dropped(self):
+        t = mk("f", IntConst(1))
+        clauses = clausify(Eq(t, t))
+        assert clauses == []
+
+    def test_negated_goal_with_quantifier(self):
+        goal = Forall(("x",), Implies(Pred("p", (LVar("x"),)), Pred("q", (LVar("x"),))))
+        clauses = clausify(Not(goal))
+        # Skolemized: p(sk) and ~q(sk).
+        assert len(clauses) == 2
+        assert all(c.is_ground() for c in clauses)
+
+    def test_triggers_propagate(self):
+        trig = ((mk("f", LVar("x")),),)
+        f = Forall(("x",), Pred("p", (LVar("x"),)), trig)
+        clauses = clausify(f)
+        assert clauses[0].triggers == trig
+
+    def test_free_vars_helper(self):
+        f = Forall(("x",), Eq(LVar("x"), LVar("y")))
+        assert formula_free_vars(f) == {"y"}
+
+    def test_conj_disj_simplification(self):
+        assert isinstance(conj([]), Top)
+        assert isinstance(disj([]), Bottom)
+        assert isinstance(conj([Top(), Bottom()]), Bottom)
+        assert isinstance(disj([Top(), Bottom()]), Top)

@@ -1,0 +1,144 @@
+"""Structural tests for the obligation generator: the F/B goals have the
+shapes section 4 prescribes."""
+
+import pytest
+
+from repro.logic.formulas import And, Eq, Implies, Not, Or, Pred
+from repro.logic.terms import App, mk
+from repro.cobalt.labels import standard_registry
+from repro.verify import encode as E
+from repro.verify.obligations import (
+    ETA,
+    ETA1,
+    ETA_NEW,
+    ETA_OLD,
+    PI,
+    PIT,
+    Obligation,
+    ObligationBuilder,
+    seeds_for,
+    step_premises,
+)
+from repro.opts import const_fold, const_prop, dae, taintedness_analysis
+
+
+@pytest.fixture()
+def builder():
+    return ObligationBuilder(standard_registry(), {})
+
+
+def _flat(formula):
+    return str(formula)
+
+
+class TestForwardObligations:
+    def test_three_obligations_in_order(self, builder):
+        obs = builder.forward_obligations(const_prop.pattern)
+        assert [ob.name for ob in obs] == ["F1", "F2", "F3"]
+
+    def test_all_are_implications(self, builder):
+        for ob in builder.forward_obligations(const_prop.pattern):
+            assert isinstance(ob.goal, Implies)
+
+    def test_f1_premise_contains_step_and_guard(self, builder):
+        f1 = builder.forward_obligations(const_prop.pattern)[0]
+        text = _flat(f1.goal)
+        assert "stepOK(ETA, PI)" in text
+        assert "stmtKind(stmtAt(PI, sIndex(ETA)))" in text
+        assert "pid_Y" in text and "pcv_C" in text
+
+    def test_f1_conclusion_is_witness_at_post_state(self, builder):
+        f1 = builder.forward_obligations(const_prop.pattern)[0]
+        conclusion = f1.goal.conc
+        assert "ETA1" in _flat(conclusion)
+
+    def test_f3_mentions_both_programs(self, builder):
+        f3 = builder.forward_obligations(const_prop.pattern)[2]
+        text = _flat(f3.goal)
+        assert "stmtAt(PIt" in text and "stmtAt(PI," in text
+        assert "stepOK(ETA, PIt)" in text  # progress conclusion
+
+    def test_split_terms(self, builder):
+        f1, f2, f3 = builder.forward_obligations(const_prop.pattern)
+        scrutinee = E.stmt_at(PI, E.s_index(ETA))
+        assert f1.split_term == scrutinee
+        assert f2.split_term == scrutinee
+        assert f3.split_term is None  # the rewrite fixes the statement shape
+
+    def test_sort_premises_included(self, builder):
+        f1 = builder.forward_obligations(const_prop.pattern)[0]
+        assert "isIntVal(pcv_C)" in _flat(f1.goal)
+
+    def test_return_exclusion(self, builder):
+        f2 = builder.forward_obligations(const_prop.pattern)[1]
+        assert "K_RET" in _flat(f2.goal.hyp)
+
+    def test_computed_premises_for_folding(self, builder):
+        f3 = builder.forward_obligations(const_fold.pattern)[2]
+        text = _flat(f3.goal)
+        assert "applyOp(pop_OP, pcv_C1, pcv_C2)" in text
+        assert "opArgsOK" in text
+
+
+class TestBackwardObligations:
+    def test_three_obligations(self, builder):
+        obs = builder.backward_obligations(dae.pattern)
+        assert [ob.name for ob in obs] == ["B1", "B2", "B3"]
+
+    def test_b1_steps_both_programs_from_same_state(self, builder):
+        b1 = builder.backward_obligations(dae.pattern)[0]
+        text = _flat(b1.goal.hyp)
+        assert "stepOK(ETA, PI)" in text and "stepOK(ETA, PIt)" in text
+        assert "ETAold" in text and "ETAnew" in text
+
+    def test_b2_concludes_transformed_progress(self, builder):
+        b2 = builder.backward_obligations(dae.pattern)[1]
+        assert "stepOK(ETAnew, PIt)" in _flat(b2.goal.conc)
+
+    def test_b2_same_statement_premise(self, builder):
+        b2 = builder.backward_obligations(dae.pattern)[1]
+        text = _flat(b2.goal.hyp)
+        assert "stmtAt(PI, sIndex(ETAold)) = stmtAt(PIt, sIndex(ETAnew))" in text
+
+    def test_b3_merges_traces(self, builder):
+        b3 = builder.backward_obligations(dae.pattern)[2]
+        text = _flat(b3.goal.conc)
+        # eta_new steps in pi' to exactly eta_old's successor.
+        assert "sIndex(ETAold1) = stepIndex(ETAnew, PIt)" in text
+
+    def test_b2_b3_split_over_old_statement(self, builder):
+        _, b2, b3 = builder.backward_obligations(dae.pattern)
+        scrutinee = E.stmt_at(PI, E.s_index(ETA_OLD))
+        assert b2.split_term == scrutinee
+        assert b3.split_term == scrutinee
+
+
+class TestAnalysisObligations:
+    def test_two_obligations_only(self, builder):
+        obs = builder.analysis_obligations(taintedness_analysis)
+        assert [ob.name for ob in obs] == ["F1", "F2"]
+
+    def test_witness_is_npt(self, builder):
+        f1 = builder.analysis_obligations(taintedness_analysis)[0]
+        assert "NPT(" in _flat(f1.goal.conc)
+
+
+class TestSeeds:
+    def test_statement_kind_exhaustiveness(self):
+        s = App("S0")
+        seeds = seeds_for(s)
+        head = _flat(seeds[0])
+        for tag in ("K_SKIP", "K_DECL", "K_ASSGN", "K_NEW", "K_CALL", "K_IF", "K_RET"):
+            assert tag in head
+
+    def test_projection_seeds_are_guarded(self):
+        s = App("S0")
+        seeds = seeds_for(s)
+        for seed in seeds[1:]:
+            assert isinstance(seed, Implies)
+
+    def test_step_premises_cover_all_components(self):
+        premises = step_premises(ETA, ETA1, PI)
+        text = " / ".join(map(_flat, premises))
+        for component in ("stepIndex", "stepEnv", "stepStore", "stepStack", "stepMem"):
+            assert component in text

@@ -1,0 +1,195 @@
+"""Tests for the extended IL: pattern matching and instantiation."""
+
+import pytest
+
+from repro.il.ast import (
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Decl,
+    Deref,
+    DerefLhs,
+    IfGoto,
+    New,
+    Return,
+    Skip,
+    UnOp,
+    Var,
+    VarLhs,
+)
+from repro.il.parser import parse_stmt
+from repro.cobalt.patterns import (
+    ConstPat,
+    ExprPat,
+    IndexPat,
+    OpPat,
+    PatternError,
+    VarPat,
+    Wildcard,
+    instantiate_stmt,
+    match_stmt,
+    parse_pattern_stmt,
+    pattern_vars,
+)
+
+
+class TestPatternParser:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("skip", Skip()),
+            ("decl X", Decl(VarPat("X"))),
+            ("X := Y", Assign(VarLhs(VarPat("X")), VarPat("Y"))),
+            ("Y := C", Assign(VarLhs(VarPat("Y")), ConstPat("C"))),
+            ("X := E", Assign(VarLhs(VarPat("X")), ExprPat("E"))),
+            ("*X := Z", Assign(DerefLhs(VarPat("X")), VarPat("Z"))),
+            ("X := *Y", Assign(VarLhs(VarPat("X")), Deref(VarPat("Y")))),
+            ("X := &Y", Assign(VarLhs(VarPat("X")), __import__("repro.il.ast", fromlist=["AddrOf"]).AddrOf(VarPat("Y")))),
+            ("X := new", New(VarPat("X"))),
+            ("return X", Return(VarPat("X"))),
+            ("return ...", Return(Wildcard())),
+            ("X := ...", Assign(VarLhs(VarPat("X")), Wildcard())),
+            (
+                "X := C1 OP C2",
+                Assign(VarLhs(VarPat("X")), BinOp(OpPat("OP"), ConstPat("C1"), ConstPat("C2"))),
+            ),
+            (
+                "if C goto I1 else I2",
+                IfGoto(ConstPat("C"), IndexPat("I1"), IndexPat("I2")),
+            ),
+            ("X := P(...)", Call(VarPat("X"), Wildcard(), Wildcard())),
+            ("x := y", Assign(VarLhs(Var("x")), Var("y"))),
+            ("... := &X", Assign(Wildcard(), __import__("repro.il.ast", fromlist=["AddrOf"]).AddrOf(VarPat("X")))),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert parse_pattern_stmt(text) == expected
+
+    def test_bad_syntax_raises(self):
+        with pytest.raises(PatternError):
+            parse_pattern_stmt("X := := Y")
+
+    def test_pattern_vars_collected(self):
+        p = parse_pattern_stmt("X := C1 OP C2")
+        assert pattern_vars(p) == {"X", "C1", "OP", "C2"}
+
+
+class TestMatching:
+    def test_assign_var(self):
+        theta = match_stmt(parse_pattern_stmt("X := Y"), parse_stmt("a := b"))
+        assert theta == {"X": Var("a"), "Y": Var("b")}
+
+    def test_assign_const(self):
+        theta = match_stmt(parse_pattern_stmt("Y := C"), parse_stmt("a := 5"))
+        assert theta == {"Y": Var("a"), "C": Const(5)}
+
+    def test_const_pattern_rejects_var(self):
+        assert match_stmt(parse_pattern_stmt("Y := C"), parse_stmt("a := b")) is None
+
+    def test_expr_pattern_matches_anything(self):
+        theta = match_stmt(parse_pattern_stmt("X := E"), parse_stmt("a := b + c"))
+        assert theta == {"X": Var("a"), "E": BinOp("+", Var("b"), Var("c"))}
+
+    def test_nonlinear_pattern(self):
+        p = parse_pattern_stmt("X := X")
+        assert match_stmt(p, parse_stmt("a := a")) == {"X": Var("a")}
+        assert match_stmt(p, parse_stmt("a := b")) is None
+
+    def test_match_respects_existing_binding(self):
+        p = parse_pattern_stmt("X := Y")
+        theta = match_stmt(p, parse_stmt("a := b"), {"Y": Var("b")})
+        assert theta == {"X": Var("a"), "Y": Var("b")}
+        assert match_stmt(p, parse_stmt("a := c"), {"Y": Var("b")}) is None
+
+    def test_wildcard_matches_any_rhs(self):
+        p = parse_pattern_stmt("X := ...")
+        assert match_stmt(p, parse_stmt("a := b + 1")) == {"X": Var("a")}
+        assert match_stmt(p, parse_stmt("a := *p")) == {"X": Var("a")}
+        # But not non-assignments (and not pointer stores).
+        assert match_stmt(p, parse_stmt("skip")) is None
+        assert match_stmt(p, parse_stmt("*a := 1")) is None
+
+    def test_wildcard_lhs_matches_both_forms(self):
+        p = parse_pattern_stmt("... := &X")
+        assert match_stmt(p, parse_stmt("q := &a")) == {"X": Var("a")}
+        assert match_stmt(p, parse_stmt("*q := &a")) == {"X": Var("a")}
+        assert match_stmt(p, parse_stmt("q := a")) is None
+
+    def test_deref_rhs(self):
+        theta = match_stmt(parse_pattern_stmt("X := *W"), parse_stmt("a := *p"))
+        assert theta == {"X": Var("a"), "W": Var("p")}
+
+    def test_call_pattern(self):
+        theta = match_stmt(parse_pattern_stmt("X := P(...)"), parse_stmt("a := foo(b)"))
+        assert theta == {"X": Var("a")}
+
+    def test_branch_pattern(self):
+        theta = match_stmt(
+            parse_pattern_stmt("if C goto I1 else I2"), parse_stmt("if 3 goto 1 else 2")
+        )
+        assert theta == {"C": Const(3), "I1": 1, "I2": 2}
+        assert (
+            match_stmt(parse_pattern_stmt("if C goto I1 else I2"), parse_stmt("if x goto 1 else 2"))
+            is None
+        )
+
+    def test_operator_pattern(self):
+        theta = match_stmt(parse_pattern_stmt("X := C1 OP C2"), parse_stmt("a := 1 + 2"))
+        assert theta == {"X": Var("a"), "C1": Const(1), "OP": "+", "C2": Const(2)}
+
+    def test_concrete_leaves(self):
+        p = parse_pattern_stmt("x := Y")
+        assert match_stmt(p, parse_stmt("x := b")) == {"Y": Var("b")}
+        assert match_stmt(p, parse_stmt("z := b")) is None
+
+
+class TestInstantiation:
+    def test_roundtrip(self):
+        p = parse_pattern_stmt("X := Y")
+        s = parse_stmt("a := b")
+        theta = match_stmt(p, s)
+        assert instantiate_stmt(p, theta) == s
+
+    def test_rewrite(self):
+        theta = {"X": Var("a"), "C": Const(7)}
+        out = instantiate_stmt(parse_pattern_stmt("X := C"), theta)
+        assert out == parse_stmt("a := 7")
+
+    def test_unbound_raises(self):
+        with pytest.raises(PatternError):
+            instantiate_stmt(parse_pattern_stmt("X := C"), {"X": Var("a")})
+
+    def test_wrong_sort_raises(self):
+        with pytest.raises(PatternError):
+            instantiate_stmt(parse_pattern_stmt("X := C"), {"X": Var("a"), "C": Var("b")})
+
+    def test_skip_instantiates_to_itself(self):
+        assert instantiate_stmt(Skip(), {}) == Skip()
+
+    def test_branch_instantiation(self):
+        theta = {"C": Const(0), "I1": 4, "I2": 9}
+        out = instantiate_stmt(parse_pattern_stmt("if C goto I1 else I2"), theta)
+        assert out == IfGoto(Const(0), 4, 9)
+
+    @pytest.mark.parametrize(
+        "pattern,stmt",
+        [
+            ("X := Y", "a := b"),
+            ("Y := C", "v := 42"),
+            ("X := E", "r := p + q"),
+            ("*X := Z", "*p := v"),
+            ("X := *Y", "v := *p"),
+            ("X := new", "p := new"),
+            ("decl X", "decl t"),
+            ("return X", "return r"),
+            ("X := C1 OP C2", "a := 6 * 7"),
+            ("if C goto I1 else I2", "if 1 goto 2 else 3"),
+        ],
+    )
+    def test_match_then_instantiate_is_identity(self, pattern, stmt):
+        p = parse_pattern_stmt(pattern)
+        s = parse_stmt(stmt)
+        theta = match_stmt(p, s)
+        assert theta is not None
+        assert instantiate_stmt(p, theta) == s

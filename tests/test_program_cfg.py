@@ -1,0 +1,188 @@
+"""Structural tests: Program/Procedure validation, indexing, and CFGs."""
+
+import pytest
+
+from repro.il.ast import Assign, Const, IfGoto, Return, Skip, Var, VarLhs
+from repro.il.cfg import Cfg
+from repro.il.parser import ParseError, parse_program, parse_proc
+from repro.il.printer import proc_to_str, program_to_str
+from repro.il.program import MAIN, Procedure, Program, ProgramError
+
+
+def proc(text):
+    return parse_program(text).proc("main")
+
+
+class TestValidation:
+    def test_missing_main(self):
+        with pytest.raises(ProgramError):
+            parse_program("foo(x) { return x; }")
+
+    def test_last_statement_must_return(self):
+        with pytest.raises(ProgramError):
+            parse_program("main(n) { n := 1; }")
+
+    def test_branch_target_bounds(self):
+        with pytest.raises(ProgramError):
+            parse_program("main(n) { if n goto 9 else 0; return n; }")
+
+    def test_duplicate_decl(self):
+        with pytest.raises(ProgramError):
+            parse_program("main(n) { decl x; decl x; return n; }")
+
+    def test_param_shadowing(self):
+        with pytest.raises(ProgramError):
+            parse_program("main(n) { decl n; return n; }")
+
+    def test_undefined_callee(self):
+        with pytest.raises(ProgramError):
+            parse_program("main(n) { decl x; x := nosuch(n); return x; }")
+
+    def test_duplicate_proc_names(self):
+        with pytest.raises(ProgramError):
+            parse_program("main(n) { return n; } main(n) { return n; }")
+
+    def test_stmt_at_bounds(self):
+        p = proc("main(n) { return n; }")
+        with pytest.raises(ProgramError):
+            p.stmt_at(5)
+
+
+class TestAccessors:
+    def test_indices_and_exits(self):
+        p = proc(
+            """
+            main(n) {
+              decl x;
+              if n goto 2 else 3;
+              return n;
+              return x;
+            }
+            """
+        )
+        assert list(p.indices()) == [0, 1, 2, 3]
+        assert p.exit_indices() == (2, 3)
+
+    def test_local_vars(self):
+        p = proc("main(n) { decl a; decl b; return a; }")
+        assert p.local_vars() == ("n", "a", "b")
+
+    def test_constants(self):
+        p = proc("main(n) { decl a; a := 1 + 2; if 7 goto 3 else 3; return a; }")
+        assert p.constants() == frozenset({1, 2, 7})
+
+    def test_with_stmt_replaces_one(self):
+        p = proc("main(n) { decl a; a := 1; return a; }")
+        q = p.with_stmt(1, Skip())
+        assert isinstance(q.stmt_at(1), Skip)
+        assert q.stmt_at(0) == p.stmt_at(0)
+        assert isinstance(p.stmt_at(1), Assign)  # original untouched
+
+    def test_with_proc_replaces(self):
+        program = parse_program("main(n) { return n; } foo(x) { return x; }")
+        new_main = Procedure(MAIN, "n", (Skip(), Return(Var("n"))))
+        out = program.with_proc(new_main)
+        assert len(out.main.stmts) == 2
+        assert out.proc("foo") == program.proc("foo")
+
+
+class TestCfg:
+    def test_straight_line(self):
+        cfg = Cfg.build(proc("main(n) { decl a; a := 1; return a; }"))
+        assert cfg.successors(0) == (1,)
+        assert cfg.successors(1) == (2,)
+        assert cfg.successors(2) == ()
+        assert cfg.predecessors(2) == (1,)
+
+    def test_branch_edges(self):
+        cfg = Cfg.build(
+            proc("main(n) { if n goto 1 else 2; return n; return n; }")
+        )
+        assert cfg.successors(0) == (1, 2)
+        assert cfg.predecessors(1) == (0,)
+        assert cfg.predecessors(2) == (0,)
+
+    def test_self_loop(self):
+        cfg = Cfg.build(proc("main(n) { if n goto 0 else 1; return n; }"))
+        assert 0 in cfg.successors(0)
+        assert 0 in cfg.predecessors(0)
+
+    def test_reachability(self):
+        cfg = Cfg.build(
+            proc(
+                """
+                main(n) {
+                  if 1 goto 2 else 2;
+                  n := 9;
+                  return n;
+                }
+                """
+            )
+        )
+        assert cfg.reachable_from_entry() == frozenset({0, 2})
+        assert cfg.reaching_exit() == frozenset({0, 1, 2})
+
+    def test_paths_enumeration(self):
+        cfg = Cfg.build(
+            proc(
+                """
+                main(n) {
+                  if n goto 1 else 2;
+                  return n;
+                  return n;
+                }
+                """
+            )
+        )
+        paths = cfg.paths_to(1, max_len=10)
+        assert paths == [(0, 1)]
+        paths_out = cfg.paths_from(0, max_len=10)
+        assert sorted(paths_out) == [(0, 1), (0, 2)]
+
+
+class TestPrinterRoundTrip:
+    def test_indices_comment_mode(self):
+        p = proc("main(n) { decl a; return n; }")
+        text = proc_to_str(p, indices=True)
+        assert "/*   0 */" in text
+
+    def test_multi_proc_roundtrip(self):
+        program = parse_program(
+            """
+            main(n) {
+              decl x;
+              x := helper(n);
+              return x;
+            }
+            helper(a) {
+              decl t;
+              t := a * a;
+              return t;
+            }
+            """
+        )
+        assert parse_program(program_to_str(program)) == program
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "main(n) { return n }",  # missing semicolon
+            "main n { return n; }",  # missing parens
+            "main(n) { x ::= 1; return n; }",
+            "main(n) { @ ; return n; }",
+            "main(n) { decl 5; return n; }",
+        ],
+    )
+    def test_bad_syntax(self, text):
+        with pytest.raises(ParseError):
+            parse_program(text)
+
+    def test_error_carries_location(self):
+        try:
+            parse_program("main(n) {\n  decl 5;\n  return n;\n}")
+        except ParseError as e:
+            assert "line 2" in str(e)
+        else:
+            pytest.fail("expected ParseError")

@@ -1,0 +1,211 @@
+"""Tests for the refutation prover: propositional reasoning, equality,
+quantifier instantiation, and the select/update map theory the soundness
+checker relies on."""
+
+from repro.logic.formulas import (
+    And,
+    Eq,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    Pred,
+)
+from repro.logic.terms import App, IntConst, LVar, mk
+from repro.prover import Prover, ProverConfig
+
+a, b, c, d = App("a"), App("b"), App("c"), App("d")
+x, y, z = LVar("x"), LVar("y"), LVar("z")
+
+
+def prove(goal, axioms=(), constructors=(), **kw):
+    prover = Prover(list(axioms), constructors=constructors)
+    return prover.prove(goal, **kw)
+
+
+class TestPropositional:
+    def test_modus_ponens(self):
+        p, q = Pred("p"), Pred("q")
+        result = prove(q, axioms=[p, Implies(p, q)])
+        assert result.proved
+
+    def test_unprovable(self):
+        p, q = Pred("p"), Pred("q")
+        result = prove(q, axioms=[p])
+        assert not result.proved
+        assert result.context  # counterexample context reported
+
+    def test_case_split(self):
+        p, q, r = Pred("p"), Pred("q"), Pred("r")
+        axioms = [Or((p, q)), Implies(p, r), Implies(q, r)]
+        assert prove(r, axioms=axioms).proved
+
+    def test_deep_split(self):
+        # Chain of forced case splits, all leading to the goal.
+        preds = [Pred(f"p{i}") for i in range(6)]
+        goal = Pred("goal")
+        axioms = [Or((preds[0], preds[1]))]
+        axioms += [Implies(p, goal) for p in preds]
+        axioms += [Or((preds[2], preds[3])), Or((preds[4], preds[5]))]
+        assert prove(goal, axioms=axioms).proved
+
+    def test_excluded_middle(self):
+        p = Pred("p")
+        assert prove(Or((p, Not(p)))).proved
+
+
+class TestEquality:
+    def test_symmetry_transitivity(self):
+        axioms = [Eq(a, b), Eq(c, b)]
+        assert prove(Eq(a, c), axioms=axioms).proved
+
+    def test_congruence(self):
+        axioms = [Eq(a, b)]
+        assert prove(Eq(mk("f", a), mk("f", b)), axioms=axioms).proved
+
+    def test_disequality(self):
+        axioms = [Eq(a, b), Not(Eq(b, c))]
+        assert prove(Not(Eq(a, c)), axioms=axioms).proved
+
+    def test_numerals(self):
+        assert prove(Not(Eq(IntConst(1), IntConst(2)))).proved
+
+    def test_arith(self):
+        goal = Eq(mk("@plus", IntConst(2), IntConst(2)), IntConst(4))
+        assert prove(goal).proved
+
+    def test_constructor_distinctness(self):
+        goal = Not(Eq(App("skip"), mk("assgn", a, b)))
+        assert prove(goal, constructors={"skip", "assgn"}).proved
+
+    def test_constructor_injectivity(self):
+        axioms = [Eq(mk("assgn", a, b), mk("assgn", c, d))]
+        assert prove(And((Eq(a, c), Eq(b, d))), axioms=axioms, constructors={"assgn"}).proved
+
+
+class TestQuantifiers:
+    def test_universal_instantiation(self):
+        ax = Forall(("x",), Implies(Pred("p", (x,)), Pred("q", (x,))))
+        result = prove(Pred("q", (a,)), axioms=[ax, Pred("p", (a,))])
+        assert result.proved
+
+    def test_chained_instantiation(self):
+        ax1 = Forall(("x",), Implies(Pred("p", (x,)), Pred("q", (mk("f", x),))))
+        ax2 = Forall(("x",), Implies(Pred("q", (x,)), Pred("r", (x,))))
+        goal = Pred("r", (mk("f", a),))
+        assert prove(goal, axioms=[ax1, ax2, Pred("p", (a,))]).proved
+
+    def test_quantified_goal(self):
+        # forall x. p(x) -> p(x)
+        goal = Forall(("x",), Implies(Pred("p", (x,)), Pred("p", (x,))))
+        assert prove(goal).proved
+
+    def test_quantified_goal_with_axiom(self):
+        # Trigger on the predicate atom itself: the negated goal asserts
+        # ~p(f(sk)), which interns the term p(f(sk)) and fires the trigger
+        # with x := f(sk).
+        ax = Forall(("x",), Pred("p", (x,)), ((mk("p", x),),))
+        goal = Forall(("y",), Pred("p", (mk("f", y),)))
+        assert prove(goal, axioms=[ax]).proved
+
+    def test_trigger_binds_argument(self):
+        # A trigger f(x) fires on the term f(a) binding x := a.
+        ax = Forall(("x",), Pred("p", (x,)), ((mk("f", x),),))
+        result = prove(Pred("p", (a,)), axioms=[ax, Eq(mk("f", a), b)])
+        assert result.proved
+
+    def test_multipattern(self):
+        # Injectivity-style axiom via multi-pattern trigger.
+        ax = Forall(
+            ("x", "y"),
+            Or((Eq(x, y), Not(Eq(mk("h", x), mk("h", y))))),
+            triggers=((mk("h", x), mk("h", y)),),
+        )
+        goal = Implies(Eq(mk("h", a), mk("h", b)), Eq(a, b))
+        assert prove(goal, axioms=[ax]).proved
+
+    def test_unprovable_quantified(self):
+        ax = Forall(("x",), Implies(Pred("p", (x,)), Pred("q", (x,))))
+        result = prove(Pred("q", (a,)), axioms=[ax])
+        assert not result.proved
+
+
+SELECT_UPDATE_AXIOMS = [
+    # select(update(m,k,v),k) = v
+    Forall(
+        ("m", "k", "v"),
+        Eq(mk("select", mk("update", LVar("m"), LVar("k"), LVar("v")), LVar("k")), LVar("v")),
+        ((mk("update", LVar("m"), LVar("k"), LVar("v")),),),
+    ),
+    # k1 = k2 \/ select(update(m,k1,v),k2) = select(m,k2)
+    Forall(
+        ("m", "k1", "v", "k2"),
+        Or(
+            (
+                Eq(LVar("k1"), LVar("k2")),
+                Eq(
+                    mk("select", mk("update", LVar("m"), LVar("k1"), LVar("v")), LVar("k2")),
+                    mk("select", LVar("m"), LVar("k2")),
+                ),
+            )
+        ),
+        ((mk("select", mk("update", LVar("m"), LVar("k1"), LVar("v")), LVar("k2")),),),
+    ),
+]
+
+
+class TestMapTheory:
+    def test_read_own_write(self):
+        m = App("m0")
+        goal = Eq(mk("select", mk("update", m, a, IntConst(5)), a), IntConst(5))
+        assert prove(goal, axioms=SELECT_UPDATE_AXIOMS).proved
+
+    def test_read_other_write(self):
+        m = App("m0")
+        goal = Implies(
+            Not(Eq(a, b)),
+            Eq(mk("select", mk("update", m, a, IntConst(5)), b), mk("select", m, b)),
+        )
+        assert prove(goal, axioms=SELECT_UPDATE_AXIOMS).proved
+
+    def test_two_updates_commute_on_reads(self):
+        m = App("m0")
+        inner = mk("update", m, a, IntConst(1))
+        outer = mk("update", inner, b, IntConst(2))
+        goal = Implies(
+            Not(Eq(a, b)),
+            Eq(mk("select", outer, a), IntConst(1)),
+        )
+        assert prove(goal, axioms=SELECT_UPDATE_AXIOMS).proved
+
+    def test_update_changes_value(self):
+        m = App("m0")
+        goal = Eq(mk("select", mk("update", m, a, IntConst(1)), a), IntConst(2))
+        assert not prove(goal, axioms=SELECT_UPDATE_AXIOMS).proved
+
+    def test_no_op_update(self):
+        # update(m, k, select(m, k)) = m, given as an extensionality-style axiom.
+        noop = Forall(
+            ("m", "k"),
+            Eq(mk("update", LVar("m"), LVar("k"), mk("select", LVar("m"), LVar("k"))), LVar("m")),
+            ((mk("update", LVar("m"), LVar("k"), mk("select", LVar("m"), LVar("k"))),),),
+        )
+        m = App("m0")
+        goal = Eq(mk("update", m, a, mk("select", m, a)), m)
+        assert prove(goal, axioms=[noop]).proved
+
+
+class TestContextReporting:
+    def test_context_mentions_assertions(self):
+        p, q = Pred("p"), Pred("q")
+        result = prove(q, axioms=[p], name="demo")
+        assert result.goal_name == "demo"
+        text = "\n".join(result.context)
+        assert "p" in text
+
+    def test_stats_populated(self):
+        p, q, r = Pred("p"), Pred("q"), Pred("r")
+        result = prove(r, axioms=[Or((p, q)), Implies(p, r), Implies(q, r)])
+        assert result.proved
+        assert result.stats.elapsed_s >= 0
+        assert result.stats.propagations >= 1

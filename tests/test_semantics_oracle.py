@@ -1,0 +1,132 @@
+"""Experiment E6: the execution engine's fixed-point dataflow computes
+exactly Definition 1's path-quantified guard meaning.
+
+The oracle enumerates CFG paths literally; on acyclic CFGs (which the
+random generator produces) it is exact, so engine facts must coincide."""
+
+import pytest
+
+from repro.il.cfg import Cfg
+from repro.il.generator import GeneratorConfig, ProgramGenerator
+from repro.il.parser import parse_program
+from repro.cobalt.engine import CobaltEngine
+from repro.cobalt.labels import standard_registry
+from repro.cobalt.semantics import guard_meaning_by_paths, is_acyclic
+from repro.opts import const_prop, copy_prop, cse, dae
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return standard_registry()
+
+
+@pytest.fixture(scope="module")
+def engine(registry):
+    return CobaltEngine(registry)
+
+
+def compare(pattern, proc, registry, engine):
+    cfg = Cfg.build(proc)
+    assert is_acyclic(cfg)
+    oracle = guard_meaning_by_paths(
+        pattern.psi1, pattern.psi2, pattern.direction, proc, registry
+    )
+    computed = engine.guard_facts(pattern.psi1, pattern.psi2, pattern.direction, proc)
+    assert computed == oracle, (
+        "engine/oracle mismatch:\n"
+        + "\n".join(
+            f"node {i}: engine={sorted(map(str, computed[i]))} oracle={sorted(map(str, oracle[i]))}"
+            for i in range(len(proc.stmts))
+            if computed[i] != oracle[i]
+        )
+    )
+
+
+HAND_PROGRAMS = [
+    """
+    main(n) {
+      decl a;
+      decl c;
+      a := 2;
+      c := a;
+      return c;
+    }
+    """,
+    """
+    main(n) {
+      decl a;
+      decl c;
+      if n goto 3 else 5;
+      a := 2;
+      if 1 goto 6 else 6;
+      a := 3;
+      c := a;
+      return c;
+    }
+    """,
+    """
+    main(n) {
+      decl x;
+      decl y;
+      x := 1;
+      if n goto 4 else 6;
+      y := x;
+      if 1 goto 7 else 7;
+      y := 1;
+      return y;
+    }
+    """,
+]
+
+
+class TestHandPrograms:
+    @pytest.mark.parametrize("text", HAND_PROGRAMS)
+    @pytest.mark.parametrize("opt", [const_prop, copy_prop, dae], ids=lambda o: o.name)
+    def test_engine_matches_definition(self, text, opt, registry, engine):
+        proc = parse_program(text).proc("main")
+        compare(opt.pattern, proc, registry, engine)
+
+
+class TestRandomPrograms:
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("opt", [const_prop, dae, cse], ids=lambda o: o.name)
+    def test_engine_matches_definition(self, seed, opt, registry, engine):
+        generator = ProgramGenerator(GeneratorConfig(num_stmts=8, num_vars=3), seed=seed)
+        proc = generator.gen_proc()
+        compare(opt.pattern, proc, registry, engine)
+
+
+class TestVacuousPaths:
+    def test_unreachable_node_gets_universe_forward(self, registry, engine):
+        # Node 3 is unreachable from entry: every theta is (vacuously)
+        # valid there under Definition 1's universal path quantification.
+        proc = parse_program(
+            """
+            main(n) {
+              decl a;
+              a := 2;
+              if 1 goto 4 else 4;
+              a := a;
+              return a;
+            }
+            """
+        ).proc("main")
+        compare(const_prop.pattern, proc, registry, engine)
+        facts = engine.guard_facts(
+            const_prop.pattern.psi1, const_prop.pattern.psi2, "forward", proc
+        )
+        assert facts[3]  # unreachable node carries the full universe
+
+    def test_entry_node_is_empty_forward(self, registry, engine):
+        proc = parse_program(
+            """
+            main(n) {
+              n := 2;
+              return n;
+            }
+            """
+        ).proc("main")
+        facts = engine.guard_facts(
+            const_prop.pattern.psi1, const_prop.pattern.psi2, "forward", proc
+        )
+        assert facts[0] == frozenset()

@@ -1,0 +1,96 @@
+"""Regression tests pinning the IL's operational semantics choices, plus a
+property check of the binary-operator table against reference Python
+semantics (with C-style truncating division)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.il.interp import apply_binop
+from repro.il.parser import parse_stmt
+from repro.il.printer import stmt_to_str
+from repro.il.state import Loc
+
+ints = st.integers(-50, 50)
+
+
+class TestApplyBinopProperties:
+    @given(ints, ints)
+    @settings(max_examples=80, deadline=None)
+    def test_arith_matches_python(self, a, b):
+        assert apply_binop("+", a, b) == a + b
+        assert apply_binop("-", a, b) == a - b
+        assert apply_binop("*", a, b) == a * b
+
+    @given(ints, ints)
+    @settings(max_examples=80, deadline=None)
+    def test_truncating_division(self, a, b):
+        if b == 0:
+            assert apply_binop("/", a, b) is None
+            assert apply_binop("%", a, b) is None
+        else:
+            q = apply_binop("/", a, b)
+            r = apply_binop("%", a, b)
+            assert q == int(a / b)  # truncation toward zero, like C
+            assert a == q * b + r  # division identity
+            assert abs(r) < abs(b)
+
+    @given(ints, ints)
+    @settings(max_examples=60, deadline=None)
+    def test_comparisons_boolean(self, a, b):
+        assert apply_binop("<", a, b) == int(a < b)
+        assert apply_binop("<=", a, b) == int(a <= b)
+        assert apply_binop(">", a, b) == int(a > b)
+        assert apply_binop(">=", a, b) == int(a >= b)
+        assert apply_binop("==", a, b) == int(a == b)
+        assert apply_binop("!=", a, b) == int(a != b)
+
+    @given(ints, ints)
+    @settings(max_examples=60, deadline=None)
+    def test_logical_ops(self, a, b):
+        assert apply_binop("&&", a, b) == int(a != 0 and b != 0)
+        assert apply_binop("||", a, b) == int(a != 0 or b != 0)
+
+    def test_equality_on_locations(self):
+        l1, l2 = Loc("heap", 0), Loc("heap", 1)
+        assert apply_binop("==", l1, l1) == 1
+        assert apply_binop("==", l1, l2) == 0
+        assert apply_binop("!=", l1, l2) == 1
+        # Mixed-type comparison is defined (and false)...
+        assert apply_binop("==", l1, 5) == 0
+        # ...but arithmetic and ordering on locations are errors.
+        assert apply_binop("+", l1, 1) is None
+        assert apply_binop("<", l1, l2) is None
+
+    def test_unknown_operator(self):
+        assert apply_binop("**", 2, 3) is None
+
+
+class TestStatementPrintRoundTrip:
+    STATEMENTS = [
+        "skip",
+        "decl x",
+        "x := 5",
+        "x := -3",
+        "x := y",
+        "x := y + z",
+        "x := y * 7",
+        "x := neg y",
+        "x := not y",
+        "x := *p",
+        "x := &y",
+        "*p := 9",
+        "*p := y",
+        "x := new",
+        "x := helper(y)",
+        "x := helper(3)",
+        "if x goto 1 else 2",
+        "if 0 goto 3 else 4",
+        "return x",
+    ]
+
+    def test_round_trips(self):
+        for text in self.STATEMENTS:
+            stmt = parse_stmt(text)
+            assert parse_stmt(stmt_to_str(stmt)) == stmt, text
+
+    def test_canonical_spacing(self):
+        assert stmt_to_str(parse_stmt("x:=y+z")) == "x := y + z"

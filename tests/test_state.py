@@ -1,0 +1,105 @@
+"""Unit tests for execution-state components (Env, Store, Allocator, State)."""
+
+import pytest
+
+from repro.il.state import Allocator, Env, Frame, Loc, State, Store
+
+
+class TestEnv:
+    def test_bind_and_lookup(self):
+        env = Env().bind("x", Loc("stack", 0))
+        assert env.lookup("x") == Loc("stack", 0)
+        assert env.lookup("y") is None
+        assert "x" in env and "y" not in env
+
+    def test_rebind_replaces(self):
+        env = Env().bind("x", Loc("stack", 0)).bind("x", Loc("stack", 1))
+        assert env.lookup("x") == Loc("stack", 1)
+
+    def test_binding_is_functional(self):
+        env = Env().bind("x", Loc("stack", 0))
+        env2 = env.bind("y", Loc("stack", 1))
+        assert env.lookup("y") is None
+        assert env2.lookup("x") == Loc("stack", 0)
+
+    def test_equality_is_order_independent(self):
+        e1 = Env().bind("a", Loc("stack", 0)).bind("b", Loc("stack", 1))
+        e2 = Env().bind("b", Loc("stack", 1)).bind("a", Loc("stack", 0))
+        assert e1 == e2
+
+
+class TestStore:
+    def test_update_and_lookup(self):
+        store = Store().update(Loc("heap", 0), 42)
+        assert store.lookup(Loc("heap", 0)) == 42
+        assert store.lookup(Loc("heap", 1)) is None
+
+    def test_remove_all(self):
+        store = Store().update(Loc("stack", 0), 1).update(Loc("stack", 1), 2)
+        cleared = store.remove_all([Loc("stack", 0)])
+        assert cleared.lookup(Loc("stack", 0)) is None
+        assert cleared.lookup(Loc("stack", 1)) == 2
+
+    def test_agrees_except(self):
+        base = Store().update(Loc("stack", 0), 1).update(Loc("stack", 1), 2)
+        changed = base.update(Loc("stack", 0), 99)
+        assert base.agrees_except(changed, Loc("stack", 0))
+        assert not base.agrees_except(changed, Loc("stack", 1))
+        assert base.agrees_except(base, None)
+
+    def test_agrees_except_detects_missing_keys(self):
+        base = Store().update(Loc("stack", 0), 1)
+        bigger = base.update(Loc("stack", 1), 2)
+        assert not base.agrees_except(bigger, Loc("stack", 0))
+        assert base.agrees_except(bigger, Loc("stack", 1))
+
+
+class TestAllocator:
+    def test_fresh_locations_distinct(self):
+        alloc = Allocator()
+        l1, alloc = alloc.fresh("stack")
+        l2, alloc = alloc.fresh("stack")
+        h1, alloc = alloc.fresh("heap")
+        assert l1 != l2
+        assert l1 != h1
+
+    def test_kinds_have_independent_counters(self):
+        alloc = Allocator()
+        s, alloc = alloc.fresh("stack")
+        h, alloc = alloc.fresh("heap")
+        assert s.number == 0 and h.number == 0
+        assert s != h  # kinds differ
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Allocator().fresh("register")
+
+
+class TestStateEquality:
+    def _state(self, store):
+        env = Env().bind("x", Loc("stack", 0)).bind("y", Loc("stack", 1))
+        return State("main", 3, env, store, (), Allocator(2, 0))
+
+    def test_equal_except_var(self):
+        s1 = self._state(Store().update(Loc("stack", 0), 1).update(Loc("stack", 1), 2))
+        s2 = self._state(Store().update(Loc("stack", 0), 9).update(Loc("stack", 1), 2))
+        assert s1.equal_except_var(s2, "x")
+        assert not s1.equal_except_var(s2, "y")
+        assert s1.equal_except_var(s1, "x")
+
+    def test_differing_index_rejected(self):
+        s1 = self._state(Store())
+        s2 = State(s1.proc_name, 4, s1.env, s1.store, s1.stack, s1.alloc)
+        assert not s1.equal_except_var(s2, "x")
+
+    def test_differing_stack_rejected(self):
+        s1 = self._state(Store())
+        frame = Frame("main", 0, Env(), "r")
+        s2 = State(s1.proc_name, s1.index, s1.env, s1.store, (frame,), s1.alloc)
+        assert not s1.equal_except_var(s2, "x")
+
+    def test_read_var(self):
+        s = self._state(Store().update(Loc("stack", 0), 7))
+        assert s.read_var("x") == 7
+        assert s.read_var("y") is None  # no cell
+        assert s.read_var("zz") is None  # unbound

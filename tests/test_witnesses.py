@@ -1,0 +1,135 @@
+"""Unit tests for the witness predicates' concrete (state-level) semantics."""
+
+import pytest
+
+from repro.il import Interpreter, parse_program
+from repro.il.ast import Const, Var, BinOp, Deref
+from repro.il.interp import Next
+from repro.cobalt.patterns import ConstPat, ExprPat, VarPat
+from repro.cobalt.witness import (
+    Conj,
+    EqualExceptVar,
+    NotPointedTo,
+    TrueWitness,
+    VarEqConst,
+    VarEqExpr,
+    VarEqVar,
+)
+
+PROGRAM = parse_program(
+    """
+    main(n) {
+      decl a;
+      decl b;
+      decl p;
+      a := 5;
+      b := a;
+      p := &a;
+      return b;
+    }
+    """
+)
+
+
+def state_after(steps, arg=0, program=PROGRAM):
+    interp = Interpreter(program)
+    state = interp.initial_state(arg)
+    for _ in range(steps):
+        result = interp.step(state)
+        assert isinstance(result, Next)
+        state = result.state
+    return state, interp
+
+
+class TestForwardWitnesses:
+    def test_true_witness(self):
+        state, interp = state_after(0)
+        assert TrueWitness().holds(state, {}, interp)
+
+    def test_var_eq_const(self):
+        state, interp = state_after(4)  # after a := 5
+        theta = {"Y": Var("a"), "C": Const(5)}
+        assert VarEqConst(VarPat("Y"), ConstPat("C")).holds(state, theta, interp)
+        theta_wrong = {"Y": Var("a"), "C": Const(6)}
+        assert not VarEqConst(VarPat("Y"), ConstPat("C")).holds(state, theta_wrong, interp)
+
+    def test_var_eq_const_with_concrete_leaves(self):
+        state, interp = state_after(4)
+        assert VarEqConst(Var("a"), Const(5)).holds(state, {}, interp)
+
+    def test_var_eq_var(self):
+        state, interp = state_after(5)  # after b := a
+        theta = {"Y": Var("b"), "Z": Var("a")}
+        assert VarEqVar(VarPat("Y"), VarPat("Z")).holds(state, theta, interp)
+
+    def test_var_eq_expr(self):
+        state, interp = state_after(5)
+        theta = {"X": Var("b"), "E": BinOp("+", Var("a"), Const(0))}
+        assert VarEqExpr(VarPat("X"), ExprPat("E")).holds(state, theta, interp)
+
+    def test_var_eq_expr_deref(self):
+        program = parse_program(
+            """
+            main(n) {
+              decl p;
+              decl x;
+              p := new;
+              *p := 7;
+              x := *p;
+              return x;
+            }
+            """
+        )
+        state, interp = state_after(5, program=program)
+        theta = {"X": Var("x"), "W": Var("p")}
+        assert VarEqExpr(VarPat("X"), Deref(VarPat("W"))).holds(state, theta, interp)
+
+    def test_not_pointed_to(self):
+        before, interp = state_after(5)  # before p := &a
+        after, _ = state_after(6)  # after p := &a
+        theta = {"X": Var("a")}
+        witness = NotPointedTo(VarPat("X"))
+        assert witness.holds(before, theta, interp)
+        assert not witness.holds(after, theta, interp)
+        # b is never pointed to.
+        assert witness.holds(after, {"X": Var("b")}, interp)
+
+    def test_conj(self):
+        state, interp = state_after(5)
+        witness = Conj(
+            (
+                VarEqConst(Var("a"), Const(5)),
+                VarEqVar(Var("b"), Var("a")),
+            )
+        )
+        assert witness.holds(state, {}, interp)
+
+
+class TestBackwardWitnesses:
+    def test_equal_except_var_reflexive(self):
+        state, interp = state_after(3)
+        assert EqualExceptVar(Var("a")).holds2(state, state, {}, interp)
+
+    def test_equal_except_var_tolerates_x_difference(self):
+        state, interp = state_after(4)
+        loc = state.env.lookup("a")
+        other = state.__class__(
+            state.proc_name,
+            state.index,
+            state.env,
+            state.store.update(loc, 999),
+            state.stack,
+            state.alloc,
+        )
+        assert EqualExceptVar(Var("a")).holds2(state, other, {}, interp)
+        assert not EqualExceptVar(Var("b")).holds2(state, other, {}, interp)
+
+    def test_index_difference_rejected(self):
+        s1, interp = state_after(3)
+        s2, _ = state_after(4)
+        assert not EqualExceptVar(Var("a")).holds2(s1, s2, {}, interp)
+
+    def test_unbound_argument_raises(self):
+        state, interp = state_after(0)
+        with pytest.raises(ValueError):
+            VarEqConst(VarPat("Y"), ConstPat("C")).holds(state, {}, interp)
