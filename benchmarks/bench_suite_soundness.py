@@ -11,11 +11,26 @@ item with its direction, obligation verdicts, and proof time.  Every row
 must come out SOUND.
 """
 
+import time
+
 import pytest
 
+from repro.prover import ProverConfig
+from repro.verify import SoundnessChecker
 from repro.opts import ALL_OPTIMIZATIONS, taintedness_analysis
 
 _ROWS = []
+
+
+def _verify_all(checker):
+    """Verify the whole suite in the canonical order; returns the reports."""
+    reports = [checker.check_analysis(taintedness_analysis)]
+    reports.extend(checker.check_optimization(opt) for opt in ALL_OPTIMIZATIONS)
+    return reports
+
+
+def _canonical_suite(reports):
+    return "\n".join(report.canonical() for report in reports)
 
 
 def test_suite_soundness(benchmark, checker):
@@ -31,6 +46,70 @@ def test_suite_soundness(benchmark, checker):
     _ROWS.extend(rows)
     for name, _, report in rows:
         assert report.sound, f"{name} unexpectedly rejected:\n{report.summary()}"
+
+
+def test_suite_cold_vs_warm(benchmark, tmp_path_factory):
+    """E2b — the persistent proof cache: warm re-verification must be at
+    least 5x faster than the cold run, with identical verdicts."""
+    cache_dir = tmp_path_factory.mktemp("proof-cache")
+    config = ProverConfig(timeout_s=120)
+
+    start = time.monotonic()
+    cold_reports = _verify_all(SoundnessChecker(config=config, cache=cache_dir))
+    cold_s = time.monotonic() - start
+
+    start = time.monotonic()
+    warm_checker = SoundnessChecker(config=config, cache=cache_dir)
+    warm_reports = _verify_all(warm_checker)
+    warm_s = time.monotonic() - start
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert all(r.sound for r in cold_reports)
+    assert _canonical_suite(warm_reports) == _canonical_suite(cold_reports)
+    assert warm_checker.cache.stats.misses == 0, "warm run missed the cache"
+    speedup = cold_s / max(warm_s, 1e-9)
+    from _report import emit
+
+    emit(
+        "E2b_cache_speedup",
+        "=== E2b: persistent proof cache, cold vs. warm suite verification ===\n"
+        f"cold (empty cache):  {cold_s:8.2f}s\n"
+        f"warm (all hits):     {warm_s:8.2f}s\n"
+        f"speedup:             {speedup:8.1f}x (required: >= 5x)\n"
+        f"cache entries:       {len(warm_checker.cache):8d}",
+    )
+    assert speedup >= 5.0, (
+        f"warm suite verification only {speedup:.1f}x faster than cold"
+    )
+
+
+def test_suite_parallel_matches_serial(benchmark):
+    """E2c — parallel (--jobs 2) verification is a pure speed knob: its
+    canonical suite report is byte-identical to the serial one."""
+    config = ProverConfig(timeout_s=120)
+
+    start = time.monotonic()
+    serial_reports = _verify_all(SoundnessChecker(config=config))
+    serial_s = time.monotonic() - start
+
+    start = time.monotonic()
+    parallel_reports = _verify_all(SoundnessChecker(config=config, jobs=2))
+    parallel_s = time.monotonic() - start
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    serial_canonical = _canonical_suite(serial_reports)
+    parallel_canonical = _canonical_suite(parallel_reports)
+    from _report import emit
+
+    emit(
+        "E2c_parallel_determinism",
+        "=== E2c: parallel vs. serial suite verification ===\n"
+        f"serial (1 job):      {serial_s:8.2f}s\n"
+        f"parallel (2 jobs):   {parallel_s:8.2f}s\n"
+        f"reports byte-identical: "
+        f"{'yes' if parallel_canonical == serial_canonical else 'NO'}",
+    )
+    assert parallel_canonical == serial_canonical
 
 
 def test_zz_report(benchmark):

@@ -6,7 +6,8 @@ Usage (also via ``python -m repro``)::
     repro-cobalt opt PROGRAM.il --passes constProp,deadAssignElim [--iterate] [--trust]
     repro-cobalt run PROGRAM.il ARG
     repro-cobalt counterexample FILE.cobalt
-    repro-cobalt suite
+    repro-cobalt [--jobs N] [--cache-dir DIR] suite
+    repro-cobalt [--jobs N] [--cache-dir DIR] verify
 
 * ``check`` parses every optimization/analysis block in a Cobalt source
   file and proves (or rejects) each one; with ``--infer-witness`` missing
@@ -16,7 +17,12 @@ Usage (also via ``python -m repro``)::
 * ``run`` interprets ``main(ARG)``.
 * ``counterexample`` searches for a concrete miscompilation for a rejected
   optimization (section 7).
-* ``suite`` verifies the entire shipped optimization suite.
+* ``suite`` / ``verify`` verify the entire shipped optimization suite.
+
+The global ``--jobs N`` flag fans proof obligations out across N worker
+processes; ``--cache-dir DIR`` persists verdicts in a content-addressed
+store so unchanged optimizations re-verify in milliseconds (see
+docs/VERIFYING.md).
 """
 
 from __future__ import annotations
@@ -75,7 +81,11 @@ def parse_blocks(source: str) -> List[object]:
 
 
 def _checker(args) -> SoundnessChecker:
-    return SoundnessChecker(config=ProverConfig(timeout_s=args.timeout))
+    return SoundnessChecker(
+        config=ProverConfig(timeout_s=args.timeout),
+        cache=args.cache_dir,
+        jobs=args.jobs,
+    )
 
 
 def cmd_check(args) -> int:
@@ -184,10 +194,13 @@ def cmd_counterexample(args) -> int:
 
 
 def cmd_suite(args) -> int:
+    import time
+
     from repro import opts as suite
 
     checker = _checker(args)
     failures = 0
+    start = time.monotonic()
     for analysis in suite.ALL_ANALYSES:
         report = checker.check_analysis(analysis)
         print(f"{report.name:24s} {'SOUND' if report.sound else 'REJECTED':8s} "
@@ -198,6 +211,11 @@ def cmd_suite(args) -> int:
         print(f"{report.name:24s} {'SOUND' if report.sound else 'REJECTED':8s} "
               f"{report.elapsed_s:7.2f}s")
         failures += 0 if report.sound else 1
+    elapsed = time.monotonic() - start
+    summary = f"[suite] verified in {elapsed:.2f}s with {args.jobs} job(s)"
+    if checker.cache is not None:
+        summary += f"; proof cache: {checker.cache.stats} ({checker.cache.file})"
+    print(summary, file=sys.stderr)
     return 1 if failures else 0
 
 
@@ -208,6 +226,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--timeout", type=float, default=120.0,
                         help="prover timeout per obligation (seconds)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="discharge proof obligations across N worker "
+                             "processes (default: 1, serial)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persist proof verdicts in DIR so unchanged "
+                             "optimizations re-verify from cache")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("check", help="prove optimizations in a .cobalt file")
@@ -238,6 +262,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_counterexample)
 
     p = sub.add_parser("suite", help="verify the entire shipped suite")
+    p.set_defaults(fn=cmd_suite)
+
+    p = sub.add_parser("verify",
+                       help="verify the entire shipped suite (alias of "
+                            "'suite'; combine with --jobs/--cache-dir)")
     p.set_defaults(fn=cmd_suite)
     return parser
 

@@ -57,18 +57,35 @@ def check_equivalence(
     Per the paper's definition the check is one-directional: a run of the
     original that returns a value must return the *same* value in the
     transformed program.  Original runs that get stuck or exhaust fuel
-    constrain nothing.
+    constrain nothing.  A transformed run that gets *stuck* where the
+    original returned a value is the most suspicious violation (the
+    footnote-6 progress condition exists precisely to rule it out), so it
+    is flagged distinctly from a plain wrong value or a fuel blow-up.
     """
     for arg in args:
         kind, value = _run(original, arg, fuel)
         if kind != "value":
             continue
         kind2, value2 = _run(transformed, arg, fuel)
-        if kind2 != "value" or value2 != value:
+        if kind2 == "value" and value2 == value:
+            continue
+        if kind2 == "stuck":
             return (
-                f"main({arg}): original returned {value!r}, "
-                f"transformed {'returned ' + repr(value2) if kind2 == 'value' else kind2}"
+                f"main({arg}): original returned {value!r} but the "
+                f"transformed program got STUCK — a progress violation: "
+                f"one-directional equivalence requires the transformed "
+                f"program to complete every run the original completes"
             )
+        if kind2 == "fuel":
+            return (
+                f"main({arg}): original returned {value!r} but the "
+                f"transformed program exhausted its fuel budget "
+                f"(possible introduced divergence)"
+            )
+        return (
+            f"main({arg}): original returned {value!r}, "
+            f"transformed returned {value2!r}"
+        )
     return None
 
 

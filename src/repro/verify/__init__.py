@@ -14,6 +14,18 @@ The inductive lifting of these obligations to full soundness (the paper's
 Theorems 1 and 2) is a manual meta-proof; see docs/THEOREMS.md.
 """
 
-from repro.verify.checker import ObligationResult, SoundnessChecker, SoundnessReport
+from repro.verify.cache import ProofCache
+from repro.verify.checker import (
+    ObligationResult,
+    SoundnessChecker,
+    SoundnessReport,
+    discharge_obligation,
+)
 
-__all__ = ["ObligationResult", "SoundnessChecker", "SoundnessReport"]
+__all__ = [
+    "ObligationResult",
+    "ProofCache",
+    "SoundnessChecker",
+    "SoundnessReport",
+    "discharge_obligation",
+]

@@ -1,0 +1,237 @@
+"""Persistent, content-addressed cache of discharged proof obligations.
+
+The paper's obligations are *non-inductive*: each is a closed first-order
+formula whose validity depends only on (a) the formula itself, (b) the
+background axiom set it is checked against, and (c) the checker-side case
+analysis (the statement-kind split).  That makes each verdict perfectly
+content-addressable: hash the normalized obligation together with the axiom
+digest and the verdict can be replayed from disk without re-running the
+prover.  Re-verifying an unchanged optimization suite then costs file reads,
+not proof search — and editing one guard invalidates exactly the obligations
+whose translated formulas changed.
+
+Two subtleties:
+
+* ``proved`` verdicts are sound under *any* resource limits, so a cache hit
+  is accepted regardless of the prover configuration that produced it.
+* ``unknown`` verdicts are resource-limit artifacts (a bigger timeout might
+  prove the goal), so they are replayed only when the stored configuration
+  fingerprint matches the requesting one.
+
+The store is a single JSON file (`proof-cache.json`) written atomically via
+a temp-file rename; a corrupted or truncated file is treated as empty rather
+than fatal, so a crashed run can never poison later ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.prover import ProverConfig
+
+#: Bump when the key derivation or entry layout changes; old files are
+#: then ignored wholesale instead of being misread.
+SCHEMA_VERSION = 1
+
+CACHE_FILENAME = "proof-cache.json"
+
+
+def config_fingerprint(config: ProverConfig) -> str:
+    """The resource-limit identity of a prover configuration.
+
+    Only limits that can turn ``proved`` into ``unknown`` participate; the
+    split-priority heuristic affects search order, not reachability of a
+    refutation within the limits, but is conservatively excluded from the
+    fingerprint only when it is the default."""
+    parts = [
+        f"rounds={config.max_rounds}",
+        f"instances={config.max_instances}",
+        f"decisions={config.max_decisions}",
+        f"timeout={config.timeout_s!r}",
+    ]
+    if config.split_priority is not None:
+        parts.append(f"split={getattr(config.split_priority, '__qualname__', repr(config.split_priority))}")
+    return ";".join(parts)
+
+
+def axioms_digest(axioms: Sequence[object], constructors: Sequence[str] = ()) -> str:
+    """A stable digest of the background axiom set (plus constructor names).
+
+    Formulas and clauses render deterministically via ``str``; ``(origin,
+    formula)`` pairs hash the formula only — renaming an axiom's origin tag
+    does not change what is provable."""
+    h = hashlib.sha256()
+    h.update(f"schema:{SCHEMA_VERSION}\n".encode())
+    for name in sorted(constructors):
+        h.update(f"ctor:{name}\n".encode())
+    for ax in axioms:
+        if isinstance(ax, tuple):
+            ax = ax[1]
+        h.update(str(ax).encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def obligation_key(obligation, axiom_digest: str) -> str:
+    """Content hash of one obligation: goal, seeds, and kind-split shape.
+
+    The obligation *name* (F1/B2/...) is deliberately excluded — two
+    syntactically identical goals share one verdict no matter which pattern
+    generated them."""
+    from repro.verify import encode as E
+
+    h = hashlib.sha256()
+    h.update(f"schema:{SCHEMA_VERSION}\n".encode())
+    h.update(f"axioms:{axiom_digest}\n".encode())
+    h.update(f"goal:{obligation.goal}\n".encode())
+    for seed in obligation.seeds:
+        h.update(f"seed:{seed}\n".encode())
+    if obligation.split_term is not None:
+        # The checker-side case analysis is part of the proof's meaning:
+        # record the term split over and the kind tags enumerated.
+        kinds = ",".join(str(k) for k in E.STMT_KINDS)
+        h.update(f"split:{obligation.split_term}|{kinds}\n".encode())
+    return h.hexdigest()
+
+
+@dataclass
+class CachedVerdict:
+    """One stored obligation outcome."""
+
+    proved: bool
+    elapsed_s: float
+    context: List[str] = field(default_factory=list)
+    config: str = ""
+
+    def to_json(self) -> dict:
+        return {
+            "proved": self.proved,
+            "elapsed_s": self.elapsed_s,
+            "context": list(self.context),
+            "config": self.config,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CachedVerdict":
+        return cls(
+            proved=bool(data["proved"]),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+            context=[str(line) for line in data.get("context", [])],
+            config=str(data.get("config", "")),
+        )
+
+
+#: Counterexample contexts can be enormous (full assertion logs); store only
+#: what the CLI would ever print.
+_MAX_CONTEXT_LINES = 60
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.hits} hit(s), {self.misses} miss(es), {self.stores} store(s)"
+
+
+class ProofCache:
+    """An on-disk verdict store keyed by :func:`obligation_key`."""
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        path = Path(path)
+        # Accept either a directory (the conventional ``--cache-dir``) or a
+        # direct path to the JSON file; a path that already exists as a plain
+        # file is the cache file, whatever its name.
+        if path.suffix == ".json" or path.is_file():
+            self.file = path
+        else:
+            self.file = path / CACHE_FILENAME
+        self.stats = CacheStats()
+        self._entries: Dict[str, CachedVerdict] = {}
+        self._dirty = False
+        self._load()
+
+    # -- persistence ---------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            raw = self.file.read_text()
+        except OSError:
+            return
+        try:
+            data = json.loads(raw)
+            if not isinstance(data, dict) or data.get("schema") != SCHEMA_VERSION:
+                return
+            for key, entry in data.get("entries", {}).items():
+                self._entries[str(key)] = CachedVerdict.from_json(entry)
+        except (ValueError, KeyError, TypeError):
+            # Corrupted or foreign file: start empty; the next save rewrites
+            # it atomically with well-formed contents.
+            self._entries = {}
+
+    def save(self) -> None:
+        """Atomically persist the store (no-op when nothing changed)."""
+        if not self._dirty:
+            return
+        try:
+            self.file.parent.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            # The cache is an accelerator, never a correctness requirement:
+            # an unwritable location must not discard a finished verification.
+            print(f"[proof-cache] not persisted: {exc}", file=sys.stderr)
+            return
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "entries": {k: v.to_json() for k, v in sorted(self._entries.items())},
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.file.parent), prefix=self.file.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=0, sort_keys=True)
+            os.replace(tmp, self.file)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._dirty = False
+
+    # -- lookup --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str, config_fp: str) -> Optional[CachedVerdict]:
+        entry = self._entries.get(key)
+        if entry is not None and (entry.proved or entry.config == config_fp):
+            self.stats.hits += 1
+            return entry
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, *, proved: bool, elapsed_s: float,
+            context: Sequence[str] = (), config_fp: str = "") -> None:
+        self._entries[key] = CachedVerdict(
+            proved=proved,
+            elapsed_s=elapsed_s,
+            context=list(context)[:_MAX_CONTEXT_LINES],
+            config=config_fp,
+        )
+        self.stats.stores += 1
+        self._dirty = True
+
+    def clear(self) -> None:
+        self._entries = {}
+        self._dirty = True

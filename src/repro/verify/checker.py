@@ -9,17 +9,34 @@
 A pattern is declared sound only if *every* obligation is proved.  Failed
 obligations carry the prover's counterexample context, which is what made
 the paper's checker useful as a debugging tool (section 6).
+
+Obligations are independent of each other (the paper's non-inductive
+design), which the checker exploits two ways:
+
+* with ``jobs > 1`` unresolved obligations are fanned out across a process
+  pool (:mod:`repro.verify.parallel`) with deterministic result ordering;
+* with a ``cache`` every verdict is stored in a persistent
+  content-addressed store (:mod:`repro.verify.cache`), so re-verifying an
+  unchanged optimization replays the stored verdicts instead of re-running
+  proof search.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cobalt.dsl import BackwardPattern, ForwardPattern, Optimization, PureAnalysis
 from repro.cobalt.labels import LabelRegistry, standard_registry
 from repro.prover import Prover, ProverConfig, Result
+from repro.verify.cache import (
+    ProofCache,
+    axioms_digest,
+    config_fingerprint,
+    obligation_key,
+)
 from repro.verify.encode import CONSTRUCTORS, all_axioms
 from repro.verify.obligations import Obligation, ObligationBuilder
 
@@ -32,6 +49,9 @@ class ObligationResult:
     proved: bool
     elapsed_s: float
     context: List[str] = field(default_factory=list)
+    #: True when the verdict was replayed from the persistent proof cache
+    #: rather than re-derived by the prover.
+    cached: bool = False
 
 
 @dataclass
@@ -70,6 +90,78 @@ class SoundnessReport:
             parts.append(f"  error: {self.error}")
         return "\n".join(parts)
 
+    def canonical(self) -> str:
+        """A timing-free rendering: identical runs give identical strings.
+
+        Serial, parallel, and cache-warmed verifications of the same
+        suite must all produce the same canonical report — this is what the
+        determinism tests and benchmarks compare byte-for-byte."""
+        lines: List[str] = []
+
+        def emit(report: "SoundnessReport", indent: int) -> None:
+            pad = "  " * indent
+            status = "SOUND" if report.sound else "REJECTED"
+            lines.append(f"{pad}{report.name}: {status}")
+            for dep in report.dependencies:
+                emit(dep, indent + 1)
+            for r in report.results:
+                mark = "proved" if r.proved else "failed"
+                lines.append(f"{pad}  {r.obligation}: {mark}")
+            if report.error:
+                lines.append(f"{pad}  error: {report.error}")
+
+        emit(self, 0)
+        return "\n".join(lines)
+
+
+def discharge_obligation(
+    prover: Prover,
+    owner: str,
+    obligation: Obligation,
+    config: Optional[ProverConfig] = None,
+) -> ObligationResult:
+    """Discharge one obligation with the given prover.
+
+    Obligations over an arbitrary statement are discharged one statement
+    kind at a time: the top level of the case analysis is performed here,
+    each sub-case by the prover.  This function is self-contained (no
+    checker state) so worker processes can call it directly.
+    """
+    from repro.logic.formulas import Eq, Implies, clausify
+    from repro.verify import encode as E
+
+    seed_clauses = []
+    for i, seed in enumerate(obligation.seeds):
+        seed_clauses.extend(
+            clausify(seed, origin="case-split-seed", prefix=f"sk_seed{i}_")
+        )
+    if obligation.split_term is not None:
+        cases = [
+            (
+                f"{obligation.name}[{kind.fn}]",
+                Implies(Eq(E.stmt_kind(obligation.split_term), kind), obligation.goal),
+            )
+            for kind in E.STMT_KINDS
+        ]
+    else:
+        cases = [(obligation.name, obligation.goal)]
+    start = time.monotonic()
+    proved = True
+    context: List[str] = []
+    for case_name, goal in cases:
+        result: Result = prover.prove(
+            goal,
+            extra_axioms=seed_clauses,
+            name=f"{owner}:{case_name}",
+            config=config,
+        )
+        if not result.proved:
+            proved = False
+            context = [f"in case {case_name}:"] + result.context
+            break
+    elapsed = time.monotonic() - start
+    return ObligationResult(obligation.name, proved, elapsed, context)
+
 
 class SoundnessChecker:
     """Automatically proves Cobalt optimizations sound (or rejects them)."""
@@ -80,16 +172,29 @@ class SoundnessChecker:
         *,
         analyses: Sequence[PureAnalysis] = (),
         config: Optional[ProverConfig] = None,
+        cache: Union[ProofCache, str, os.PathLike, None] = None,
+        jobs: int = 1,
+        obligation_timeout_s: Optional[float] = None,
     ) -> None:
         self.registry = registry or standard_registry()
         self.semantic_meanings: Dict[str, PureAnalysis] = {
             a.label_name: a for a in analyses
         }
         self.config = config or ProverConfig(timeout_s=300.0)
+        axioms = all_axioms()
         self._prover = Prover(
-            all_axioms(), constructors=CONSTRUCTORS, config=self.config
+            axioms, constructors=CONSTRUCTORS, config=self.config
         )
         self._analysis_cache: Dict[str, SoundnessReport] = {}
+        if isinstance(cache, (str, os.PathLike)):
+            cache = ProofCache(cache)
+        self.cache: Optional[ProofCache] = cache
+        self.jobs = max(1, int(jobs))
+        #: hard per-obligation wall-clock limit for parallel workers (the
+        #: prover's own cooperative timeout still applies everywhere).
+        self.obligation_timeout_s = obligation_timeout_s
+        self._axiom_digest = axioms_digest(axioms, CONSTRUCTORS)
+        self._config_fp = config_fingerprint(self.config)
 
     # ------------------------------------------------------------------
 
@@ -101,39 +206,52 @@ class SoundnessChecker:
         return ObligationBuilder(self.registry, self.semantic_meanings)
 
     def _discharge(self, name: str, obligations: Sequence[Obligation]) -> SoundnessReport:
-        from repro.logic.formulas import Eq, Implies, clausify
-        from repro.verify import encode as E
-
         report = SoundnessReport(name)
-        for ob in obligations:
-            seed_clauses = []
-            for i, seed in enumerate(ob.seeds):
-                seed_clauses.extend(
-                    clausify(seed, origin="case-split-seed", prefix=f"sk_seed{i}_")
+        results: List[Optional[ObligationResult]] = [None] * len(obligations)
+        pending: List[Tuple[int, Obligation]] = []
+        for i, ob in enumerate(obligations):
+            if self.cache is not None:
+                hit = self.cache.get(
+                    obligation_key(ob, self._axiom_digest), self._config_fp
                 )
-            # Obligations over an arbitrary statement are discharged one
-            # statement kind at a time: the top level of the case analysis
-            # is performed by the checker, each sub-case by the prover.
-            if ob.split_term is not None:
-                cases = [
-                    (f"{ob.name}[{kind.fn}]", Implies(Eq(E.stmt_kind(ob.split_term), kind), ob.goal))
-                    for kind in E.STMT_KINDS
-                ]
+                if hit is not None:
+                    results[i] = ObligationResult(
+                        ob.name, hit.proved, 0.0, list(hit.context), cached=True
+                    )
+                    continue
+            pending.append((i, ob))
+
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                from repro.verify.parallel import discharge_parallel
+
+                fresh = discharge_parallel(
+                    name,
+                    [ob for _, ob in pending],
+                    self.config,
+                    jobs=self.jobs,
+                    hard_timeout_s=self.obligation_timeout_s,
+                    fallback_prover=self._prover,
+                )
             else:
-                cases = [(ob.name, ob.goal)]
-            start = time.monotonic()
-            proved = True
-            context: list = []
-            for case_name, goal in cases:
-                result: Result = self._prover.prove(
-                    goal, extra_axioms=seed_clauses, name=f"{name}:{case_name}"
-                )
-                if not result.proved:
-                    proved = False
-                    context = [f"in case {case_name}:"] + result.context
-                    break
-            elapsed = time.monotonic() - start
-            report.results.append(ObligationResult(ob.name, proved, elapsed, context))
+                fresh = [
+                    discharge_obligation(self._prover, name, ob)
+                    for _, ob in pending
+                ]
+            for (i, ob), result in zip(pending, fresh):
+                results[i] = result
+                if self.cache is not None:
+                    self.cache.put(
+                        obligation_key(ob, self._axiom_digest),
+                        proved=result.proved,
+                        elapsed_s=result.elapsed_s,
+                        context=result.context,
+                        config_fp=self._config_fp,
+                    )
+            if self.cache is not None:
+                self.cache.save()
+
+        report.results = [r for r in results if r is not None]
         return report
 
     # ------------------------------------------------------------------

@@ -1,0 +1,146 @@
+"""Fan proof obligations out across a process pool.
+
+The paper's obligations are independent by construction (section 4: each is
+a closed, non-inductive formula), so the suite's proof search is
+embarrassingly parallel at obligation granularity.  This module provides
+:func:`discharge_parallel`, which:
+
+* submits each obligation to a ``concurrent.futures`` process pool whose
+  workers each build the background prover once (in the pool initializer)
+  and reuse it across tasks;
+* returns results in the *original obligation order* regardless of
+  completion order, so parallel reports are deterministic and comparable
+  byte-for-byte with serial ones;
+* enforces a per-obligation *hard* wall-clock timeout on top of the
+  prover's own cooperative one, so a worker stuck outside the prover's
+  timeout checks (deep E-graph recursion, pathological instantiation)
+  yields ``unknown`` instead of stalling the suite;
+* falls back to serial in-process discharge when the pool cannot be used at
+  all (no ``fork``/``spawn`` support, pickling failure) or when individual
+  tasks fail to round-trip, so callers never observe an exception where a
+  verdict is expected.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from typing import List, Optional, Sequence, Tuple
+
+from repro.prover import Prover, ProverConfig
+
+#: Worker-process prover, built once per worker by the pool initializer and
+#: reused for every obligation the worker discharges.
+_WORKER_PROVER: Optional[Prover] = None
+_WORKER_FP: Optional[str] = None
+
+
+def _config_fp(config: ProverConfig) -> str:
+    from repro.verify.cache import config_fingerprint
+
+    return config_fingerprint(config)
+
+
+def build_prover(config: ProverConfig) -> Prover:
+    """A fresh prover over the full background axiom set."""
+    from repro.verify.encode import CONSTRUCTORS, all_axioms
+
+    return Prover(all_axioms(), constructors=CONSTRUCTORS, config=config)
+
+
+def _worker_init(config: ProverConfig) -> None:
+    global _WORKER_PROVER, _WORKER_FP
+    _WORKER_PROVER = build_prover(config)
+    _WORKER_FP = _config_fp(config)
+
+
+def _worker_discharge(task: Tuple[int, str, object, ProverConfig]):
+    """Discharge one obligation in a worker process."""
+    from repro.verify.checker import discharge_obligation
+
+    global _WORKER_PROVER, _WORKER_FP
+    index, owner, obligation, config = task
+    if _WORKER_PROVER is None or _WORKER_FP != _config_fp(config):
+        _worker_init(config)
+    return index, discharge_obligation(_WORKER_PROVER, owner, obligation, config)
+
+
+def _hard_timeout(config: ProverConfig, override: Optional[float]) -> float:
+    if override is not None:
+        return override
+    # Generous: the prover's own timeout should fire first; the hard limit
+    # only catches searches wedged outside the cooperative checks.
+    return config.timeout_s * 1.5 + 30.0
+
+
+def discharge_parallel(
+    owner: str,
+    obligations: Sequence[object],
+    config: ProverConfig,
+    *,
+    jobs: int,
+    hard_timeout_s: Optional[float] = None,
+    fallback_prover: Optional[Prover] = None,
+    _worker=None,
+) -> List["ObligationResult"]:
+    """Discharge ``obligations`` across ``jobs`` workers; results in order.
+
+    ``_worker`` is a test seam: a replacement for the worker entry point
+    (it must be a picklable top-level callable with the same contract).
+    """
+    from repro.verify.checker import ObligationResult, discharge_obligation
+
+    worker = _worker or _worker_discharge
+    timeout = _hard_timeout(config, hard_timeout_s)
+    results: List[Optional[ObligationResult]] = [None] * len(obligations)
+
+    def serial(index: int, obligation) -> ObligationResult:
+        prover = fallback_prover or build_prover(config)
+        return discharge_obligation(prover, owner, obligation, config)
+
+    # A task set that cannot be pickled cannot cross a process boundary at
+    # all — discharge everything serially in this process.
+    try:
+        pickle.dumps((owner, list(obligations), config))
+    except Exception:
+        return [serial(i, ob) for i, ob in enumerate(obligations)]
+
+    try:
+        executor = ProcessPoolExecutor(
+            max_workers=max(1, min(jobs, len(obligations))),
+            initializer=_worker_init,
+            initargs=(config,),
+        )
+    except (OSError, ValueError):  # no usable start method / no semaphores
+        return [serial(i, ob) for i, ob in enumerate(obligations)]
+
+    timed_out = False
+    try:
+        futures = [
+            (i, ob, executor.submit(worker, (i, owner, ob, config)))
+            for i, ob in enumerate(obligations)
+        ]
+        for i, ob, future in futures:
+            try:
+                index, result = future.result(timeout=timeout)
+                results[index] = result
+            except _FutureTimeout:
+                future.cancel()
+                timed_out = True
+                results[i] = ObligationResult(
+                    ob.name,
+                    False,
+                    timeout,
+                    [
+                        f"<hard timeout: obligation exceeded {timeout:.1f}s "
+                        f"wall-clock in worker>"
+                    ],
+                )
+            except Exception:
+                # Broken pool, a result that would not unpickle, a worker
+                # killed by the OS: redo this obligation in-process.
+                results[i] = serial(i, ob)
+    finally:
+        executor.shutdown(wait=not timed_out, cancel_futures=True)
+    return results  # type: ignore[return-value]

@@ -8,8 +8,10 @@ artifact of a toothless oracle.
 
 import pytest
 
+from repro.il import parse_program
 from repro.il.generator import GeneratorConfig
 from repro.testing import differential_campaign
+from repro.testing.differential import check_equivalence
 from repro.opts import (
     branch_fold,
     const_fold,
@@ -88,3 +90,80 @@ class TestHarnessSensitivity:
         # otherwise the oracle is too weak to mean anything.
         result = differential_campaign(assign_removal_overbroad, seeds=range(60))
         assert result.mismatches
+
+
+RETURNS_VALUE = """
+main(n) {
+  decl a;
+  a := n + 1;
+  return a;
+}
+"""
+
+GETS_STUCK = """
+main(n) {
+  decl a;
+  a := n / 0;
+  return a;
+}
+"""
+
+DIVERGES = """
+main(n) {
+  decl a;
+  a := 0;
+  a := a + 1;
+  if 1 goto 2 else 2;
+  return a;
+}
+"""
+
+
+class TestOneDirectionalEquivalence:
+    """Regression lock on the paper's section-4 equivalence definition:
+    only completed runs of the *original* program constrain the transformed
+    one — but those runs must complete (and agree) in the transformed
+    program, so a transformed run that gets stuck is a flagged violation."""
+
+    def test_transformed_stuck_is_flagged_distinctly(self):
+        mismatch = check_equivalence(
+            parse_program(RETURNS_VALUE), parse_program(GETS_STUCK), args=(3,)
+        )
+        assert mismatch is not None
+        assert "STUCK" in mismatch
+        assert "progress violation" in mismatch
+
+    def test_transformed_fuel_exhaustion_is_flagged(self):
+        mismatch = check_equivalence(
+            parse_program(RETURNS_VALUE), parse_program(DIVERGES), args=(3,),
+            fuel=2_000,
+        )
+        assert mismatch is not None
+        assert "fuel" in mismatch
+
+    def test_wrong_value_is_flagged(self):
+        changed = RETURNS_VALUE.replace("n + 1", "n + 2")
+        mismatch = check_equivalence(
+            parse_program(RETURNS_VALUE), parse_program(changed), args=(3,)
+        )
+        assert mismatch is not None
+        assert "returned 4" in mismatch and "returned 5" in mismatch
+
+    def test_original_stuck_constrains_nothing(self):
+        # One-directional: the original getting stuck licenses *any*
+        # transformed behaviour, including returning a value.
+        assert check_equivalence(
+            parse_program(GETS_STUCK), parse_program(RETURNS_VALUE), args=(3,)
+        ) is None
+
+    def test_original_divergence_constrains_nothing(self):
+        assert check_equivalence(
+            parse_program(DIVERGES), parse_program(RETURNS_VALUE), args=(3,),
+            fuel=2_000,
+        ) is None
+
+    def test_identical_programs_equivalent(self):
+        assert check_equivalence(
+            parse_program(RETURNS_VALUE), parse_program(RETURNS_VALUE),
+            args=range(-3, 4),
+        ) is None

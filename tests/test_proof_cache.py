@@ -1,0 +1,221 @@
+"""The persistent content-addressed proof cache (repro.verify.cache).
+
+Covers the cache contract the parallel/cached checker relies on:
+
+* miss-then-hit round trips through a real checker, with identical verdicts;
+* key stability across *processes* (keys are content hashes of
+  deterministically rendered formulas, not interned ids);
+* invalidation when an optimization's guards, witness, or the background
+  axiom set change (the key covers all proof inputs);
+* ``unknown`` verdicts are config-scoped while ``proved`` ones are not;
+* a corrupted cache file is recovered from, never fatal.
+"""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cobalt.guards import GNot, GLabel
+from repro.cobalt.labels import standard_registry
+from repro.cobalt.patterns import VarPat
+from repro.prover import ProverConfig
+from repro.verify import ProofCache, SoundnessChecker
+from repro.verify.cache import (
+    CACHE_FILENAME,
+    axioms_digest,
+    config_fingerprint,
+    obligation_key,
+)
+from repro.verify.encode import CONSTRUCTORS, all_axioms
+from repro.verify.obligations import ObligationBuilder
+from repro.opts import const_fold, const_prop
+
+FAST = ProverConfig(timeout_s=60.0)
+
+
+def _obligations(pattern):
+    return ObligationBuilder(standard_registry()).forward_obligations(pattern)
+
+
+@pytest.fixture()
+def digest():
+    return axioms_digest(all_axioms(), CONSTRUCTORS)
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, tmp_path):
+        cold = SoundnessChecker(config=FAST, cache=tmp_path)
+        report_cold = cold.check_optimization(const_fold)
+        assert report_cold.sound
+        assert cold.cache.stats.hits == 0
+        assert cold.cache.stats.stores == len(report_cold.results)
+        assert (tmp_path / CACHE_FILENAME).exists()
+
+        warm = SoundnessChecker(config=FAST, cache=tmp_path)
+        report_warm = warm.check_optimization(const_fold)
+        assert report_warm.sound
+        assert warm.cache.stats.misses == 0
+        assert warm.cache.stats.hits == len(report_warm.results)
+        assert all(r.cached for r in report_warm.results)
+        # Same verdicts, same canonical report, near-zero replay time.
+        assert report_warm.canonical() == report_cold.canonical()
+        assert report_warm.elapsed_s < report_cold.elapsed_s
+
+    def test_cache_shared_across_checker_instances(self, tmp_path):
+        cache = ProofCache(tmp_path)
+        a = SoundnessChecker(config=FAST, cache=cache)
+        a.check_optimization(const_fold)
+        b = SoundnessChecker(config=FAST, cache=cache)
+        report = b.check_optimization(const_fold)
+        assert all(r.cached for r in report.results)
+
+
+class TestKeyStability:
+    def test_same_obligation_same_key(self, digest):
+        keys1 = [obligation_key(ob, digest) for ob in _obligations(const_fold.pattern)]
+        keys2 = [obligation_key(ob, digest) for ob in _obligations(const_fold.pattern)]
+        assert keys1 == keys2
+
+    def test_keys_stable_across_processes(self, digest):
+        keys = [obligation_key(ob, digest) for ob in _obligations(const_prop.pattern)]
+        src = Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        script = (
+            "from repro.verify.cache import axioms_digest, obligation_key\n"
+            "from repro.verify.encode import CONSTRUCTORS, all_axioms\n"
+            "from repro.verify.obligations import ObligationBuilder\n"
+            "from repro.cobalt.labels import standard_registry\n"
+            "from repro.opts import const_prop\n"
+            "digest = axioms_digest(all_axioms(), CONSTRUCTORS)\n"
+            "obs = ObligationBuilder(standard_registry())"
+            ".forward_obligations(const_prop.pattern)\n"
+            "print('\\n'.join(obligation_key(ob, digest) for ob in obs))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert out.stdout.split() == keys
+
+
+class TestInvalidation:
+    def test_guard_change_invalidates_affected_obligations(self, digest):
+        # The innocuous guard psi2 occurs in F2 only, so editing it must
+        # invalidate F2 — and *only* F2: F1/F3 verdicts survive the edit.
+        base = {ob.name: obligation_key(ob, digest)
+                for ob in _obligations(const_prop.pattern)}
+        weakened = dataclasses.replace(
+            const_prop.pattern, psi2=GNot(GLabel("syntacticDef", (VarPat("Y"),)))
+        )
+        changed = {ob.name: obligation_key(ob, digest)
+                   for ob in _obligations(weakened)}
+        assert changed["F2"] != base["F2"]
+        assert changed["F1"] == base["F1"]
+        assert changed["F3"] == base["F3"]
+
+    def test_witness_change_changes_keys(self, digest):
+        from repro.cobalt.witness import TrueWitness
+
+        base = _obligations(const_prop.pattern)
+        rewitnessed = dataclasses.replace(const_prop.pattern, witness=TrueWitness())
+        changed = _obligations(rewitnessed)
+        assert {obligation_key(ob, digest) for ob in base}.isdisjoint(
+            obligation_key(ob, digest) for ob in changed
+        )
+
+    def test_axiom_set_change_changes_keys(self):
+        ob = _obligations(const_fold.pattern)[0]
+        full = axioms_digest(all_axioms(), CONSTRUCTORS)
+        truncated = axioms_digest(all_axioms()[:-1], CONSTRUCTORS)
+        assert full != truncated
+        assert obligation_key(ob, full) != obligation_key(ob, truncated)
+
+    def test_name_does_not_participate(self, digest):
+        ob = _obligations(const_fold.pattern)[0]
+        renamed = dataclasses.replace(ob, name="somethingElse")
+        assert obligation_key(ob, digest) == obligation_key(renamed, digest)
+
+
+class TestConfigScoping:
+    def test_unknown_only_replayed_under_same_config(self, tmp_path):
+        cache = ProofCache(tmp_path)
+        fp_small = config_fingerprint(ProverConfig(timeout_s=1.0))
+        fp_big = config_fingerprint(ProverConfig(timeout_s=300.0))
+        cache.put("k", proved=False, elapsed_s=1.0, context=["<resource limit>"],
+                  config_fp=fp_small)
+        assert cache.get("k", fp_big) is None  # a bigger budget might prove it
+        hit = cache.get("k", fp_small)
+        assert hit is not None and not hit.proved
+
+    def test_proved_replayed_under_any_config(self, tmp_path):
+        cache = ProofCache(tmp_path)
+        fp_small = config_fingerprint(ProverConfig(timeout_s=1.0))
+        fp_big = config_fingerprint(ProverConfig(timeout_s=300.0))
+        cache.put("k", proved=True, elapsed_s=1.0, config_fp=fp_small)
+        hit = cache.get("k", fp_big)
+        assert hit is not None and hit.proved
+
+
+class TestRobustness:
+    def test_corrupted_file_recovered(self, tmp_path):
+        path = tmp_path / CACHE_FILENAME
+        path.write_text('{"schema": 1, "entries": {truncated')
+        cache = ProofCache(tmp_path)
+        assert len(cache) == 0
+        cache.put("k", proved=True, elapsed_s=0.5)
+        cache.save()
+        assert json.loads(path.read_text())["schema"] == 1
+        assert len(ProofCache(tmp_path)) == 1
+
+    def test_wrong_schema_ignored(self, tmp_path):
+        path = tmp_path / CACHE_FILENAME
+        path.write_text(json.dumps({"schema": 999, "entries": {"k": {}}}))
+        assert len(ProofCache(tmp_path)) == 0
+
+    def test_missing_directory_created_on_save(self, tmp_path):
+        cache = ProofCache(tmp_path / "deep" / "nested")
+        cache.put("k", proved=True, elapsed_s=0.1)
+        cache.save()
+        assert (tmp_path / "deep" / "nested" / CACHE_FILENAME).exists()
+
+    def test_save_without_changes_is_noop(self, tmp_path):
+        cache = ProofCache(tmp_path)
+        cache.save()
+        assert not (tmp_path / CACHE_FILENAME).exists()
+
+    def test_direct_json_path_accepted(self, tmp_path):
+        cache = ProofCache(tmp_path / "verdicts.json")
+        cache.put("k", proved=True, elapsed_s=0.1)
+        cache.save()
+        assert (tmp_path / "verdicts.json").exists()
+        assert len(ProofCache(tmp_path / "verdicts.json")) == 1
+
+    def test_existing_plain_file_treated_as_cache_file(self, tmp_path):
+        # ``--cache-dir some-existing-file`` must not crash trying to mkdir
+        # over the file; the path is taken as the cache file itself.
+        path = tmp_path / "cachefile"
+        path.write_text("not json at all")
+        cache = ProofCache(path)
+        assert len(cache) == 0
+        cache.put("k", proved=True, elapsed_s=0.1)
+        cache.save()
+        assert len(ProofCache(path)) == 1
+
+    def test_unwritable_location_degrades_to_warning(self, tmp_path, capsys):
+        # Persisting into a location whose parent is a plain file cannot
+        # succeed; verification results must survive anyway.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        cache = ProofCache(blocker / "sub")  # parent path is a file
+        cache.put("k", proved=True, elapsed_s=0.1)
+        cache.save()  # must not raise
+        assert "[proof-cache] not persisted" in capsys.readouterr().err
