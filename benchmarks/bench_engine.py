@@ -6,16 +6,26 @@ harness measures our implementation of the same algorithm: per-optimization
 throughput over generated programs (fixed-point analysis + transformation),
 scaling with procedure size, and the recursive/iterated mode (the
 "recursive version of dead-assignment elimination" the paper describes).
+
+The scaling experiment compares the two fixpoint solvers head to head
+(see docs/ENGINE.md): the retained naive reference sweep ("before") vs.
+the memoized priority worklist ("after"), asserting along the way that
+their facts and transformations are identical — the speedup must not buy
+a different answer.
 """
 
+import time
 from dataclasses import replace
 
 import pytest
 
 from repro.il.generator import GeneratorConfig, ProgramGenerator
+from repro.cobalt.engine import CobaltEngine
+from repro.cobalt.labels import standard_registry
 from repro.opts import const_prop, copy_prop, cse, dae
 
 _SUMMARY = []
+_SCALING = []
 
 
 def _programs(count, **kw):
@@ -41,15 +51,82 @@ def test_engine_throughput(benchmark, engine, opt):
     _SUMMARY.append((opt.name, stmts, total))
 
 
-@pytest.mark.parametrize("size", [8, 16, 32, 64], ids=lambda s: f"{s}stmts")
-def test_engine_scaling(benchmark, engine, size):
-    procs = _programs(6, num_stmts=size, num_vars=4)
+def _timed(engine, procs, opts):
+    """One full suite pass over ``procs``; returns (seconds, stats delta)."""
+    engine.reset_stats()
+    outputs = []
+    start = time.perf_counter()
+    for proc in procs:
+        for opt in opts:
+            outputs.append(engine.run_optimization(opt, proc))
+    elapsed = time.perf_counter() - start
+    return elapsed, engine.stats.snapshot(), outputs
+
+
+@pytest.mark.parametrize(
+    "size", [8, 16, 32, 64, 128], ids=lambda s: f"{s}stmts"
+)
+def test_engine_scaling(benchmark, size):
+    """Sweep vs. worklist at growing procedure sizes.
+
+    Both solvers run the same passes over the same programs; results must
+    be identical, and from 64 statements up the worklist must strictly
+    dominate the sweep (fewer ``keeps`` evaluations *and* lower wall
+    time) — the E4 acceptance criterion.
+    """
+    procs = _programs(4, num_stmts=size, num_vars=4)
+    opts = [const_prop, dae]
+    reference = CobaltEngine(standard_registry(), mode="reference")
+    worklist = CobaltEngine(standard_registry())
+
+    ref_s, ref_stats, ref_out = _timed(reference, procs, opts)
+    wl_s, wl_stats, wl_out = _timed(worklist, procs, opts)
+
+    assert wl_out == ref_out, "worklist and reference engines diverge"
+    assert wl_stats.keeps_evals < ref_stats.keeps_evals
+    if size >= 64:
+        assert wl_s < ref_s, (
+            f"worklist ({wl_s:.3f}s) must beat the sweep ({ref_s:.3f}s) "
+            f"at {size} statements"
+        )
+
+    _SCALING.append(
+        (
+            size,
+            ref_s,
+            wl_s,
+            ref_stats.sweeps,
+            wl_stats.worklist_pops,
+            ref_stats.keeps_evals,
+            wl_stats.keeps_evals,
+            wl_stats.keeps_hit_rate,
+        )
+    )
+    benchmark.pedantic(
+        lambda: _timed(CobaltEngine(standard_registry()), procs, opts),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("mode", ["reference", "worklist"])
+def test_engine_smoke_cross_check(benchmark, mode):
+    """The CI smoke tier: one small-size suite pass per solver, asserting
+    the worklist reproduces the reference sweep exactly."""
+    procs = _programs(3, num_stmts=12, num_vars=4)
+    opts = [const_prop, copy_prop, cse, dae]
+    engine = CobaltEngine(standard_registry(), mode=mode)
+    other = CobaltEngine(
+        standard_registry(),
+        mode="worklist" if mode == "reference" else "reference",
+    )
 
     def run():
-        for proc in procs:
-            engine.run_optimization(const_prop, proc)
+        return [engine.run_optimization(opt, p) for p in procs for opt in opts]
 
-    benchmark(run)
+    mine = benchmark(run)
+    theirs = [other.run_optimization(opt, p) for p in procs for opt in opts]
+    assert mine == theirs
 
 
 def test_iterated_dae(benchmark, engine):
@@ -116,12 +193,33 @@ def test_composed_fixpoint(benchmark, engine):
 
 def test_zz_report(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    if not _SUMMARY:
+    if not _SUMMARY and not _SCALING:
         return
     from _report import emit
 
-    lines = ["=== E4: engine throughput (20 generated procedures each) ==="]
-    lines.append(f"{'optimization':16s} {'stmts':>6s} {'transformations':>16s}")
-    for name, stmts, total in _SUMMARY:
-        lines.append(f"{name:16s} {stmts:6d} {total:16d}")
+    lines = []
+    if _SUMMARY:
+        lines.append("=== E4: engine throughput (20 generated procedures each) ===")
+        lines.append(f"{'optimization':16s} {'stmts':>6s} {'transformations':>16s}")
+        for name, stmts, total in _SUMMARY:
+            lines.append(f"{name:16s} {stmts:6d} {total:16d}")
+    if _SCALING:
+        if lines:
+            lines.append("")
+        lines.append(
+            "=== E4: sweep vs. worklist scaling "
+            "(constProp+deadAssignElim over 4 procedures) ==="
+        )
+        lines.append(
+            f"{'size':>5s} {'sweep_s':>9s} {'worklist_s':>11s} {'speedup':>8s} "
+            f"{'sweeps':>7s} {'pops':>7s} {'sweep_keeps':>12s} "
+            f"{'wl_keeps':>9s} {'hit_rate':>9s}"
+        )
+        for size, ref_s, wl_s, sweeps, pops, ref_keeps, wl_keeps, rate in _SCALING:
+            speedup = ref_s / wl_s if wl_s else float("inf")
+            lines.append(
+                f"{size:5d} {ref_s:9.4f} {wl_s:11.4f} {speedup:7.1f}x "
+                f"{sweeps:7d} {pops:7d} {ref_keeps:12d} {wl_keeps:9d} "
+                f"{rate:8.1%}"
+            )
     emit("E4_engine", "\n".join(lines))

@@ -3,7 +3,9 @@
 Usage (also via ``python -m repro``)::
 
     repro-cobalt check FILE.cobalt [--infer-witness]
-    repro-cobalt opt PROGRAM.il --passes constProp,deadAssignElim [--iterate] [--trust]
+    repro-cobalt opt PROGRAM.il --passes constProp,deadAssignElim
+                 [--iterate] [--trust] [--engine worklist|reference]
+                 [--engine-stats]
     repro-cobalt run PROGRAM.il ARG
     repro-cobalt counterexample FILE.cobalt
     repro-cobalt [--jobs N] [--cache-dir DIR] suite
@@ -13,7 +15,11 @@ Usage (also via ``python -m repro``)::
   file and proves (or rejects) each one; with ``--infer-witness`` missing
   or failing witnesses are inferred and re-verified.
 * ``opt`` optimizes an IL program with the named library passes — proving
-  each pass sound first unless ``--trust`` is given.
+  each pass sound first unless ``--trust`` is given.  ``--engine`` selects
+  the fixpoint solver (the memoized worklist default, or the reference
+  sweep it is cross-checked against) and ``--engine-stats`` prints the
+  engine's observability counters — fixpoint iterations, worklist pops,
+  check-cache hit rate, per-phase wall time (see docs/ENGINE.md).
 * ``run`` interprets ``main(ARG)``.
 * ``counterexample`` searches for a concrete miscompilation for a rejected
   optimization (section 7).
@@ -145,7 +151,7 @@ def cmd_opt(args) -> int:
                                  f"use --trust to run it anyway")
 
     program = parse_program(open(args.file).read())
-    engine = CobaltEngine(standard_registry())
+    engine = CobaltEngine(standard_registry(), mode=args.engine)
     total = 0
     for opt in passes:
         program_new = engine.run_on_program(opt, program)
@@ -159,6 +165,8 @@ def cmd_opt(args) -> int:
         total += changed
         program = program_new
     print(program_to_str(program))
+    if args.engine_stats:
+        print(engine.stats.table(), file=sys.stderr)
     return 0
 
 
@@ -248,6 +256,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run each pass to a fixpoint")
     p.add_argument("--trust", action="store_true",
                    help="skip re-verifying the passes before running them")
+    p.add_argument("--engine", choices=("worklist", "reference"),
+                   default="worklist",
+                   help="fixpoint solver: the memoized priority worklist "
+                        "(default) or the naive reference sweep")
+    p.add_argument("--engine-stats", action="store_true",
+                   help="print engine observability counters (fixpoint "
+                        "iterations, worklist pops, cache hit rates, "
+                        "per-phase wall time) to stderr")
     p.set_defaults(fn=cmd_opt)
 
     p = sub.add_parser("run", help="interpret main(ARG) of an IL program")

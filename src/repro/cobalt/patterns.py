@@ -129,6 +129,31 @@ def thaw_subst(frozen: FrozenSubst) -> Subst:
     return dict(frozen)
 
 
+#: Interned ordering keys: ``repr`` of a FrozenSubst is a stable total
+#: order over the substitutions of a fact set, but recomputing it for
+#: every sort on the engine's hot path is wasteful — the same frozen
+#: substitutions recur across nodes and fixpoint iterations.  The table
+#: is bounded so pathological workloads cannot grow it without limit.
+_ORDER_KEYS: Dict[FrozenSubst, str] = {}
+_ORDER_KEYS_LIMIT = 1 << 20
+
+
+def subst_order_key(frozen: FrozenSubst) -> str:
+    """A deterministic sort key for frozen substitutions (interned).
+
+    Equal substitutions always produce equal keys, so any two engines
+    sorting the same fact set enumerate it in the same order — the
+    property the deterministic-``Delta`` guarantee rests on.
+    """
+    key = _ORDER_KEYS.get(frozen)
+    if key is None:
+        if len(_ORDER_KEYS) >= _ORDER_KEYS_LIMIT:
+            _ORDER_KEYS.clear()
+        key = repr(frozen)
+        _ORDER_KEYS[frozen] = key
+    return key
+
+
 class PatternError(Exception):
     """Raised on malformed patterns or incomplete instantiations."""
 

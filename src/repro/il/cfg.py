@@ -7,7 +7,7 @@ can talk about nodes and statements interchangeably.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
 from repro.il.ast import IfGoto, Return, Stmt
@@ -16,11 +16,19 @@ from repro.il.program import Procedure
 
 @dataclass(frozen=True)
 class Cfg:
-    """An immutable control-flow graph for one procedure."""
+    """An immutable control-flow graph for one procedure.
+
+    Traversal orders and reachability sets are computed once per graph and
+    memoized (the graph itself never changes), since the execution engine
+    consults them on every ``guard_facts`` call.
+    """
 
     proc: Procedure
     succs: Tuple[Tuple[int, ...], ...]
     preds: Tuple[Tuple[int, ...], ...]
+    _memo: Dict[str, object] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     @staticmethod
     def build(proc: Procedure) -> "Cfg":
@@ -61,11 +69,76 @@ class Cfg:
 
     def reachable_from_entry(self) -> FrozenSet[int]:
         """Nodes reachable from the entry node."""
-        return self._reach([self.entry], self.successors)
+        cached = self._memo.get("reach_entry")
+        if cached is None:
+            cached = self._reach([self.entry] if len(self.succs) else [], self.successors)
+            self._memo["reach_entry"] = cached
+        return cached  # type: ignore[return-value]
 
     def reaching_exit(self) -> FrozenSet[int]:
         """Nodes from which some return statement is reachable."""
-        return self._reach(list(self.exits()), self.predecessors)
+        cached = self._memo.get("reach_exit")
+        if cached is None:
+            cached = self._reach(list(self.exits()), self.predecessors)
+            self._memo["reach_exit"] = cached
+        return cached  # type: ignore[return-value]
+
+    def reverse_postorder(self) -> Tuple[int, ...]:
+        """All nodes, entry-reachable ones first in reverse postorder.
+
+        Reverse postorder visits a node before its (non-back-edge)
+        successors, which makes a forward dataflow worklist converge in
+        near-linear time.  Nodes unreachable from the entry follow in
+        index order so every node still appears exactly once.
+        """
+        cached = self._memo.get("rpo")
+        if cached is None:
+            post, seen = self._dfs_postorder()
+            rest = tuple(i for i in range(len(self.succs)) if i not in seen)
+            cached = tuple(reversed(post)) + rest
+            self._memo["rpo"] = cached
+        return cached  # type: ignore[return-value]
+
+    def postorder(self) -> Tuple[int, ...]:
+        """All nodes, entry-reachable ones first in postorder.
+
+        Postorder visits a node after its (non-back-edge) successors —
+        the natural processing order for a backward dataflow worklist.
+        Unreachable nodes follow in index order.
+        """
+        cached = self._memo.get("po")
+        if cached is None:
+            post, seen = self._dfs_postorder()
+            rest = tuple(i for i in range(len(self.succs)) if i not in seen)
+            cached = tuple(post) + rest
+            self._memo["po"] = cached
+        return cached  # type: ignore[return-value]
+
+    def _dfs_postorder(self) -> Tuple[List[int], FrozenSet[int]]:
+        """Iterative DFS from the entry; deterministic (successors are
+        stored sorted)."""
+        if not self.succs:
+            return [], frozenset()
+        seen = {self.entry}
+        post: List[int] = []
+        stack: List[Tuple[int, int]] = [(self.entry, 0)]
+        while stack:
+            node, child = stack[-1]
+            succs = self.succs[node]
+            pushed = False
+            while child < len(succs):
+                nxt = succs[child]
+                child += 1
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack[-1] = (node, child)
+                    stack.append((nxt, 0))
+                    pushed = True
+                    break
+            if not pushed:
+                post.append(node)
+                stack.pop()
+        return post, frozenset(seen)
 
     def _reach(self, roots: List[int], step) -> FrozenSet[int]:
         seen = set(roots)

@@ -146,6 +146,27 @@ class TestOptCommand:
         with pytest.raises(SystemExit):
             main(["opt", program_file, "--passes", "noSuchPass", "--trust"])
 
+    def test_engine_stats_flag(self, program_file, capsys):
+        code = main(
+            ["opt", program_file, "--passes", "constProp", "--trust",
+             "--engine-stats"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "b := 2" in captured.out
+        assert "engine stats:" in captured.err
+        assert "worklist pops" in captured.err
+        assert "hit rate" in captured.err
+
+    def test_reference_engine_same_output(self, program_file, capsys):
+        assert main(["opt", program_file, "--passes", "constProp",
+                     "--trust"]) == 0
+        worklist_out = capsys.readouterr().out
+        assert main(["opt", program_file, "--passes", "constProp", "--trust",
+                     "--engine", "reference"]) == 0
+        reference_out = capsys.readouterr().out
+        assert worklist_out == reference_out
+
     def test_pipeline(self, program_file, capsys):
         code = main(
             [
