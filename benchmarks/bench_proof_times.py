@@ -27,6 +27,18 @@ from repro.opts import ALL_OPTIMIZATIONS, taintedness_analysis
 
 _RESULTS = {}
 _WARM = {}
+_RACE = {}
+
+#: Rows raced reference-vs-incremental (the ones with enough search for the
+#: comparison to mean anything; folding rules finish in milliseconds).
+_RACE_ROWS = [
+    "cse",
+    "loadElim",
+    "deadAssignElim",
+    "partialDaeSink",
+    "preDuplicate",
+    "licmDuplicate",
+]
 
 
 @pytest.fixture(scope="module")
@@ -79,6 +91,46 @@ def test_yy_warm_replay(benchmark, cache_dir):
     assert warm.cache.stats.misses == 0, "warm replay missed the cache"
 
 
+def _mode_fingerprint(report):
+    ctxs = tuple(
+        (r.obligation, r.proved, tuple(r.context)) for r in report.results
+    )
+    for dep in report.dependencies:
+        ctxs += tuple(
+            (r.obligation, r.proved, tuple(r.context)) for r in dep.results
+        )
+    return report.canonical(), ctxs
+
+
+@pytest.mark.parametrize("name", _RACE_ROWS)
+def test_xx_mode_race(benchmark, name):
+    """Reference vs incremental on the same row, no cache: the verdicts
+    (status tree + counterexample contexts) must be byte-identical and the
+    incremental mode must evaluate strictly fewer ground literals."""
+    opt = {o.name: o for o in ALL_OPTIMIZATIONS}[name]
+    out = {}
+
+    def race():
+        for mode in ("reference", "incremental"):
+            checker = SoundnessChecker(
+                config=ProverConfig(timeout_s=120, mode=mode)
+            )
+            start = time.monotonic()
+            report = checker.check_optimization(opt)
+            elapsed = time.monotonic() - start
+            stats = report.prover_stats()
+            out[mode] = (_mode_fingerprint(report), stats.lit_evals, elapsed)
+
+    benchmark.pedantic(race, rounds=1, iterations=1)
+    ref, inc = out["reference"], out["incremental"]
+    assert ref[0] == inc[0], f"{name}: modes returned different reports"
+    assert inc[1] < ref[1], (
+        f"{name}: incremental evaluated {inc[1]} literals, "
+        f"reference {ref[1]} — not strictly fewer"
+    )
+    _RACE[name] = (ref[1], inc[1], ref[2], inc[2])
+
+
 def test_zz_report(benchmark):
     """Emits the E1 table (runs last; name-ordered after the rows)."""
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
@@ -101,5 +153,17 @@ def test_zz_report(benchmark):
             f"warm replay total {sum(_WARM.values()):.3f}s "
             f"(vs. {sum(times):.2f}s cold)"
         )
+    if _RACE:
+        lines.append("")
+        lines.append("=== reference vs incremental prover (identical verdicts) ===")
+        lines.append(
+            f"{'optimization':24s} {'ref lit-evals':>13s} {'inc lit-evals':>13s} "
+            f"{'ref':>7s} {'inc':>7s}"
+        )
+        for name, (ref_le, inc_le, ref_s, inc_s) in sorted(_RACE.items()):
+            lines.append(
+                f"{name:24s} {ref_le:13,d} {inc_le:13,d} "
+                f"{ref_s:6.2f}s {inc_s:6.2f}s"
+            )
     lines.append("paper (Simplify, 2003 workstation): range 3s .. 104s, average 28s")
     emit("E1_proof_times", "\n".join(lines))

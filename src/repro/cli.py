@@ -28,7 +28,11 @@ Usage (also via ``python -m repro``)::
 The global ``--jobs N`` flag fans proof obligations out across N worker
 processes; ``--cache-dir DIR`` persists verdicts in a content-addressed
 store so unchanged optimizations re-verify in milliseconds (see
-docs/VERIFYING.md).
+docs/VERIFYING.md).  ``--prover incremental|reference`` selects the proof
+search loop — incremental E-matching with watched ground clauses (the
+default) or the full-rescan reference it is cross-checked against — and
+``--prover-stats`` prints the prover's observability counters to stderr
+(see docs/PROVER.md).
 """
 
 from __future__ import annotations
@@ -45,7 +49,7 @@ from repro.cobalt.dsl import Optimization, PureAnalysis
 from repro.cobalt.engine import CobaltEngine
 from repro.cobalt.labels import standard_registry
 from repro.cobalt.parser import parse_optimization, parse_pure_analysis
-from repro.prover import ProverConfig
+from repro.prover import ProverConfig, ProverStats
 from repro.verify import SoundnessChecker
 
 _BLOCK_RE = re.compile(
@@ -88,21 +92,34 @@ def parse_blocks(source: str) -> List[object]:
 
 def _checker(args) -> SoundnessChecker:
     return SoundnessChecker(
-        config=ProverConfig(timeout_s=args.timeout),
+        config=ProverConfig(timeout_s=args.timeout, mode=args.prover),
         cache=args.cache_dir,
         jobs=args.jobs,
     )
+
+
+def _emit_prover_stats(args, reports) -> None:
+    """Print aggregated prover counters to stderr under ``--prover-stats``."""
+    if not getattr(args, "prover_stats", False):
+        return
+    total = ProverStats()
+    for report in reports:
+        total.merge(report.prover_stats())
+    print(total.table(), file=sys.stderr)
 
 
 def cmd_check(args) -> int:
     items = parse_blocks(open(args.file).read())
     checker = _checker(args)
     failures = 0
+    reports = []
     for item in items:
         if isinstance(item, PureAnalysis):
             report = checker.check_analysis(item)
+            reports.append(report)
         else:
             report = checker.check_pattern(item)
+            reports.append(report)
             if not report.sound and args.infer_witness:
                 from repro.verify.infer import infer_and_check
 
@@ -119,6 +136,7 @@ def cmd_check(args) -> int:
                 print("  counterexample context (first lines):")
                 for line in failing[0].context[: args.context_lines]:
                     print(f"    | {line}")
+    _emit_prover_stats(args, reports)
     return 1 if failures else 0
 
 
@@ -141,14 +159,17 @@ def cmd_opt(args) -> int:
 
     if not args.trust:
         checker = _checker(args)
+        reports = []
         for opt in passes:
             report = checker.check_optimization(opt)
+            reports.append(report)
             status = "sound" if report.sound else "REJECTED"
             print(f"[verify] {opt.name}: {status} ({report.elapsed_s:.1f}s)",
                   file=sys.stderr)
             if not report.sound:
                 raise SystemExit(f"pass {opt.name} failed verification; "
                                  f"use --trust to run it anyway")
+        _emit_prover_stats(args, reports)
 
     program = parse_program(open(args.file).read())
     engine = CobaltEngine(standard_registry(), mode=args.engine)
@@ -208,18 +229,22 @@ def cmd_suite(args) -> int:
 
     checker = _checker(args)
     failures = 0
+    reports = []
     start = time.monotonic()
     for analysis in suite.ALL_ANALYSES:
         report = checker.check_analysis(analysis)
+        reports.append(report)
         print(f"{report.name:24s} {'SOUND' if report.sound else 'REJECTED':8s} "
               f"{report.elapsed_s:7.2f}s")
         failures += 0 if report.sound else 1
     for opt in suite.ALL_OPTIMIZATIONS:
         report = checker.check_optimization(opt)
+        reports.append(report)
         print(f"{report.name:24s} {'SOUND' if report.sound else 'REJECTED':8s} "
               f"{report.elapsed_s:7.2f}s")
         failures += 0 if report.sound else 1
     elapsed = time.monotonic() - start
+    _emit_prover_stats(args, reports)
     summary = f"[suite] verified in {elapsed:.2f}s with {args.jobs} job(s)"
     if checker.cache is not None:
         summary += f"; proof cache: {checker.cache.stats} ({checker.cache.file})"
@@ -240,6 +265,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="persist proof verdicts in DIR so unchanged "
                              "optimizations re-verify from cache")
+    parser.add_argument("--prover", choices=("incremental", "reference"),
+                        default="incremental",
+                        help="proof-search loop: incremental E-matching with "
+                             "watched ground clauses (default) or the full "
+                             "rescan reference it is cross-checked against")
+    parser.add_argument("--prover-stats", action="store_true",
+                        help="print prover observability counters (match "
+                             "time, instance/dedup rates, clause wakeups, "
+                             "split decisions) to stderr after verifying")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("check", help="prove optimizations in a .cobalt file")

@@ -54,6 +54,7 @@ from repro.cobalt.guards import (
 )
 from repro.cobalt.labels import (
     CaseLabel,
+    LabelError,
     LabelRegistry,
     Labeling,
     NodeCtx,
@@ -753,7 +754,9 @@ class CobaltEngine:
                 seen.add(name)
                 try:
                     defn = self.registry.lookup(name)
-                except Exception:
+                except LabelError:
+                    # Undefined labels are reported when the guard is
+                    # evaluated; here they simply contribute no dependency.
                     return
                 if isinstance(defn, SemanticLabel):
                     out.add(name)

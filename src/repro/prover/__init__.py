@@ -18,7 +18,7 @@ Simplify) incomplete: ``UNKNOWN`` answers carry the ground context that
 resisted refutation.
 """
 
-from repro.prover.core import Prover, ProverConfig, Result, Status
+from repro.prover.core import Prover, ProverConfig, ProverStats, Result, Status
 from repro.prover.egraph import EGraph
 
-__all__ = ["EGraph", "Prover", "ProverConfig", "Result", "Status"]
+__all__ = ["EGraph", "Prover", "ProverConfig", "ProverStats", "Result", "Status"]

@@ -20,10 +20,24 @@ prover searches for a refutation:
 consistent branch remains, the prover answers ``UNKNOWN`` and reports the
 branch's asserted literals — the *counterexample context*, just as Simplify
 does (section 7 of the paper).
+
+Two interchangeable inner loops implement the search
+(``ProverConfig.mode``, see docs/PROVER.md):
+
+* ``"incremental"`` (default) — Simplify's mod-times restrict each
+  instantiation round's E-matching to structure created or merged since the
+  previous round, and ground-clause propagation is driven by watched class
+  roots: a clause is re-evaluated only when an E-graph event touches a
+  class one of its undetermined atoms mentions.
+* ``"reference"`` — the executable specification: full re-match every
+  round, full rescan every propagation pass.  Kept byte-for-byte compatible
+  with the incremental mode (same verdicts, same counterexample contexts)
+  and cross-checked against it by the test suite.
 """
 
 from __future__ import annotations
 
+import heapq
 import time
 from dataclasses import dataclass, field
 from enum import Enum
@@ -40,7 +54,12 @@ from repro.logic.formulas import (
 )
 from repro.logic.terms import App, Term
 from repro.prover.egraph import EGraph, EGraphConflict, FALSE, TRUE
-from repro.prover.ematch import binding_to_terms, ematch, select_triggers
+from repro.prover.ematch import (
+    MatchTimeout,
+    binding_to_terms,
+    ematch,
+    select_triggers,
+)
 
 
 class Status(Enum):
@@ -61,6 +80,15 @@ class ProverConfig:
     #: deliberate case-split seeds (the Cobalt checker's kind-exhaustiveness
     #: instances) — the analogue of Simplify's case-split ordering.
     split_priority: Optional[object] = None
+    #: Inner-loop selection: ``"incremental"`` (mod-times E-matching +
+    #: watched ground clauses) or ``"reference"`` (full re-match and full
+    #: rescan; the executable specification the incremental mode is
+    #: cross-checked against).  Both produce identical results.
+    mode: str = "incremental"
+    #: Debug/test hook: record the canonical keys of the instances admitted
+    #: by each instantiation round (``Result``-independent; used by the
+    #: round-by-round mode-equivalence tests).
+    record_round_instances: bool = False
 
 
 def default_split_priority(lit: "Literal", clause: "Clause") -> int:
@@ -100,12 +128,96 @@ def _is_kind_literal(lit: "Literal") -> bool:
 
 
 @dataclass
-class Stats:
+class RoundStats:
+    """One instantiation round's yield (see ``ProverStats.round_log``)."""
+
+    round: int
+    match_s: float
+    bindings: int  # bindings enumerated by E-matching
+    fresh: int  # new ground instances admitted
+    deferred: int  # instances held back by the relevance guard
+    dedup_hits: int  # bindings whose instance was already known
+
+
+@dataclass
+class ProverStats:
+    """Observability counters for one ``prove`` call (``Result.stats``).
+
+    The ``lit_evals`` / ``clause_evals`` counters are what the benchmark
+    race compares across modes: the incremental prover must answer every
+    query the reference answers while evaluating strictly fewer literals.
+    """
+
     decisions: int = 0
     propagations: int = 0
     instances: int = 0
     rounds: int = 0
     elapsed_s: float = 0.0
+    lit_evals: int = 0  # ground literal evaluations against the E-graph
+    clause_evals: int = 0  # full ground-clause evaluations
+    scan_passes: int = 0  # propagation passes over the ground clauses
+    wakeups: int = 0  # clauses woken by an E-graph event (incremental)
+    watch_moves: int = 0  # watcher registrations (incremental)
+    bindings: int = 0  # E-matching bindings enumerated
+    dedup_hits: int = 0  # bindings deduplicated against known instances
+    match_s: float = 0.0  # wall time spent in instantiation rounds
+    #: Per-round yields, capped at 1000 entries.  Not merged by ``merge``.
+    round_log: List[RoundStats] = field(default_factory=list)
+
+    def merge(self, other: "ProverStats") -> None:
+        """Accumulate another call's counters (round_log is not merged)."""
+        self.decisions += other.decisions
+        self.propagations += other.propagations
+        self.instances += other.instances
+        self.rounds += other.rounds
+        self.elapsed_s += other.elapsed_s
+        self.lit_evals += other.lit_evals
+        self.clause_evals += other.clause_evals
+        self.scan_passes += other.scan_passes
+        self.wakeups += other.wakeups
+        self.watch_moves += other.watch_moves
+        self.bindings += other.bindings
+        self.dedup_hits += other.dedup_hits
+        self.match_s += other.match_s
+
+    @property
+    def dedup_rate(self) -> float:
+        """Fraction of enumerated bindings that were already known."""
+        return self.dedup_hits / self.bindings if self.bindings else 0.0
+
+    def table(self) -> str:
+        """A human-readable rendering for ``--prover-stats``."""
+        rows = [
+            ("decisions", f"{self.decisions}"),
+            ("unit propagations", f"{self.propagations}"),
+            ("scan passes", f"{self.scan_passes}"),
+            ("clause evaluations", f"{self.clause_evals}"),
+            ("literal evaluations", f"{self.lit_evals}"),
+            ("watch wakeups", f"{self.wakeups}"),
+            ("watch registrations", f"{self.watch_moves}"),
+            ("instantiation rounds", f"{self.rounds}"),
+            ("match bindings", f"{self.bindings}"),
+            ("instances admitted", f"{self.instances}"),
+            ("dedup hit rate", f"{100.0 * self.dedup_rate:.1f}%"),
+            ("match time", f"{self.match_s:.3f}s"),
+            ("total time", f"{self.elapsed_s:.3f}s"),
+        ]
+        width = max(len(label) for label, _ in rows)
+        lines = ["prover stats:"]
+        lines += [f"  {label:<{width}}  {value}" for label, value in rows]
+        if self.round_log and len(self.round_log) <= 12:
+            lines.append("  per-round match yield:")
+            for r in self.round_log:
+                lines.append(
+                    f"    round {r.round:>3}: {r.bindings} bindings, "
+                    f"{r.fresh} fresh, {r.deferred} deferred, "
+                    f"{r.dedup_hits} dup ({r.match_s * 1000:.1f}ms)"
+                )
+        return "\n".join(lines)
+
+
+#: Backwards-compatible alias (``Result.stats`` was once a plain ``Stats``).
+Stats = ProverStats
 
 
 @dataclass
@@ -115,7 +227,11 @@ class Result:
     status: Status
     goal_name: str
     context: List[str] = field(default_factory=list)
-    stats: Stats = field(default_factory=Stats)
+    stats: ProverStats = field(default_factory=ProverStats)
+    #: Per-round admitted instances (printed-form keys), populated only
+    #: under ``ProverConfig.record_round_instances`` — the hook the
+    #: round-by-round mode-equivalence tests compare across modes.
+    round_instances: Optional[List[List[Tuple]]] = None
 
     @property
     def proved(self) -> bool:
@@ -197,11 +313,30 @@ class _Search:
 
     def __init__(self, clauses: Sequence[Clause], constructors: frozenset, cfg: ProverConfig) -> None:
         self.cfg = cfg
+        mode = getattr(cfg, "mode", "incremental") or "incremental"
+        if mode not in ("incremental", "reference"):
+            raise ValueError(f"unknown prover mode {mode!r}")
+        self.watched = mode == "incremental"
         self.egraph = EGraph(constructors)
+        self._true_node = self.egraph.term_to_node[TRUE]
         self.ground: List[Clause] = []
         self.quantified: List[Tuple[Clause, Tuple[Tuple[Term, ...], ...]]] = []
+        #: Per quantified clause: instances found by E-matching but held back
+        #: by the relevance guard, keyed like ``seen_instances``.  Global
+        #: (never popped): a ground instance of a universally quantified
+        #: axiom is valid on every branch, and keeping the carry-over global
+        #: is what lets the incremental matcher skip re-deriving it.
+        self.deferred: List[Dict[Tuple, Tuple[Tuple, Tuple, Clause]]] = []
         self.seen_instances: Set[Tuple] = set()
-        self.stats = Stats()
+        #: Structural atom interning for clause keys: atom -> small int.
+        self._atom_ids: Dict[object, int] = {}
+        #: Per-literal evaluation cache: id(lit) -> [lit, lhs_term, rhs_term,
+        #: is_kind, lhs_node, rhs_node].  The stored literal reference both
+        #: validates the id (ids of dead objects get recycled) and keeps the
+        #: literal alive so it cannot be.  Node ids are revalidated against
+        #: the node table, since pops recycle them.
+        self._lit_info: Dict[int, list] = {}
+        self.stats = ProverStats()
         self.deadline = 0.0
         self.assertion_log: List[str] = []
         self.saturated_context: List[str] = []
@@ -210,16 +345,39 @@ class _Search:
         # it is popped.
         self.sat: List[bool] = []
         self.sat_scopes: List[List[int]] = [[]]
+        #: E-graph generation up to which every trigger has been matched
+        #: against every node (advanced only when a round completes).
+        self.match_stamp = 0
+        self.round_instances: Optional[List[List[Tuple]]] = (
+            [] if cfg.record_round_instances else None
+        )
+        # Watched-clause propagation state (incremental mode).  ``evals``
+        # caches each open clause's last evaluation; ``dirty`` holds the
+        # clauses whose cache is stale; ``watchers`` maps a class root to the
+        # clauses watching it; ``eval_scopes`` re-dirties, on pop, every
+        # clause evaluated inside the popped level.
+        self.dirty: Set[int] = set()
+        self.evals: List[Optional[Tuple[int, Literal, int]]] = []
+        self.eval_scopes: List[List[int]] = [[]]
+        self.watchers: Dict[int, Set[int]] = {}
+        self.event_cursor = 0
+        self.event_marks: List[int] = []
+        # Lazy split-candidate heap: (-priority, width, index) entries pushed
+        # whenever a clause's cached evaluation changes; stale or satisfied
+        # tops are discarded at selection time.  ``split_pushed`` remembers
+        # the latest entry pushed per clause so re-evaluations that land on
+        # the same score do not flood the heap.
+        self.split_heap: List[Tuple[int, int, int]] = []
+        self.split_pushed: List[Optional[Tuple[int, int]]] = []
         for clause in clauses:
             self._classify(clause)
 
     def _classify(self, clause: Clause) -> None:
         if clause.is_ground():
-            key = _clause_key(clause)
+            key = self._clause_key(clause)
             if key not in self.seen_instances:
                 self.seen_instances.add(key)
-                self.ground.append(clause)
-                self.sat.append(False)
+                self._append_ground(clause)
             return
         triggers = tuple(
             tuple(App(p.name, p.args) if isinstance(p, Pred) else p for p in trig)
@@ -234,6 +392,33 @@ class _Search:
                     atom_terms.append(App(lit.atom.name, lit.atom.args))
             triggers = select_triggers(atom_terms, sorted(clause.vars()))
         self.quantified.append((clause, triggers))
+        self.deferred.append({})
+
+    def _append_ground(self, clause: Clause) -> int:
+        index = len(self.ground)
+        self.ground.append(clause)
+        self.sat.append(False)
+        self.evals.append(None)
+        self.split_pushed.append(None)
+        self.dirty.add(index)
+        return index
+
+    def _clause_key(self, clause: Clause) -> Tuple:
+        """Order-insensitive structural identity of a ground clause.
+
+        Atoms are interned to small integers once, so deduplicating an
+        instance against thousands of known ones sorts machine ints instead
+        of stringifying every atom."""
+        ids = self._atom_ids
+        out = []
+        for lit in clause.literals:
+            aid = ids.get(lit.atom)
+            if aid is None:
+                aid = len(ids)
+                ids[lit.atom] = aid
+            out.append((lit.positive, aid))
+        out.sort()
+        return tuple(out)
 
     # ------------------------------------------------------------------
 
@@ -251,39 +436,69 @@ class _Search:
             self.egraph.pop()
         self.stats.elapsed_s = time.monotonic() - start
         context = self.saturated_context if status is Status.UNKNOWN else []
-        return Result(status, name, context, self.stats)
+        return Result(status, name, context, self.stats, self.round_instances)
 
     # ------------------------------------------------------------------
 
-    def _lit_value(self, lit: Literal) -> Optional[bool]:
-        atom = lit.atom
-        if isinstance(atom, Eq):
-            value: Optional[bool]
-            if self.egraph.are_equal(atom.lhs, atom.rhs):
-                value = True
-            elif self.egraph.are_diseq(atom.lhs, atom.rhs):
-                value = False
+    def _eval_literal(self, lit: Literal) -> Tuple[Optional[bool], int, int]:
+        """Evaluate a ground literal; returns (value, node_a, node_b).
+
+        The node ids are the two E-graph nodes whose class relation decides
+        the literal (``lhs``/``rhs`` for equalities, the predicate term and
+        ``@true`` for predicates) — the watch points for an undetermined
+        literal.
+
+        Re-evaluations skip the deep-hashing ``add_term`` path entirely when
+        the cached node id still holds the literal's own term object; a hit
+        means the term is interned, so ``add_term`` would be a no-op and
+        skipping it cannot change behavior."""
+        self.stats.lit_evals += 1
+        eg = self.egraph
+        nodes = eg.nodes
+        n = len(nodes)
+        info = self._lit_info.get(id(lit))
+        if info is None or info[0] is not lit:
+            atom = lit.atom
+            if isinstance(atom, Eq):
+                ta, tb = atom.lhs, atom.rhs
             else:
-                self.egraph.add_term(atom.lhs)
-                self.egraph.add_term(atom.rhs)
-                if self.egraph.are_equal(atom.lhs, atom.rhs):
-                    value = True
-                elif self.egraph.are_diseq(atom.lhs, atom.rhs):
-                    value = False
-                else:
-                    value = None
+                ta, tb = App(atom.name, atom.args), None
+            info = [lit, ta, tb, _is_kind_literal(lit), -1, -1]
+            self._lit_info[id(lit)] = info
+        ta = info[1]
+        a = info[4]
+        if not (0 <= a < n and nodes[a].term is ta):
+            a = eg.add_term(ta)
+            info[1] = nodes[a].term
+            info[4] = a
+            n = len(nodes)
+        tb = info[2]
+        if tb is None:
+            b = self._true_node
         else:
-            term = App(atom.name, atom.args)
-            self.egraph.add_term(term)
-            if self.egraph.are_equal(term, TRUE):
-                value = True
-            elif self.egraph.are_equal(term, FALSE) or self.egraph.are_diseq(term, TRUE):
-                value = False
-            else:
-                value = None
-        if value is None:
-            return None
-        return value if lit.positive else not value
+            b = info[5]
+            if not (0 <= b < n and nodes[b].term is tb):
+                b = eg.add_term(tb)
+                info[2] = nodes[b].term
+                info[5] = b
+        value: Optional[bool]
+        if eg.find(a) == eg.find(b):
+            value = True
+        elif eg._ids_diseq(a, b):
+            value = False
+        else:
+            return None, a, b
+        return (value if lit.positive else not value), a, b
+
+    def _lit_is_kind(self, lit: Literal) -> bool:
+        """Cached :func:`_is_kind_literal` (hot in both scan loops)."""
+        info = self._lit_info.get(id(lit))
+        if info is not None and info[0] is lit:
+            return info[3]
+        return _is_kind_literal(lit)
+
+    def _lit_value(self, lit: Literal) -> Optional[bool]:
+        return self._eval_literal(lit)[0]
 
     def _assert_literal(self, lit: Literal, why: str) -> bool:
         """Assert a literal; False means the branch is contradictory."""
@@ -308,11 +523,25 @@ class _Search:
     def _push_level(self) -> None:
         self.egraph.push()
         self.sat_scopes.append([])
+        if self.watched:
+            self.eval_scopes.append([])
+            self.event_marks.append(len(self.egraph.events))
 
     def _pop_level(self) -> None:
         self.egraph.pop()
         for index in self.sat_scopes.pop():
             self.sat[index] = False
+        if self.watched:
+            # Every clause (re-)evaluated inside the popped level saw state
+            # that no longer exists: re-dirty it.  Events logged inside the
+            # level are dropped — their wakes either already happened or are
+            # now covered by the re-dirtying.
+            for index in self.eval_scopes.pop():
+                self.dirty.add(index)
+            mark = self.event_marks.pop()
+            del self.egraph.events[mark:]
+            if self.event_cursor > mark:
+                self.event_cursor = mark
 
     def _dpll(self, depth: int) -> bool:
         """True when the current branch is refuted."""
@@ -320,7 +549,10 @@ class _Search:
             raise _Timeout()
         rounds = 0
         while True:
-            outcome, split = self._scan()
+            if self.watched:
+                outcome, split = self._scan_watched()
+            else:
+                outcome, split = self._scan_reference()
             if outcome == "conflict":
                 return True
             if outcome == "progress":
@@ -334,17 +566,25 @@ class _Search:
                 self.saturated_context = list(self.assertion_log)
                 return False
 
-    def _scan(self) -> Tuple[str, Optional[Tuple[Literal, Clause, int]]]:
+    # -- propagation: reference (full rescan) ---------------------------------
+
+    def _scan_reference(self) -> Tuple[str, Optional[Tuple[Literal, Clause, int]]]:
         """One pass over the unsatisfied ground clauses: detect conflicts,
         assert units, and remember the best split candidate."""
+        self.stats.scan_passes += 1
         progress = False
         priority_fn = self.cfg.split_priority or default_split_priority
         best: Optional[Tuple[Literal, Clause, int]] = None
         best_score: Tuple[int, int] = (-(1 << 30), -(1 << 30))
+        evaluated = 0
         for index in range(len(self.ground)):
             if self.sat[index]:
                 continue
+            evaluated += 1
+            if (evaluated & 127) == 0 and time.monotonic() > self.deadline:
+                raise _Timeout()
             clause = self.ground[index]
+            self.stats.clause_evals += 1
             width = 0
             candidate: Optional[Literal] = None
             satisfied = False
@@ -359,7 +599,7 @@ class _Search:
                     break
                 if value is None:
                     width += 1
-                    if _is_kind_literal(lit):
+                    if self._lit_is_kind(lit):
                         has_undetermined_kind = True
                     if candidate is None:
                         candidate = lit
@@ -392,6 +632,169 @@ class _Search:
         if progress:
             return "progress", None
         return "stable", best
+
+    # -- propagation: incremental (watched class roots) -----------------------
+
+    def _drain_events(self, pos: int, heap: Optional[List[int]]) -> None:
+        """Wake the clauses watching any class root touched since the last
+        drain.  Wakes at an index still ahead of the scan position join the
+        current pass (the reference scan would reach them with the updated
+        state); wakes at or behind it stay dirty for the next pass."""
+        eg = self.egraph
+        events = eg.events
+        cursor = self.event_cursor
+        watchers = self.watchers
+        dirty = self.dirty
+        sat = self.sat
+        stats = self.stats
+        while cursor < len(events):
+            root = events[cursor]
+            cursor += 1
+            woken = watchers.pop(root, None)
+            if not woken:
+                continue
+            for c in woken:
+                if sat[c] or c in dirty:
+                    continue
+                stats.wakeups += 1
+                dirty.add(c)
+                if heap is not None and c > pos:
+                    heapq.heappush(heap, c)
+        self.event_cursor = cursor
+
+    def _scan_watched(self) -> Tuple[str, Optional[Tuple[Literal, Clause, int]]]:
+        """The watched-clause counterpart of :meth:`_scan_reference`.
+
+        Only clauses in the dirty set are (re-)evaluated, in ascending index
+        order — the same order the reference scan visits them — so units are
+        asserted in the same sequence and the split choice is byte-identical.
+        The stable-case split selection reads the cached evaluations of all
+        open clauses without touching the E-graph."""
+        stats = self.stats
+        stats.scan_passes += 1
+        priority_fn = self.cfg.split_priority or default_split_priority
+        eg = self.egraph
+        events = eg.events
+        dirty = self.dirty
+        sat = self.sat
+        evals = self.evals
+        split_pushed = self.split_pushed
+        split_heap = self.split_heap
+        scope_evals = self.eval_scopes[-1].append
+        progress = False
+        if len(events) != self.event_cursor:
+            self._drain_events(-1, None)  # decisions/instantiation since last scan
+        heap = sorted(dirty)
+        pos = -1
+        evaluated = 0
+        while heap:
+            index = heapq.heappop(heap)
+            if index not in dirty:
+                continue
+            dirty.discard(index)
+            if sat[index]:
+                continue
+            pos = index
+            evaluated += 1
+            if (evaluated & 63) == 0 and time.monotonic() > self.deadline:
+                dirty.add(index)
+                raise _Timeout()
+            # Record the evaluation *before* performing it: if the level is
+            # popped (even via a conflict mid-evaluation), the cache entry
+            # must be invalidated.
+            scope_evals(index)
+            clause = self.ground[index]
+            stats.clause_evals += 1
+            width = 0
+            candidate: Optional[Literal] = None
+            satisfied = False
+            has_undetermined_kind = False
+            watch_nodes: List[int] = []
+            try:
+                for lit in clause.literals:
+                    value, na, nb = self._eval_literal(lit)
+                    if value is True:
+                        satisfied = True
+                        break
+                    if value is None:
+                        width += 1
+                        if self._lit_is_kind(lit):
+                            has_undetermined_kind = True
+                        if candidate is None:
+                            candidate = lit
+                        watch_nodes.append(na)
+                        watch_nodes.append(nb)
+            except EGraphConflict:
+                dirty.add(index)
+                return "conflict", None
+            if satisfied:
+                self._mark_sat(index)
+                if len(events) != self.event_cursor:
+                    self._drain_events(pos, heap)
+                continue
+            if width == 0:
+                dirty.add(index)
+                return "conflict", None
+            if width == 1 and candidate is not None:
+                stats.propagations += 1
+                if not self._assert_literal(candidate, f"unit from {clause.origin or clause}"):
+                    dirty.add(index)
+                    return "conflict", None
+                self._mark_sat(index)
+                progress = True
+                if len(events) != self.event_cursor:
+                    self._drain_events(pos, heap)
+                continue
+            # Open clause: cache the evaluation and watch every class a
+            # still-undetermined literal depends on.  Watching all of them
+            # (not just two) keeps the cache exact, which the byte-identity
+            # guarantee with the reference scan requires.
+            if "seed" in clause.origin:
+                clause_priority = 2
+            elif "nosplit" in clause.origin:
+                clause_priority = -1
+            elif has_undetermined_kind:
+                clause_priority = -1
+            else:
+                clause_priority = priority_fn(candidate, clause)
+            evals[index] = (width, candidate, clause_priority)
+            entry = (-clause_priority, width)
+            if split_pushed[index] != entry:
+                heapq.heappush(split_heap, (-clause_priority, width, index))
+                split_pushed[index] = entry
+            watchers = self.watchers
+            moved = 0
+            for node in watch_nodes:
+                root = eg.find(node)
+                bucket = watchers.get(root)
+                if bucket is None:
+                    watchers[root] = bucket = set()
+                if index not in bucket:
+                    bucket.add(index)
+                    moved += 1
+            stats.watch_moves += moved
+            # Interning this clause's terms may itself have merged classes.
+            if len(events) != self.event_cursor:
+                self._drain_events(pos, heap)
+        if progress:
+            return "progress", None
+        # Stable: the split is the maximal (priority, -width) with the
+        # lowest index — exactly what the reference scan's in-order strict
+        # improvement sweep selects.  Stale and satisfied heap tops are
+        # discarded; the entry pushed for a clause's *current* evaluation is
+        # always still in the heap, so the surviving top is the true best.
+        while split_heap:
+            neg_priority, width, index = split_heap[0]
+            if not sat[index]:
+                ev = evals[index]
+                if ev is not None and ev[0] == width and ev[2] == -neg_priority:
+                    return "stable", (ev[1], self.ground[index], -neg_priority)
+            heapq.heappop(split_heap)
+            if split_pushed[index] == (neg_priority, width):
+                split_pushed[index] = None
+        return "stable", None
+
+    # -- case splitting ---------------------------------------------------------
 
     def _decide(self, lit: Literal, clause: Clause, depth: int) -> bool:
         self.stats.decisions += 1
@@ -426,49 +829,136 @@ class _Search:
         del self.assertion_log[log_mark:]
         return refuted
 
+    # -- quantifier instantiation ----------------------------------------------
+
     def _instantiate(self) -> bool:
-        """One E-matching round; True if any new ground clause appeared."""
+        """One E-matching round; True if any new ground clause appeared.
+
+        In incremental mode only structure stamped since the last *completed*
+        round is matched (Simplify's mod-times); the per-clause carry-over of
+        guard-deferred instances makes the union of "newly matched" and
+        "carried" equal to the reference mode's full re-enumeration minus
+        what is already known.  Candidates are admitted in binding-signature
+        order so both modes grow the ground clause list — and hence the rest
+        of the search — identically."""
+        stats = self.stats
+        cfg = self.cfg
+        eg = self.egraph
+        since = self.match_stamp if self.watched else 0
+        round_gen = eg.bump_generation()
+        round_no = stats.rounds
+        t0 = time.perf_counter()
+        bindings_n = 0
+        dedup_n = 0
+        fresh_n = 0
+        deferred_n = 0
         added = False
-        for clause, triggers in self.quantified:
+        recorded: List[Tuple] = []
+        for pair_idx, (clause, triggers) in enumerate(self.quantified):
+            if time.monotonic() > self.deadline:
+                raise _Timeout()
+            clause_vars = set(clause.vars())
+            carried = self.deferred[pair_idx]
+            fresh: Dict[Tuple, Tuple[Tuple, Tuple, Clause]] = {}
             for trigger in triggers:
                 try:
-                    bindings = ematch(self.egraph, trigger)
+                    bindings = ematch(eg, trigger, since=since, deadline=self.deadline)
+                except MatchTimeout:
+                    raise _Timeout()
                 except EGraphConflict:
                     return True  # conflict will be picked up by propagation
-                for binding in bindings:
-                    if len(self.seen_instances) >= self.cfg.max_instances:
-                        return added
-                    terms = binding_to_terms(self.egraph, binding)
-                    if set(terms) < set(clause.vars()):
+                bindings_n += len(bindings)
+                for bi, binding in enumerate(bindings):
+                    if (bi & 255) == 0 and time.monotonic() > self.deadline:
+                        raise _Timeout()
+                    terms = binding_to_terms(eg, binding)
+                    if set(terms) < clause_vars:
                         continue  # trigger did not bind everything
                     instance = clause.substitute(terms)
-                    key = _clause_key(instance)
-                    if key in self.seen_instances:
+                    key = self._clause_key(instance)
+                    if key in self.seen_instances or key in carried:
+                        dedup_n += 1
                         continue
-                    # Relevance guard: a conditional-semantics instance whose
-                    # constructor-kind guard is still undetermined would only
-                    # intern phantom structure (nested projections of opaque
-                    # terms).  Defer it — once propagation fixes the kind, a
-                    # later round will admit it.  Evaluating just the kind
-                    # literal interns only the small kind atom itself.
-                    deferred = False
-                    for ilit in instance.literals:
-                        if not ilit.positive and _is_kind_literal(ilit):
-                            try:
-                                if self._lit_value(ilit) is None:
-                                    deferred = True
-                                    break
-                            except EGraphConflict:
-                                return True
-                    if deferred:
+                    # The admission order must not depend on the binding
+                    # enumeration order (which differs between modes), so
+                    # each candidate carries its binding signature — the
+                    # bound class roots, which both modes compute against
+                    # identical E-graph states.
+                    sig = tuple(eg.find(binding[v]) for v in sorted(binding))
+                    prev = fresh.get(key)
+                    if prev is not None:
+                        dedup_n += 1
+                        if sig < prev[0]:
+                            fresh[key] = (sig, _render_key(instance), instance)
                         continue
-                    self.seen_instances.add(key)
-                    self.stats.instances += 1
-                    self.ground.append(instance)
-                    self.sat.append(False)
-                    added = True
+                    fresh[key] = (sig, _render_key(instance), instance)
+            if not fresh and not carried:
+                continue
+            # Admit oldest structure first: sort by binding signature (class
+            # roots), tie-broken by the printed form.  This tracks the
+            # reference enumeration's old-nodes-first bias while being
+            # identical in both modes.
+            candidates = list(carried.items())
+            candidates.extend(fresh.items())
+            candidates.sort(key=lambda kv: (kv[1][0], kv[1][1]))
+            next_carried: Dict[Tuple, Tuple[Tuple, Tuple, Clause]] = {}
+            for ci, (key, (sig, ckey, inst)) in enumerate(candidates):
+                if (ci & 63) == 0 and time.monotonic() > self.deadline:
+                    raise _Timeout()
+                if len(self.seen_instances) >= cfg.max_instances:
+                    # Budget reached mid-round: bail without advancing the
+                    # match stamp, so nothing unprocessed is lost.
+                    return added
+                # Relevance guard: a conditional-semantics instance whose
+                # constructor-kind guard is still undetermined would only
+                # intern phantom structure (nested projections of opaque
+                # terms).  Defer it — once propagation fixes the kind, a
+                # later round will admit it.  Evaluating just the kind
+                # literal interns only the small kind atom itself.
+                deferred_inst = False
+                for ilit in inst.literals:
+                    if not ilit.positive and _is_kind_literal(ilit):
+                        try:
+                            if self._lit_value(ilit) is None:
+                                deferred_inst = True
+                                break
+                        except EGraphConflict:
+                            return True
+                if deferred_inst:
+                    next_carried[key] = (sig, ckey, inst)
+                    continue
+                self.seen_instances.add(key)
+                stats.instances += 1
+                self._append_ground(inst)
+                added = True
+                fresh_n += 1
+                if self.round_instances is not None:
+                    recorded.append(ckey)
+            self.deferred[pair_idx] = next_carried
+            deferred_n += len(next_carried)
+        elapsed = time.perf_counter() - t0
+        stats.match_s += elapsed
+        stats.bindings += bindings_n
+        stats.dedup_hits += dedup_n
+        if self.watched:
+            # The round completed: everything stamped before ``round_gen``
+            # has now been matched.  (Aborted rounds — conflict, budget,
+            # timeout — leave the stamp alone and simply re-match.)
+            self.match_stamp = round_gen
+        if self.round_instances is not None:
+            self.round_instances.append(sorted(recorded))
+        if len(stats.round_log) < 1000:
+            stats.round_log.append(
+                RoundStats(round_no, elapsed, bindings_n, fresh_n, deferred_n, dedup_n)
+            )
         return added
 
 
-def _clause_key(clause: Clause) -> Tuple:
-    return tuple(sorted((lit.positive, str(lit.atom)) for lit in clause.literals))
+def _render_key(clause: Clause) -> Tuple:
+    """The printed form of an instance, in its natural literal order.
+
+    Used as a deterministic tie-break when admitting instances (two bindings
+    can yield the same clause up to literal order — e.g. a symmetric
+    multi-pattern — and carried-over signatures can collide with fresh ones
+    after merges) and as the label for round-by-round instance recording."""
+    return tuple((lit.positive, str(lit.atom)) for lit in clause.literals)

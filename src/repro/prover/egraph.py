@@ -14,6 +14,22 @@ conflicts with:
 
 All mutations are recorded on a trail so the DPLL core can ``push`` before a
 decision and ``pop`` to undo it.
+
+Two observability channels feed the incremental prover (docs/PROVER.md):
+
+* **generation stamps** (Simplify's "mod-times"): every node carries the
+  generation at which it was created or last affected by a merge.  A merge
+  touches, transitively, every application node whose arguments' classes
+  can now match further — the parents (via use lists) of both merged
+  classes, then their classes' parents, and so on.  E-matching restricted
+  to nodes stamped since the previous instantiation round therefore finds
+  exactly the bindings that did not exist before.  Stamps are trailed, so
+  backtracking restores them precisely.
+* an **event log** of class roots whose equivalence class changed (merged,
+  or gained a disequality).  The DPLL core watches ground-clause atoms by
+  class root and re-evaluates only clauses woken by an event.  The log is
+  append-only and survives ``pop`` — a stale event merely causes a spurious
+  (sound) re-evaluation.
 """
 
 from __future__ import annotations
@@ -64,6 +80,18 @@ class EGraph:
         self.trail: List[Tuple] = []
         self.scopes: List[int] = []
         self.conflict: Optional[str] = None
+        #: Generation counter for incremental E-matching.  Bumped by the
+        #: prover at the start of each instantiation round; never decreases,
+        #: even across ``pop`` (stamp monotonicity is what makes round
+        #: bookkeeping survive backtracking).
+        self.generation: int = 0
+        #: Per-node modification stamp: the generation at which the node was
+        #: created or last touched by a merge below it.  Trailed.
+        self.node_mod: List[int] = []
+        #: Append-only log of class roots whose class changed (merge or new
+        #: disequality).  Consumers keep their own cursor; entries are never
+        #: removed on ``pop``.
+        self.events: List[int] = []
         # Interned booleans, pre-asserted distinct.
         t = self.add_term(TRUE)
         f = self.add_term(FALSE)
@@ -120,9 +148,33 @@ class EGraph:
             self.class_ctor[node_id] = node_id
         if fn is not None:
             self.fn_index.setdefault(fn, []).append(node_id)
+        self.node_mod.append(self.generation)
         self.term_to_node[term] = node_id
         self.trail.append(("node", term, node_id))
         return node_id
+
+    def bump_generation(self) -> int:
+        """Advance the generation counter (one instantiation round)."""
+        self.generation += 1
+        return self.generation
+
+    def _touch_parents(self, root: int) -> None:
+        """Stamp, transitively, the parents of ``root``'s class.
+
+        Called after a merge: any application node whose argument classes
+        (at any depth) just changed can now yield E-matching bindings that
+        did not exist before, so its mod stamp is raised to the current
+        generation.  Each node is stamped at most once per generation."""
+        g = self.generation
+        node_mod = self.node_mod
+        stack = [root]
+        while stack:
+            r = stack.pop()
+            for p in self.use_list.get(r, ()):
+                if node_mod[p] != g:
+                    self.trail.append(("mod", p, node_mod[p]))
+                    node_mod[p] = g
+                    stack.append(self.find(p))
 
     def _post_node_theories(self, node_id: int) -> None:
         """Constructor/arith bookkeeping for a freshly interned application."""
@@ -164,6 +216,8 @@ class EGraph:
             self.diseq[ra].add(rb)
             self.diseq.setdefault(rb, set()).add(ra)
             self.trail.append(("diseq", ra, rb))
+            self.events.append(ra)
+            self.events.append(rb)
 
     def are_equal(self, t1: Term, t2: Term) -> bool:
         """Congruence-aware equality check (interns the terms if needed).
@@ -215,6 +269,8 @@ class EGraph:
                 )
             # Theory checks and propagation before the union.
             self._theory_premerge(rx, ry, pending, why)
+            self.events.append(rx)
+            self.events.append(ry)
             if self.rank[rx] < self.rank[ry]:
                 rx, ry = ry, rx
             # ry is absorbed into rx.
@@ -264,6 +320,9 @@ class EGraph:
             # Arithmetic folding may now apply to parents.
             for p in self.use_list.get(rx, []):
                 self._try_fold_arith(p, pending)
+            # Mod-times: parents (transitively) of the merged class can now
+            # match E-matching patterns they could not before.
+            self._touch_parents(rx)
 
     def _theory_premerge(self, rx: int, ry: int, pending: List[Tuple[int, int, str]], why: str) -> None:
         vx, vy = self.class_int.get(rx), self.class_int.get(ry)
@@ -336,6 +395,7 @@ class EGraph:
                 fn = term.fn if isinstance(term, App) else None
                 if fn is not None:
                     self.fn_index[fn].pop()
+                self.node_mod.pop()
                 del self.term_to_node[term]
             elif kind == "sig":
                 _, sig = entry
@@ -376,6 +436,9 @@ class EGraph:
                     self.class_ctor.pop(root, None)
                 else:
                     self.class_ctor[root] = old
+            elif kind == "mod":
+                _, node_id, old_mod = entry
+                self.node_mod[node_id] = old_mod
             else:  # pragma: no cover - defensive
                 raise AssertionError(f"unknown trail entry {kind}")
         self.conflict = None
@@ -385,6 +448,13 @@ class EGraph:
     def nodes_with_fn(self, fn: str) -> List[int]:
         """All application nodes with head symbol ``fn`` (live view)."""
         return self.fn_index.get(fn, [])
+
+    def nodes_with_fn_since(self, fn: str, since: int) -> List[int]:
+        """Application nodes with head ``fn`` created or touched at
+        generation ``since`` or later (the incremental matcher's candidate
+        set for one pattern position)."""
+        node_mod = self.node_mod
+        return [n for n in self.fn_index.get(fn, ()) if node_mod[n] >= since]
 
     def class_of(self, node_id: int) -> int:
         return self.find(node_id)

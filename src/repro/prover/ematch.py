@@ -9,10 +9,24 @@ axioms, exactly as in Simplify (Detlefs, Nelson & Saxe).
 Bindings map variables to class *roots*; instantiation uses each class's
 small representative term, so instantiated clauses stay readable and do not
 grow unboundedly.
+
+**Incremental matching** (Simplify's "mod-times", section 5.2 of the
+Simplify paper): with ``since > 0``, only bindings that involve E-graph
+structure created or touched at generation ``since`` or later are
+enumerated.  For a multi-pattern of k terms this takes k passes — pass i
+restricts pattern term i's top-level candidates to touched nodes and leaves
+the other terms unrestricted — because a new binding need only be new in
+*one* of its components.  Completeness rests on the E-graph's stamp
+propagation: a merge touches, transitively, every application node whose
+descent can now reach further, so any binding absent at the previous stamp
+has at least one pattern term whose top-level node is stamped ``>= since``.
+Results are deduplicated across passes by the canonical (variable, root)
+map, so callers see each binding once.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.logic.terms import App, IntConst, LVar, Term, free_vars
@@ -21,40 +35,98 @@ from repro.prover.egraph import EGraph
 Binding = Dict[str, int]  # variable name -> class root
 
 
-def ematch(egraph: EGraph, patterns: Sequence[Term]) -> List[Binding]:
+class MatchTimeout(Exception):
+    """Raised when a match call exceeds the caller-supplied deadline."""
+
+
+#: How many top-level candidate nodes to examine between deadline checks.
+_DEADLINE_STRIDE = 64
+
+
+def ematch(
+    egraph: EGraph,
+    patterns: Sequence[Term],
+    *,
+    since: int = 0,
+    deadline: Optional[float] = None,
+) -> List[Binding]:
     """All bindings under which every pattern matches the E-graph.
 
-    Results are deduplicated by the canonical (variable, class-root) map.
+    With ``since > 0`` only bindings involving structure stamped at
+    generation ``since`` or later are produced (plus, possibly, a few older
+    ones rediscovered through touched nodes — callers deduplicate at the
+    instance level anyway).  Results are deduplicated by the canonical
+    (variable, class-root) map.  ``deadline`` (a ``time.monotonic`` value)
+    bounds the enumeration; exceeding it raises :class:`MatchTimeout`.
     """
     results: List[Binding] = []
     seen: set = set()
+    state = _MatchState(deadline)
 
-    def go(index: int, binding: Binding) -> None:
+    def go(index: int, binding: Binding, restricted: int) -> None:
         if index == len(patterns):
             key = tuple(sorted((v, egraph.find(c)) for v, c in binding.items()))
             if key not in seen:
                 seen.add(key)
                 results.append(dict(binding))
             return
-        for extended in _match_anywhere(egraph, patterns[index], binding):
-            go(index + 1, extended)
+        pattern_since = since if index == restricted else 0
+        for extended in _match_anywhere(egraph, patterns[index], binding,
+                                        pattern_since, state):
+            go(index + 1, extended, restricted)
 
-    go(0, {})
+    if since > 0:
+        for r in range(len(patterns)):
+            go(0, {}, r)
+    else:
+        go(0, {}, -1)
     return results
 
 
-def _match_anywhere(egraph: EGraph, pattern: Term, binding: Binding) -> Iterator[Binding]:
-    """Match ``pattern`` against any class in the E-graph."""
+class _MatchState:
+    """Deadline bookkeeping shared across one ``ematch`` enumeration."""
+
+    __slots__ = ("deadline", "tick")
+
+    def __init__(self, deadline: Optional[float]) -> None:
+        self.deadline = deadline
+        self.tick = 0
+
+    def check(self) -> None:
+        if self.deadline is None:
+            return
+        self.tick += 1
+        if self.tick % _DEADLINE_STRIDE == 0 and time.monotonic() > self.deadline:
+            raise MatchTimeout()
+
+
+def _match_anywhere(
+    egraph: EGraph,
+    pattern: Term,
+    binding: Binding,
+    since: int,
+    state: Optional[_MatchState] = None,
+) -> Iterator[Binding]:
+    """Match ``pattern`` against any class in the E-graph.
+
+    With ``since > 0`` only top-level candidate nodes stamped at generation
+    ``since`` or later are considered."""
     if isinstance(pattern, LVar):
         # A bare-variable pattern would match every class; triggers never do
         # this (it is rejected at trigger-selection time).
         raise ValueError("bare variable used as a trigger pattern")
     if isinstance(pattern, IntConst):
         node = egraph.term_to_node.get(pattern)
-        if node is not None:
+        if node is not None and (since <= 0 or egraph.node_mod[node] >= since):
             yield binding
         return
-    for node_id in list(egraph.nodes_with_fn(pattern.fn)):
+    if since > 0:
+        candidates = egraph.nodes_with_fn_since(pattern.fn, since)
+    else:
+        candidates = list(egraph.nodes_with_fn(pattern.fn))
+    for node_id in candidates:
+        if state is not None:
+            state.check()
         node = egraph.nodes[node_id]
         if len(node.args) != len(pattern.args):
             continue

@@ -36,9 +36,11 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.prover import ProverConfig
 
-#: Bump when the key derivation or entry layout changes; old files are
-#: then ignored wholesale instead of being misread.
-SCHEMA_VERSION = 1
+#: Bump when the key derivation or entry layout changes, or when the
+#: prover's search itself changes (cached counterexample contexts reflect
+#: the search trajectory); old files are then ignored wholesale instead of
+#: being misread.
+SCHEMA_VERSION = 2
 
 CACHE_FILENAME = "proof-cache.json"
 

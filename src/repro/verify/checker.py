@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cobalt.dsl import BackwardPattern, ForwardPattern, Optimization, PureAnalysis
 from repro.cobalt.labels import LabelRegistry, standard_registry
-from repro.prover import Prover, ProverConfig, Result
+from repro.prover import Prover, ProverConfig, ProverStats, Result
 from repro.verify.cache import (
     ProofCache,
     axioms_digest,
@@ -52,6 +52,9 @@ class ObligationResult:
     #: True when the verdict was replayed from the persistent proof cache
     #: rather than re-derived by the prover.
     cached: bool = False
+    #: Prover observability counters, aggregated over the obligation's
+    #: kind-split cases.  ``None`` for cached verdicts (no search ran).
+    stats: Optional[ProverStats] = None
 
 
 @dataclass
@@ -113,6 +116,19 @@ class SoundnessReport:
         emit(self, 0)
         return "\n".join(lines)
 
+    def prover_stats(self) -> ProverStats:
+        """Aggregate prover counters over this report and its dependencies.
+
+        Cached obligation results carry no counters (no search ran), so a
+        fully warm report aggregates to zeros."""
+        total = ProverStats()
+        for dep in self.dependencies:
+            total.merge(dep.prover_stats())
+        for r in self.results:
+            if r.stats is not None:
+                total.merge(r.stats)
+        return total
+
 
 def discharge_obligation(
     prover: Prover,
@@ -148,6 +164,7 @@ def discharge_obligation(
     start = time.monotonic()
     proved = True
     context: List[str] = []
+    stats = ProverStats()
     for case_name, goal in cases:
         result: Result = prover.prove(
             goal,
@@ -155,12 +172,13 @@ def discharge_obligation(
             name=f"{owner}:{case_name}",
             config=config,
         )
+        stats.merge(result.stats)
         if not result.proved:
             proved = False
             context = [f"in case {case_name}:"] + result.context
             break
     elapsed = time.monotonic() - start
-    return ObligationResult(obligation.name, proved, elapsed, context)
+    return ObligationResult(obligation.name, proved, elapsed, context, stats=stats)
 
 
 class SoundnessChecker:

@@ -33,7 +33,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.il.ast import IfGoto, Return, Skip
 from repro.il.generator import GeneratorConfig, ProgramGenerator
 from repro.il.printer import proc_to_str
-from repro.il.program import Procedure, Program
+from repro.il.program import Procedure, Program, ProgramError
 from repro.cobalt.dsl import Optimization
 from repro.cobalt.engine import CobaltEngine, TransformationInstance
 from repro.cobalt.labels import standard_registry
@@ -237,7 +237,7 @@ def shrink_counterexample(
             candidate = current.original.with_proc(candidate_proc)
             try:
                 candidate.validate()
-            except Exception:
+            except ProgramError:
                 continue
             found = _mismatch_for(optimization, engine, candidate, args)
             if found is not None:

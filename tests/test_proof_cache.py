@@ -27,6 +27,7 @@ from repro.prover import ProverConfig
 from repro.verify import ProofCache, SoundnessChecker
 from repro.verify.cache import (
     CACHE_FILENAME,
+    SCHEMA_VERSION,
     axioms_digest,
     config_fingerprint,
     obligation_key,
@@ -173,7 +174,7 @@ class TestRobustness:
         assert len(cache) == 0
         cache.put("k", proved=True, elapsed_s=0.5)
         cache.save()
-        assert json.loads(path.read_text())["schema"] == 1
+        assert json.loads(path.read_text())["schema"] == SCHEMA_VERSION
         assert len(ProofCache(tmp_path)) == 1
 
     def test_wrong_schema_ignored(self, tmp_path):
