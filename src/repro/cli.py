@@ -32,7 +32,9 @@ docs/VERIFYING.md).  ``--prover incremental|reference`` selects the proof
 search loop — incremental E-matching with watched ground clauses (the
 default) or the full-rescan reference it is cross-checked against — and
 ``--prover-stats`` prints the prover's observability counters to stderr
-(see docs/PROVER.md).
+(see docs/PROVER.md), including the hash-consing metrics — intern-table
+size, constructor hit rate, and the subst/pipeline memo hit rates — plus a
+process-global interning summary line (docs/TERMS.md).
 """
 
 from __future__ import annotations
@@ -99,13 +101,20 @@ def _checker(args) -> SoundnessChecker:
 
 
 def _emit_prover_stats(args, reports) -> None:
-    """Print aggregated prover counters to stderr under ``--prover-stats``."""
+    """Print aggregated prover counters to stderr under ``--prover-stats``.
+
+    The per-run table carries the intern/memo deltas attributed to proof
+    search; the trailing line is the process-global interning view (whole
+    pipeline, encode included)."""
     if not getattr(args, "prover_stats", False):
         return
+    from repro.logic.intern import STATS as intern_stats
+
     total = ProverStats()
     for report in reports:
         total.merge(report.prover_stats())
     print(total.table(), file=sys.stderr)
+    print(intern_stats.summary(), file=sys.stderr)
 
 
 def cmd_check(args) -> int:

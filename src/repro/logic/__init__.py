@@ -3,9 +3,25 @@
 Shared between the Cobalt soundness checker (which *generates* formulas
 encoding proof obligations) and the Simplify-style prover (which refutes
 their negations).
+
+All constructors intern (hash-cons) into the weak global table in
+:mod:`repro.logic.intern`: structurally equal nodes are the same object,
+with cached hash, free variables, size, and printed form, and the
+clausification pipeline is memoized per node.  docs/TERMS.md documents the
+invariants; :mod:`repro.logic.reference` preserves the pre-interning
+dataclass semantics for cross-checking.
 """
 
-from repro.logic.terms import App, IntConst, LVar, Term, free_vars, subst, term_size
+from repro.logic.terms import (
+    App,
+    IntConst,
+    LVar,
+    Term,
+    free_vars,
+    subst,
+    term_size,
+    term_str,
+)
 from repro.logic.formulas import (
     And,
     Bottom,
@@ -23,6 +39,7 @@ from repro.logic.formulas import (
     nnf,
     skolemize,
 )
+from repro.logic.intern import STATS as intern_stats, structural_reference
 
 __all__ = [
     "And",
@@ -43,8 +60,11 @@ __all__ = [
     "Top",
     "clausify",
     "free_vars",
+    "intern_stats",
     "nnf",
     "skolemize",
+    "structural_reference",
     "subst",
     "term_size",
+    "term_str",
 ]

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.logic import intern
 from repro.logic.formulas import (
     Clause,
     Eq,
@@ -161,6 +162,16 @@ class ProverStats:
     bindings: int = 0  # E-matching bindings enumerated
     dedup_hits: int = 0  # bindings deduplicated against known instances
     match_s: float = 0.0  # wall time spent in instantiation rounds
+    # Interning/memoization deltas attributed to this call (the global
+    # counters live in repro.logic.intern.STATS; run() snapshots them).
+    intern_table: int = 0  # live interned nodes when the call finished
+    intern_hits: int = 0  # constructor calls answered from the intern table
+    intern_misses: int = 0  # constructor calls that built a new node
+    subst_hits: int = 0  # memoized term/formula/clause substitutions
+    subst_misses: int = 0
+    free_vars_hits: int = 0  # cached free-variable set reads
+    pipeline_hits: int = 0  # memoized nnf/skolemize/clausify calls
+    pipeline_misses: int = 0
     #: Per-round yields, capped at 1000 entries.  Not merged by ``merge``.
     round_log: List[RoundStats] = field(default_factory=list)
 
@@ -179,11 +190,26 @@ class ProverStats:
         self.bindings += other.bindings
         self.dedup_hits += other.dedup_hits
         self.match_s += other.match_s
+        self.intern_table = max(self.intern_table, other.intern_table)
+        self.intern_hits += other.intern_hits
+        self.intern_misses += other.intern_misses
+        self.subst_hits += other.subst_hits
+        self.subst_misses += other.subst_misses
+        self.free_vars_hits += other.free_vars_hits
+        self.pipeline_hits += other.pipeline_hits
+        self.pipeline_misses += other.pipeline_misses
 
     @property
     def dedup_rate(self) -> float:
         """Fraction of enumerated bindings that were already known."""
         return self.dedup_hits / self.bindings if self.bindings else 0.0
+
+    @staticmethod
+    def _rate(hits: int, misses: int) -> str:
+        total = hits + misses
+        if not total:
+            return "-"
+        return f"{100.0 * hits / total:.1f}%  ({hits:,}/{total:,})"
 
     def table(self) -> str:
         """A human-readable rendering for ``--prover-stats``."""
@@ -201,6 +227,11 @@ class ProverStats:
             ("dedup hit rate", f"{100.0 * self.dedup_rate:.1f}%"),
             ("match time", f"{self.match_s:.3f}s"),
             ("total time", f"{self.elapsed_s:.3f}s"),
+            ("intern table size", f"{self.intern_table:,}"),
+            ("intern hit rate", self._rate(self.intern_hits, self.intern_misses)),
+            ("subst memo hit rate", self._rate(self.subst_hits, self.subst_misses)),
+            ("pipeline memo hit rate", self._rate(self.pipeline_hits, self.pipeline_misses)),
+            ("free-vars cache hits", f"{self.free_vars_hits:,}"),
         ]
         width = max(len(label) for label, _ in rows)
         lines = ["prover stats:"]
@@ -406,9 +437,12 @@ class _Search:
     def _clause_key(self, clause: Clause) -> Tuple:
         """Order-insensitive structural identity of a ground clause.
 
-        Atoms are interned to small integers once, so deduplicating an
+        Atoms are mapped to small integers once, so deduplicating an
         instance against thousands of known ones sorts machine ints instead
-        of stringifying every atom."""
+        of stringifying every atom.  With the globally hash-consed atoms of
+        :mod:`repro.logic`, the dict probe below is an O(1) identity
+        lookup — the atom's hash is a cached int and equality short-circuits
+        on pointer comparison."""
         ids = self._atom_ids
         out = []
         for lit in clause.literals:
@@ -425,6 +459,7 @@ class _Search:
     def run(self, name: str) -> Result:
         self.deadline = time.monotonic() + self.cfg.timeout_s
         start = time.monotonic()
+        mark = intern.STATS.snapshot()
         self.egraph.push()
         try:
             refuted = self._dpll(0)
@@ -435,6 +470,20 @@ class _Search:
         finally:
             self.egraph.pop()
         self.stats.elapsed_s = time.monotonic() - start
+        delta = intern.STATS.delta(mark)
+        st = self.stats
+        st.intern_table = intern.table_size()
+        st.intern_hits += delta["term_hits"] + delta["formula_hits"]
+        st.intern_misses += delta["term_misses"] + delta["formula_misses"]
+        st.subst_hits += delta["subst_hits"] + delta["clause_subst_hits"]
+        st.subst_misses += delta["subst_misses"] + delta["clause_subst_misses"]
+        st.free_vars_hits += delta["free_vars_hits"]
+        st.pipeline_hits += (
+            delta["nnf_hits"] + delta["skolem_hits"] + delta["clausify_hits"]
+        )
+        st.pipeline_misses += (
+            delta["nnf_misses"] + delta["skolem_misses"] + delta["clausify_misses"]
+        )
         context = self.saturated_context if status is Status.UNKNOWN else []
         return Result(status, name, context, self.stats, self.round_instances)
 
@@ -960,5 +1009,13 @@ def _render_key(clause: Clause) -> Tuple:
     Used as a deterministic tie-break when admitting instances (two bindings
     can yield the same clause up to literal order — e.g. a symmetric
     multi-pattern — and carried-over signatures can collide with fresh ones
-    after merges) and as the label for round-by-round instance recording."""
+    after merges) and as the label for round-by-round instance recording.
+
+    The printed form is load-bearing for cross-mode byte-identity (both
+    modes must admit colliding instances in the same order, and the
+    recorded logs are compared verbatim), so it cannot become an id tuple;
+    but atoms are interned, so each ``str`` is computed once per atom
+    object ever and answered from the node's cached render thereafter —
+    every other dedup/ordering path runs on interned atom ids
+    (``_clause_key``)."""
     return tuple((lit.positive, str(lit.atom)) for lit in clause.literals)

@@ -37,7 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.logic.terms import App, IntConst, LVar, Term, term_size
+from repro.logic.terms import App, IntConst, LVar, Term, term_size, term_str
 from repro.prover.arith import ARITH_FNS, eval_arith
 
 TRUE = App("@true")
@@ -366,7 +366,10 @@ class EGraph:
 
     @staticmethod
     def _term_order(t: Term) -> Tuple[int, str]:
-        return (term_size(t), str(t))
+        # Both components come from the interned node's caches (size is a
+        # stored int, the render is computed at most once per node), so the
+        # representative-picking comparison no longer re-walks terms.
+        return (term_size(t), term_str(t))
 
     # -- scopes ------------------------------------------------------------------
 

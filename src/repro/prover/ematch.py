@@ -29,7 +29,7 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.logic.terms import App, IntConst, LVar, Term, free_vars
+from repro.logic.terms import App, IntConst, LVar, Term, free_vars, term_size, term_str
 from repro.prover.egraph import EGraph
 
 Binding = Dict[str, int]  # variable name -> class root
@@ -216,9 +216,9 @@ def select_triggers(literal_terms: Sequence[Term], variables: Sequence[str]) -> 
 
 
 def _trigger_order(t: Term) -> Tuple[int, int, str]:
-    from repro.logic.terms import term_size
-
-    return (term_size(t), len(free_vars(t)), str(t))
+    # All three components are cached on the interned node (size, free-var
+    # set, printed form) — trigger selection is comparison-only.
+    return (term_size(t), len(free_vars(t)), term_str(t))
 
 
 def _app_subterms(t: Term) -> Iterator[Term]:

@@ -39,8 +39,9 @@ from repro.prover import ProverConfig
 #: Bump when the key derivation or entry layout changes, or when the
 #: prover's search itself changes (cached counterexample contexts reflect
 #: the search trajectory); old files are then ignored wholesale instead of
-#: being misread.
-SCHEMA_VERSION = 2
+#: being misread.  3: digests are structural (DAG walk over interned nodes)
+#: rather than printed forms.
+SCHEMA_VERSION = 3
 
 CACHE_FILENAME = "proof-cache.json"
 
@@ -63,20 +64,107 @@ def config_fingerprint(config: ProverConfig) -> str:
     return ";".join(parts)
 
 
+def _digest_update(h, obj, seen: Dict[int, int]) -> None:
+    """Feed one term/formula into ``h`` as a canonical structural token
+    stream over the shared DAG.
+
+    With hash-consed nodes, structurally equal subtrees are the same object,
+    so a preorder walk can emit a back-reference (``#index``) the second
+    time it meets a node instead of re-serializing — the stream length is
+    the number of *distinct* nodes, not the tree size.  The ``seen`` map is
+    keyed by node identity; callers keep the nodes alive for the duration
+    (they hold the axiom/obligation lists), so ids are stable.  The stream
+    itself depends only on structure — identical digests across processes
+    and runs."""
+    stack = [obj]
+    push = stack.append
+    while stack:
+        node = stack.pop()
+        key = id(node)
+        idx = seen.get(key)
+        if idx is not None:
+            h.update(b"#%d;" % idx)
+            continue
+        seen[key] = len(seen)
+        t = node.__class__.__name__
+        if t == "App":
+            h.update(f"a:{node.fn}/{len(node.args)};".encode())
+            stack.extend(reversed(node.args))
+        elif t == "LVar":
+            h.update(f"v:{node.name};".encode())
+        elif t == "IntConst":
+            h.update(f"i:{node.value};".encode())
+        elif t == "Eq":
+            h.update(b"=;")
+            push(node.rhs)
+            push(node.lhs)
+        elif t == "Pred":
+            h.update(f"p:{node.name}/{len(node.args)};".encode())
+            stack.extend(reversed(node.args))
+        elif t == "Not":
+            h.update(b"~;")
+            push(node.body)
+        elif t == "And":
+            h.update(b"&%d;" % len(node.parts))
+            stack.extend(reversed(node.parts))
+        elif t == "Or":
+            h.update(b"|%d;" % len(node.parts))
+            stack.extend(reversed(node.parts))
+        elif t == "Implies":
+            h.update(b"->;")
+            push(node.conc)
+            push(node.hyp)
+        elif t == "Iff":
+            h.update(b"<->;")
+            push(node.rhs)
+            push(node.lhs)
+        elif t == "Forall":
+            h.update(
+                f"A:{','.join(node.vars)}/{len(node.triggers)};".encode()
+            )
+            push(node.body)
+            for trig in reversed(node.triggers):
+                stack.extend(reversed(trig))
+        elif t == "Exists":
+            h.update(f"E:{','.join(node.vars)};".encode())
+            push(node.body)
+        elif t == "Top":
+            h.update(b"T;")
+        elif t == "Bottom":
+            h.update(b"F;")
+        elif t == "Literal":
+            h.update(b"l1;" if node.positive else b"l0;")
+            push(node.atom)
+        elif t == "Clause":
+            h.update(
+                f"c:{node.origin}/{len(node.literals)}/{len(node.triggers)};".encode()
+            )
+            for trig in reversed(node.triggers):
+                stack.extend(reversed(trig))
+            stack.extend(reversed(node.literals))
+        else:
+            # Foreign object (tests feed strings): fall back to repr.
+            del seen[key]
+            h.update(f"s:{node!r};".encode())
+
+
 def axioms_digest(axioms: Sequence[object], constructors: Sequence[str] = ()) -> str:
     """A stable digest of the background axiom set (plus constructor names).
 
-    Formulas and clauses render deterministically via ``str``; ``(origin,
-    formula)`` pairs hash the formula only — renaming an axiom's origin tag
-    does not change what is provable."""
+    Structural (:func:`_digest_update`) over the interned axiom DAG, with
+    sharing tracked across the whole set — the ~600 background axioms share
+    most of their subterms, so the digest reads each distinct node once.
+    ``(origin, formula)`` pairs hash the formula only — renaming an axiom's
+    origin tag does not change what is provable."""
     h = hashlib.sha256()
     h.update(f"schema:{SCHEMA_VERSION}\n".encode())
     for name in sorted(constructors):
         h.update(f"ctor:{name}\n".encode())
+    seen: Dict[int, int] = {}
     for ax in axioms:
         if isinstance(ax, tuple):
             ax = ax[1]
-        h.update(str(ax).encode())
+        _digest_update(h, ax, seen)
         h.update(b"\n")
     return h.hexdigest()
 
@@ -92,14 +180,22 @@ def obligation_key(obligation, axiom_digest: str) -> str:
     h = hashlib.sha256()
     h.update(f"schema:{SCHEMA_VERSION}\n".encode())
     h.update(f"axioms:{axiom_digest}\n".encode())
-    h.update(f"goal:{obligation.goal}\n".encode())
+    seen: Dict[int, int] = {}
+    h.update(b"goal:")
+    _digest_update(h, obligation.goal, seen)
+    h.update(b"\n")
     for seed in obligation.seeds:
-        h.update(f"seed:{seed}\n".encode())
+        h.update(b"seed:")
+        _digest_update(h, seed, seen)
+        h.update(b"\n")
     if obligation.split_term is not None:
         # The checker-side case analysis is part of the proof's meaning:
         # record the term split over and the kind tags enumerated.
-        kinds = ",".join(str(k) for k in E.STMT_KINDS)
-        h.update(f"split:{obligation.split_term}|{kinds}\n".encode())
+        h.update(b"split:")
+        _digest_update(h, obligation.split_term, seen)
+        for k in E.STMT_KINDS:
+            _digest_update(h, k, seen)
+        h.update(b"\n")
     return h.hexdigest()
 
 

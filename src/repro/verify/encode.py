@@ -31,7 +31,7 @@ paper's proof.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.logic.formulas import (
     And,
@@ -1254,19 +1254,30 @@ def uses_axioms() -> List[Formula]:
     return axioms
 
 
+_ALL_AXIOMS: Optional[Tuple[Formula, ...]] = None
+
+
 def all_axioms() -> List[Formula]:
-    """The complete optimization-independent axiom set."""
-    return (
-        structural_axioms()
-        + map_axioms()
-        + wellformed_axioms()
-        + value_axioms()
-        + eval_axioms()
-        + step_axioms()
-        + npt_axioms()
-        + frame_axioms()
-        + uses_axioms()
-    )
+    """The complete optimization-independent axiom set.
+
+    Built once per process and cached — the builders are pure and the
+    formulas immutable (interned), so every checker shares one set.  A
+    fresh list is returned each call (callers extend it with per-pattern
+    label axioms)."""
+    global _ALL_AXIOMS
+    if _ALL_AXIOMS is None:
+        _ALL_AXIOMS = tuple(
+            structural_axioms()
+            + map_axioms()
+            + wellformed_axioms()
+            + value_axioms()
+            + eval_axioms()
+            + step_axioms()
+            + npt_axioms()
+            + frame_axioms()
+            + uses_axioms()
+        )
+    return list(_ALL_AXIOMS)
 
 
 def kind_exhaustiveness(term: Term, kind_fn: str, tags: Sequence[Term]) -> Formula:

@@ -16,6 +16,14 @@ Pattern variables of an optimization become Skolem constants with sort
 premises (a pattern constant ``C`` is an integer; an expression variable
 ``E`` satisfies the expression-kind exhaustiveness seeded by the obligation
 generator).
+
+Every term and formula built here is hash-consed (:mod:`repro.logic.intern`):
+translating the same guard at each of the seven statement kinds, or the same
+label across obligations, yields *the same objects*, so the downstream
+clausification memo and the prover's interning walk see repeats, not fresh
+trees.  The per-pattern Skolem constants (``pid_*``/``pcv_*``/...) are keyed
+by pattern-variable name only, which is what makes those repeats collide by
+construction.
 """
 
 from __future__ import annotations

@@ -118,10 +118,26 @@ def step_conclusion(eta: Term, eta2: Term, pi: Term) -> Formula:
     return conj(tuple(step_premises(eta, eta2, pi)))
 
 
+_SEEDS_MEMO: Dict[Term, Tuple[Formula, ...]] = {}
+
+
 def seeds_for(s_term: Term) -> List[Formula]:
     """Ground kind-exhaustiveness instances for a statement term and its
     projections (the case-split seeds).  The projection seeds are guarded by
-    the statement kind so DPLL only splits on them when relevant."""
+    the statement kind so DPLL only splits on them when relevant.
+
+    Memoized per (interned) statement term: the obligation builders call
+    this with the same handful of program points for every pattern, and the
+    seed formulas are immutable."""
+    cached = _SEEDS_MEMO.get(s_term)
+    if cached is not None:
+        return list(cached)
+    seeds = _seeds_for_compute(s_term)
+    _SEEDS_MEMO[s_term] = tuple(seeds)
+    return seeds
+
+
+def _seeds_for_compute(s_term: Term) -> List[Formula]:
     return [
         E.kind_exhaustiveness(s_term, "stmtKind", E.STMT_KINDS),
         Implies(
