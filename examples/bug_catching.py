@@ -17,12 +17,17 @@ This script reproduces that exact experience:
 Run:  python examples/bug_catching.py
 """
 
+from repro import (
+    ProverOptions,
+    UnsoundOptimizationError,
+    VerifyOptions,
+    check_optimization,
+    run_optimization,
+)
 from repro.il import parse_program, run_program
 from repro.il.printer import program_to_str
 from repro.cobalt.engine import CobaltEngine
 from repro.cobalt.labels import standard_registry
-from repro.prover import ProverConfig
-from repro.verify import SoundnessChecker
 from repro.opts import load_elim
 from repro.opts.buggy import load_elim_direct_assign
 
@@ -44,12 +49,19 @@ main(n) {
 
 
 def main() -> None:
-    checker = SoundnessChecker(config=ProverConfig(timeout_s=90))
+    verify = VerifyOptions(prover=ProverOptions(timeout_s=90))
     engine = CobaltEngine(standard_registry())
     program = parse_program(PROGRAM)
 
     print("=== 1. the buggy redundant-load elimination is rejected ===")
-    report = checker.check_optimization(load_elim_direct_assign)
+    # run_optimization refuses to run an unsound pass — that refusal *is*
+    # the paper's contribution, so catch it and show the evidence.
+    try:
+        run_optimization(load_elim_direct_assign, program, verify=verify)
+    except UnsoundOptimizationError as rejected:
+        report = rejected.report
+    else:
+        raise SystemExit("the buggy pass was unexpectedly proven sound?!")
     print(report.summary())
     failing = report.failed_obligations()[0]
     print("  counterexample context (first lines):")
@@ -69,13 +81,13 @@ def main() -> None:
     print(f"  transformed main(0) = {run_program(broken, 0)}   <- WRONG")
 
     print("\n=== 3. the fixed, pointer-aware version is proven sound ===")
-    report = checker.check_optimization(load_elim)
+    report = check_optimization(load_elim, verify)
     print(report.summary())
 
     print("\n=== 4. and it correctly leaves this program alone ===")
-    optimized, applied = engine.run_optimization(load_elim, program.main)
-    print(f"  transformations applied: {len(applied)}")
-    assert run_program(program.with_proc(optimized), 0) == run_program(program, 0)
+    result = run_optimization(load_elim, program)
+    print(f"  transformations applied: {result.rewrites}")
+    assert run_program(result.program, 0) == run_program(program, 0)
     print("  behaviour preserved.")
 
     print("\n=== 5. bonus (paper section 7): automatic counterexample synthesis ===")

@@ -20,10 +20,9 @@ This script runs the pipeline on the code fragment from section 2.3::
 Run:  python examples/pre_pipeline.py
 """
 
+from repro import run_optimization
 from repro.il import parse_program, run_program
 from repro.il.printer import program_to_str
-from repro.cobalt.engine import CobaltEngine
-from repro.cobalt.labels import standard_registry
 from repro.opts import pre_pipeline
 
 PROGRAM = """
@@ -49,15 +48,15 @@ def main() -> None:
     print("it recomputes only when the else leg ran):")
     print(program_to_str(program, indices=True))
 
-    engine = CobaltEngine(standard_registry())
-    current = program.main
+    current = program
     for optimization in pre_pipeline():
-        current, applied = engine.run_optimization(optimization, current)
-        sites = ", ".join(str(inst.index) for inst in applied) or "-"
+        result = run_optimization(optimization, current)
+        current = result.program
+        sites = ", ".join(str(i) for i in result.sites.get("main", ())) or "-"
         print(f"\nafter {optimization.name} (rewrote indices: {sites}):")
-        print(program_to_str(program.with_proc(current), indices=True))
+        print(program_to_str(current, indices=True))
 
-    optimized = program.with_proc(current)
+    optimized = current
     print("\nbehaviour check:")
     for n in (0, 1, 5):
         before = run_program(program, n)

@@ -11,14 +11,15 @@ This walks the paper's example 1 (constant propagation) end to end:
 Run:  python examples/quickstart.py
 """
 
+from repro import (
+    EngineOptions,
+    ProverOptions,
+    VerifyOptions,
+    check_optimization,
+    run_optimization,
+)
 from repro.il import parse_program, run_program
 from repro.il.printer import program_to_str
-from repro.cobalt.dsl import Optimization
-from repro.cobalt.engine import CobaltEngine
-from repro.cobalt.labels import standard_registry
-from repro.cobalt.parser import parse_optimization
-from repro.prover import ProverConfig
-from repro.verify import SoundnessChecker
 
 CONST_PROP = """
 forward optimization constProp {
@@ -48,11 +49,13 @@ main(n) {
 def main() -> None:
     print("=== 1. The optimization, in Cobalt ===")
     print(CONST_PROP)
-    pattern = parse_optimization(CONST_PROP)
+
+    # The façade accepts the Cobalt source directly; backend="internal" is
+    # the default — try VerifyOptions(backend="portfolio") with z3 on PATH.
+    verify = VerifyOptions(prover=ProverOptions(timeout_s=90))
 
     print("=== 2. Automatic soundness proof ===")
-    checker = SoundnessChecker(config=ProverConfig(timeout_s=90))
-    report = checker.check_pattern(pattern)
+    report = check_optimization(CONST_PROP, verify)
     print(report.summary())
     if not report.sound:
         raise SystemExit("optimization rejected; not running it")
@@ -63,9 +66,10 @@ def main() -> None:
     print("before:")
     print(program_to_str(program, indices=True))
 
-    engine = CobaltEngine(standard_registry())
-    optimization = Optimization(pattern, iterate=True)
-    optimized = engine.run_on_program(optimization, program)
+    result = run_optimization(
+        CONST_PROP, program, engine=EngineOptions(iterate=True)
+    )
+    optimized = result.program
     print()
     print("after (b := a became b := 2; the paper's rule rewrites whole")
     print("variable-copy statements, not operands inside expressions):")

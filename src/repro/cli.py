@@ -28,13 +28,22 @@ Usage (also via ``python -m repro``)::
 The global ``--jobs N`` flag fans proof obligations out across N worker
 processes; ``--cache-dir DIR`` persists verdicts in a content-addressed
 store so unchanged optimizations re-verify in milliseconds (see
-docs/VERIFYING.md).  ``--prover incremental|reference`` selects the proof
-search loop — incremental E-matching with watched ground clauses (the
-default) or the full-rescan reference it is cross-checked against — and
-``--prover-stats`` prints the prover's observability counters to stderr
-(see docs/PROVER.md), including the hash-consing metrics — intern-table
-size, constructor hit rate, and the subst/pipeline memo hit rates — plus a
-process-global interning summary line (docs/TERMS.md).
+docs/VERIFYING.md).  ``--backend internal|smtlib|portfolio`` selects the
+prover backend — the in-process prover, SMT-LIB2 emission through an
+external solver subprocess (``--solver-cmd`` overrides auto-discovery of
+z3/cvc5), or a per-obligation race of the two (docs/BACKENDS.md).
+``--prover-mode incremental|reference`` selects the internal proof search
+loop — incremental E-matching with watched ground clauses (the default) or
+the full-rescan reference it is cross-checked against.  ``--prover`` is a
+deprecated alias that accepts either axis.  ``--prover-stats`` prints the
+prover's observability counters to stderr (see docs/PROVER.md), including
+the hash-consing metrics — intern-table size, constructor hit rate, and
+the subst/pipeline memo hit rates — plus a process-global interning
+summary line (docs/TERMS.md).
+
+Every subcommand builds its verification configuration through
+:func:`build_verify_options` into a single :class:`repro.api.VerifyOptions`
+— the CLI surface and the Python façade cannot drift.
 """
 
 from __future__ import annotations
@@ -92,12 +101,44 @@ def parse_blocks(source: str) -> List[object]:
     return out
 
 
-def _checker(args) -> SoundnessChecker:
-    return SoundnessChecker(
-        config=ProverConfig(timeout_s=args.timeout, mode=args.prover),
-        cache=args.cache_dir,
+#: Internal-prover search modes vs. prover backends: the deprecated
+#: ``--prover`` flag historically selected the former and now forwards to
+#: whichever axis its value belongs to.
+_PROVER_MODES = ("incremental", "reference")
+
+
+def build_verify_options(args):
+    """The one place CLI flags become a :class:`repro.api.VerifyOptions`.
+
+    Every verifying subcommand (check, opt, suite, verify) goes through
+    here, so a new flag is threaded everywhere — or nowhere."""
+    from repro.api import ProverOptions, VerifyOptions
+    from repro.prover.backends import BACKEND_NAMES
+
+    mode = args.prover_mode
+    backend = args.backend
+    if args.prover is not None:
+        if args.prover in _PROVER_MODES:
+            print(f"[cli] --prover {args.prover} is deprecated; use "
+                  f"--prover-mode {args.prover}", file=sys.stderr)
+            mode = args.prover
+        else:
+            assert args.prover in BACKEND_NAMES
+            print(f"[cli] --prover {args.prover} is deprecated; use "
+                  f"--backend {args.prover}", file=sys.stderr)
+            backend = args.prover
+    return VerifyOptions(
+        backend=backend,
+        solver_cmd=args.solver_cmd,
+        solver_timeout_s=args.solver_timeout,
         jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        prover=ProverOptions(mode=mode, timeout_s=args.timeout),
     )
+
+
+def _checker(args) -> SoundnessChecker:
+    return SoundnessChecker(options=build_verify_options(args))
 
 
 def _emit_prover_stats(args, reports) -> None:
@@ -232,33 +273,21 @@ def cmd_counterexample(args) -> int:
 
 
 def cmd_suite(args) -> int:
-    import time
+    from repro.api import verify_suite
 
-    from repro import opts as suite
-
-    checker = _checker(args)
-    failures = 0
-    reports = []
-    start = time.monotonic()
-    for analysis in suite.ALL_ANALYSES:
-        report = checker.check_analysis(analysis)
-        reports.append(report)
+    def show(report) -> None:
         print(f"{report.name:24s} {'SOUND' if report.sound else 'REJECTED':8s} "
               f"{report.elapsed_s:7.2f}s")
-        failures += 0 if report.sound else 1
-    for opt in suite.ALL_OPTIMIZATIONS:
-        report = checker.check_optimization(opt)
-        reports.append(report)
-        print(f"{report.name:24s} {'SOUND' if report.sound else 'REJECTED':8s} "
-              f"{report.elapsed_s:7.2f}s")
-        failures += 0 if report.sound else 1
-    elapsed = time.monotonic() - start
-    _emit_prover_stats(args, reports)
-    summary = f"[suite] verified in {elapsed:.2f}s with {args.jobs} job(s)"
-    if checker.cache is not None:
-        summary += f"; proof cache: {checker.cache.stats} ({checker.cache.file})"
+
+    suite_report = verify_suite(build_verify_options(args), progress=show)
+    _emit_prover_stats(args, suite_report.reports)
+    summary = (f"[suite] verified in {suite_report.elapsed_s:.2f}s with "
+               f"{args.jobs} job(s); backend: {suite_report.backend}")
+    if suite_report.cache is not None:
+        summary += (f"; proof cache: {suite_report.cache.stats} "
+                    f"({suite_report.cache.file})")
     print(summary, file=sys.stderr)
-    return 1 if failures else 0
+    return 1 if suite_report.failures() else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -274,11 +303,36 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="persist proof verdicts in DIR so unchanged "
                              "optimizations re-verify from cache")
-    parser.add_argument("--prover", choices=("incremental", "reference"),
+    parser.add_argument("--backend",
+                        choices=("internal", "smtlib", "portfolio"),
+                        default="internal",
+                        help="prover backend: the in-process prover "
+                             "(default), SMT-LIB2 emission through an "
+                             "external solver subprocess, or a "
+                             "per-obligation race of the two; without a "
+                             "usable solver the external backends degrade "
+                             "to internal with a warning")
+    parser.add_argument("--solver-cmd", default=None, metavar="CMD",
+                        help="external solver command for "
+                             "--backend smtlib/portfolio (e.g. 'z3 -smt2'); "
+                             "default: auto-discover z3/cvc5/cvc4/z3py")
+    parser.add_argument("--solver-timeout", type=float, default=30.0,
+                        metavar="S",
+                        help="hard wall-clock limit per external solver "
+                             "invocation; overrunning solvers are killed "
+                             "(default: 30s)")
+    parser.add_argument("--prover-mode", choices=("incremental", "reference"),
                         default="incremental",
-                        help="proof-search loop: incremental E-matching with "
-                             "watched ground clauses (default) or the full "
-                             "rescan reference it is cross-checked against")
+                        help="internal proof-search loop: incremental "
+                             "E-matching with watched ground clauses "
+                             "(default) or the full rescan reference it is "
+                             "cross-checked against")
+    parser.add_argument("--prover",
+                        choices=("incremental", "reference", "internal",
+                                 "smtlib", "portfolio"),
+                        default=None,
+                        help="deprecated alias: mode values forward to "
+                             "--prover-mode, backend values to --backend")
     parser.add_argument("--prover-stats", action="store_true",
                         help="print prover observability counters (match "
                              "time, instance/dedup rates, clause wakeups, "

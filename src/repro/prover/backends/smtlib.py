@@ -1,0 +1,336 @@
+"""The SMT-LIB backend: obligations discharged by an external solver.
+
+This is the reproduction of the paper's actual architecture — Cobalt
+shipped every obligation to the external Simplify prover (section 5).  We
+ship modern SMT-LIB2 instead: each obligation's statement-kind cases are
+emitted as ``(set-logic UF)`` scripts (:mod:`repro.verify.smtlib`) and fed
+to a solver subprocess (``z3``, ``cvc5``, or anything that reads a script
+path and prints ``sat``/``unsat``/``unknown``).
+
+Process discipline, in order of paranoia:
+
+* every invocation gets a **hard wall-clock deadline**; an overrunning
+  solver is killed (``SIGKILL`` after ``terminate``), never abandoned;
+* **transient failures** — spawn errors, a crash mid-stream (partial
+  output, failing exit), empty output — are retried with exponential
+  backoff, a bounded number of times;
+* **malformed output** from a cleanly-exiting solver (no verdict token) is
+  *not* retried: the solver is deterministic, so asking again would yield
+  the same garbage; it is reported as an error outcome;
+* outcomes are parsed structurally: the first ``sat``/``unsat``/``unknown``
+  token line is the verdict, subsequent lines are the model (on ``sat``).
+
+Verdict mapping follows the internal prover's semantics (docs/PROVER.md):
+``unsat`` on the negated goal means **proved**; ``sat`` means *not proved*,
+with the model reported as the counterexample context (like a saturated
+internal branch, it is evidence, not a disproof — the emission is an
+abstraction); ``unknown``/timeout/error mean *not proved, inconclusive*.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.prover.core import ProverConfig
+
+#: Verdict-token lines recognized in solver output.
+_STATUS_TOKENS = ("unsat", "sat", "unknown")
+
+#: Lines of model text kept as counterexample context.
+_MAX_MODEL_LINES = 40
+
+#: Poll interval while waiting on a solver process (keeps cancellation and
+#: the hard deadline responsive without busy-waiting).
+_POLL_S = 0.01
+
+
+@dataclass
+class SolverOutcome:
+    """One solver invocation's structured result."""
+
+    status: str  # "unsat" | "sat" | "unknown" | "timeout" | "cancelled" | "error"
+    detail: str = ""
+    model: Tuple[str, ...] = ()
+    elapsed_s: float = 0.0
+    attempts: int = 1
+
+    @property
+    def conclusive(self) -> bool:
+        """True when the solver actually decided the query."""
+        return self.status in ("unsat", "sat")
+
+
+def parse_solver_output(text: str) -> Tuple[Optional[str], Tuple[str, ...]]:
+    """Extract (verdict, model-lines) from raw solver stdout.
+
+    The verdict is the first line that *is* a status token (solvers print
+    warnings and, after ``(get-model)`` on unsat, error S-expressions; both
+    are ignored).  Model lines are everything after a ``sat`` verdict that
+    is not an error line."""
+    verdict: Optional[str] = None
+    model: List[str] = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if verdict is None:
+            if stripped in _STATUS_TOKENS:
+                verdict = stripped
+            continue
+        if stripped and not stripped.startswith("(error"):
+            model.append(line.rstrip())
+    return verdict, tuple(model[:_MAX_MODEL_LINES])
+
+
+def solver_version(cmd: Sequence[str], *, timeout_s: float = 5.0) -> str:
+    """Best-effort version probe of a solver command (cached per process)."""
+    key = tuple(cmd)
+    hit = _VERSION_CACHE.get(key)
+    if hit is not None:
+        return hit
+    version = "unknown"
+    for argv in (list(cmd) + ["--version"], [cmd[0], "--version"]):
+        try:
+            probe = subprocess.run(
+                argv,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                timeout=timeout_s,
+                text=True,
+            )
+        except (OSError, subprocess.SubprocessError):
+            continue
+        first = next((l.strip() for l in probe.stdout.splitlines() if l.strip()), "")
+        if probe.returncode == 0 and first:
+            version = first[:120]
+            break
+    _VERSION_CACHE[key] = version
+    return version
+
+
+_VERSION_CACHE: dict = {}
+
+
+class SolverRunner:
+    """Run one solver command over script files, safely."""
+
+    def __init__(
+        self,
+        cmd: Sequence[str],
+        *,
+        timeout_s: float = 30.0,
+        retries: int = 2,
+        backoff_s: float = 0.25,
+    ) -> None:
+        self.cmd = tuple(cmd)
+        self.timeout_s = timeout_s
+        self.retries = max(0, int(retries))
+        self.backoff_s = backoff_s
+
+    # -- one attempt -------------------------------------------------------
+
+    def _run_once(
+        self, script_path: str, cancel: Optional[object]
+    ) -> Tuple[str, str, Optional[int]]:
+        """One solver process: (stdout, why, returncode).
+
+        ``why`` is "" on a normal exit, else "timeout"/"cancelled"."""
+        proc = subprocess.Popen(
+            list(self.cmd) + [script_path],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        deadline = time.monotonic() + self.timeout_s
+        why = ""
+        while True:
+            if proc.poll() is not None:
+                break
+            if cancel is not None and cancel():
+                why = "cancelled"
+                break
+            if time.monotonic() > deadline:
+                why = "timeout"
+                break
+            time.sleep(_POLL_S)
+        if why:
+            proc.terminate()
+            try:
+                proc.wait(timeout=0.5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+        try:
+            stdout, _ = proc.communicate(timeout=5.0)
+        except subprocess.TimeoutExpired:  # pragma: no cover - kill raced
+            proc.kill()
+            stdout, _ = proc.communicate()
+        return stdout or "", why, proc.returncode
+
+    # -- retry loop --------------------------------------------------------
+
+    def check(
+        self,
+        script_text: str,
+        *,
+        name: str = "goal",
+        cancel: Optional[object] = None,
+    ) -> SolverOutcome:
+        """Solve one script; never raises.
+
+        Retries (with exponential backoff) spawn failures and crashes
+        mid-stream; does not retry timeouts, cancellations, missing
+        binaries, or deterministic garbage from a cleanly-exiting solver."""
+        start = time.monotonic()
+        fd, path = tempfile.mkstemp(prefix="repro-ob-", suffix=".smt2")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(script_text)
+            last_detail = ""
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    stdout, why, returncode = self._run_once(path, cancel)
+                except FileNotFoundError as exc:
+                    return SolverOutcome(
+                        "error",
+                        f"solver binary not found: {exc}",
+                        elapsed_s=time.monotonic() - start,
+                        attempts=attempts,
+                    )
+                except OSError as exc:
+                    last_detail = f"spawn failed: {exc}"
+                    stdout, why, returncode = "", "", None
+                if why in ("timeout", "cancelled"):
+                    return SolverOutcome(
+                        why,
+                        f"killed after {self.timeout_s:.1f}s"
+                        if why == "timeout"
+                        else "race already decided",
+                        elapsed_s=time.monotonic() - start,
+                        attempts=attempts,
+                    )
+                verdict, model = parse_solver_output(stdout)
+                if verdict is not None:
+                    return SolverOutcome(
+                        verdict,
+                        model=model,
+                        elapsed_s=time.monotonic() - start,
+                        attempts=attempts,
+                    )
+                if returncode == 0 and stdout.strip():
+                    # Clean exit, no verdict token: deterministic garbage.
+                    head = stdout.strip().splitlines()[0][:120]
+                    return SolverOutcome(
+                        "error",
+                        f"malformed solver output: {head!r}",
+                        elapsed_s=time.monotonic() - start,
+                        attempts=attempts,
+                    )
+                if returncode is not None:
+                    last_detail = (
+                        f"solver exited with code {returncode} and no verdict"
+                    )
+                if attempts > self.retries:
+                    return SolverOutcome(
+                        "error",
+                        f"{last_detail or 'no solver output'} "
+                        f"(after {attempts} attempt(s))",
+                        elapsed_s=time.monotonic() - start,
+                        attempts=attempts,
+                    )
+                if self.backoff_s > 0:
+                    time.sleep(self.backoff_s * (2 ** (attempts - 1)))
+        finally:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+
+class SmtLibBackend:
+    """Discharge obligations through an external SMT solver."""
+
+    name = "smtlib"
+
+    def __init__(self, spec, config: ProverConfig) -> None:
+        from repro.prover.backends.base import BackendSpec
+
+        assert isinstance(spec, BackendSpec) and spec.solver_cmd
+        self.spec = spec
+        self.config = config
+        self.runner = SolverRunner(
+            spec.solver_cmd,
+            timeout_s=spec.solver_timeout_s,
+            retries=spec.solver_retries,
+            backoff_s=spec.retry_backoff_s,
+        )
+
+    def identity(self) -> str:
+        version = solver_version(self.spec.solver_cmd)
+        cmd = " ".join(self.spec.solver_cmd)
+        return f"smtlib;cmd={cmd};version={version}"
+
+    # ------------------------------------------------------------------
+
+    def run_cases(
+        self, obligation, cancel: Optional[object] = None
+    ) -> Tuple[bool, bool, List[str]]:
+        """(proved, conclusive, context) over the obligation's kind cases.
+
+        Proved only when *every* case comes back ``unsat``; the first
+        non-``unsat`` case ends the analysis, conclusively for ``sat``
+        (countermodel) and inconclusively otherwise."""
+        from repro.verify.encode import CONSTRUCTORS, all_axioms
+        from repro.verify.smtlib import emit_script, obligation_cases
+
+        axioms = all_axioms()
+        constructors = sorted(CONSTRUCTORS)
+        for case_name, goal in obligation_cases(obligation):
+            if cancel is not None and cancel():
+                return False, False, [f"<cancelled before case {case_name}>"]
+            script = emit_script(
+                case_name,
+                goal,
+                axioms=axioms,
+                seeds=obligation.seeds,
+                constructors=constructors,
+                produce_models=self.spec.want_model,
+            )
+            outcome = self.runner.check(script.text, name=case_name, cancel=cancel)
+            if outcome.status == "unsat":
+                continue
+            if outcome.status == "sat":
+                context = [
+                    f"in case {case_name}: external solver reported a "
+                    f"countermodel ({outcome.elapsed_s:.2f}s)"
+                ]
+                context.extend(f"  {line}" for line in outcome.model)
+                return False, True, context
+            context = [
+                f"in case {case_name}: external solver answered "
+                f"{outcome.status}"
+                + (f" ({outcome.detail})" if outcome.detail else "")
+            ]
+            return False, False, context
+        return True, True, []
+
+    def discharge(self, owner, obligation, cancel=None):
+        from repro.verify.checker import ObligationResult
+
+        start = time.monotonic()
+        proved, _conclusive, context = self.run_cases(obligation, cancel)
+        return ObligationResult(
+            obligation.name,
+            proved,
+            time.monotonic() - start,
+            context,
+            backend=self.identity(),
+        )
+
+    def close(self) -> None:
+        pass

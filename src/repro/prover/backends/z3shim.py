@@ -1,0 +1,73 @@
+"""A solver-command shim over the ``z3-solver`` Python bindings.
+
+``pip install z3-solver`` ships ``libz3`` plus Python bindings but no
+``z3`` executable on PATH.  This module makes that installation usable as
+an external solver command::
+
+    python -m repro.prover.backends.z3shim FILE.smt2
+
+It reads the script, solves it, and prints ``sat``/``unsat``/``unknown``
+(plus the model on ``sat``) — exactly the contract
+:class:`repro.prover.backends.smtlib.SolverRunner` expects.  Backend
+discovery (:func:`repro.prover.backends.base.discover_solver`) falls back
+to this shim when no solver binary is found but ``import z3`` works.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "--version":
+        try:
+            import z3
+
+            print(f"z3shim {z3.get_version_string()}")
+            return 0
+        except Exception:
+            print("z3shim (z3 bindings unavailable)")
+            return 1
+    if len(argv) != 1:
+        print("usage: python -m repro.prover.backends.z3shim FILE.smt2",
+              file=sys.stderr)
+        return 2
+    try:
+        import z3
+    except Exception as exc:
+        print(f"z3shim: z3 bindings unavailable: {exc}", file=sys.stderr)
+        return 3
+    solver = z3.Solver()
+    try:
+        with open(argv[0]) as handle:
+            text = handle.read()
+        # The z3py parser wants declarations and assertions only; the
+        # script's driver commands are replayed here instead.
+        kept = [
+            line
+            for line in text.splitlines()
+            if not line.lstrip().startswith(
+                ("(set-option", "(check-sat", "(get-model", "(exit")
+            )
+        ]
+        solver.from_string("\n".join(kept))
+    except (OSError, z3.Z3Exception) as exc:
+        print(f"z3shim: parse error: {exc}", file=sys.stderr)
+        return 4
+    result = solver.check()
+    if result == z3.unsat:
+        print("unsat")
+    elif result == z3.sat:
+        print("sat")
+        try:
+            print(solver.model())
+        except z3.Z3Exception:
+            pass
+    else:
+        print("unknown")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -325,8 +325,15 @@ class Prover:
         extra_axioms: Sequence[Union[Formula, Clause]] = (),
         name: str = "goal",
         config: Optional[ProverConfig] = None,
+        cancel: Optional[object] = None,
     ) -> Result:
-        """Attempt to prove ``goal`` valid modulo the axioms."""
+        """Attempt to prove ``goal`` valid modulo the axioms.
+
+        ``cancel`` is an optional zero-argument callable polled at the same
+        points as the cooperative timeout; when it returns true the search
+        stops and answers ``unknown``.  This is how the portfolio backend
+        cuts a losing internal search short once an external solver has
+        already produced a conclusive verdict (docs/BACKENDS.md)."""
         cfg = config or self.config
         clauses: List[Clause] = list(self._base_clauses)
         for i, ax in enumerate(extra_axioms):
@@ -336,6 +343,7 @@ class Prover:
                 clauses.extend(clausify(ax, origin=f"extra#{i}", prefix=f"sk_x{i}_"))
         clauses.extend(clausify(Not(goal), origin="negated-goal", prefix="sk_goal_"))
         search = _Search(clauses, self.constructors, cfg)
+        search.cancel = cancel
         return search.run(name)
 
 
@@ -369,6 +377,8 @@ class _Search:
         self._lit_info: Dict[int, list] = {}
         self.stats = ProverStats()
         self.deadline = 0.0
+        #: Optional zero-argument cancellation poll (see ``Prover.prove``).
+        self.cancel: Optional[object] = None
         self.assertion_log: List[str] = []
         self.saturated_context: List[str] = []
         # Satisfied-clause marks, scoped to decision levels: a clause found
@@ -595,6 +605,8 @@ class _Search:
     def _dpll(self, depth: int) -> bool:
         """True when the current branch is refuted."""
         if time.monotonic() > self.deadline:
+            raise _Timeout()
+        if self.cancel is not None and self.cancel():
             raise _Timeout()
         rounds = 0
         while True:
@@ -904,6 +916,8 @@ class _Search:
         added = False
         recorded: List[Tuple] = []
         for pair_idx, (clause, triggers) in enumerate(self.quantified):
+            if self.cancel is not None and self.cancel():
+                raise _Timeout()
             if time.monotonic() > self.deadline:
                 raise _Timeout()
             clause_vars = set(clause.vars())

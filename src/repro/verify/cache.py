@@ -40,8 +40,10 @@ from repro.prover import ProverConfig
 #: prover's search itself changes (cached counterexample contexts reflect
 #: the search trajectory); old files are then ignored wholesale instead of
 #: being misread.  3: digests are structural (DAG walk over interned nodes)
-#: rather than printed forms.
-SCHEMA_VERSION = 3
+#: rather than printed forms.  4: verdicts carry the producing backend's
+#: identity (backend family + solver command + solver version); verdicts
+#: proved by an external solver replay only under the same identity.
+SCHEMA_VERSION = 4
 
 CACHE_FILENAME = "proof-cache.json"
 
@@ -199,6 +201,13 @@ def obligation_key(obligation, axiom_digest: str) -> str:
     return h.hexdigest()
 
 
+#: Backend identities whose ``proved`` verdicts are trusted by *every*
+#: requesting backend: the in-process prover's proofs are deterministic and
+#: carry no external-solver dependency.  External proofs are replayed only
+#: under the exact producing identity (solver command + version).
+_UNIVERSAL_BACKEND_PREFIX = "internal"
+
+
 @dataclass
 class CachedVerdict:
     """One stored obligation outcome."""
@@ -207,6 +216,9 @@ class CachedVerdict:
     elapsed_s: float
     context: List[str] = field(default_factory=list)
     config: str = ""
+    #: identity of the backend that produced the verdict (see
+    #: :meth:`repro.prover.backends.base.ProverBackend.identity`).
+    backend: str = "internal"
 
     def to_json(self) -> dict:
         return {
@@ -214,6 +226,7 @@ class CachedVerdict:
             "elapsed_s": self.elapsed_s,
             "context": list(self.context),
             "config": self.config,
+            "backend": self.backend,
         }
 
     @classmethod
@@ -223,7 +236,28 @@ class CachedVerdict:
             elapsed_s=float(data.get("elapsed_s", 0.0)),
             context=[str(line) for line in data.get("context", [])],
             config=str(data.get("config", "")),
+            backend=str(data.get("backend", "internal")),
         )
+
+    def replayable_for(self, config_fp: str, backend: str) -> bool:
+        """Whether this verdict answers a request under the given identity.
+
+        * internal ``proved`` verdicts are sound under any resource limits
+          and any requesting backend;
+        * external ``proved`` verdicts additionally require the same
+          backend identity (a different solver or version must re-prove);
+        * ``unknown`` verdicts are resource-limit artifacts — they replay
+          only for the exact configuration *and* backend that produced
+          them."""
+        if self.proved:
+            if self.backend.startswith(_UNIVERSAL_BACKEND_PREFIX):
+                return True
+            # A portfolio identity embeds its legs' identities verbatim, so
+            # substring containment is exactly "produced by one of my legs".
+            return self.backend == backend or (
+                bool(self.backend) and self.backend in backend
+            )
+        return self.config == config_fp and self.backend == backend
 
 
 #: Counterexample contexts can be enormous (full assertion logs); store only
@@ -311,21 +345,25 @@ class ProofCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, key: str, config_fp: str) -> Optional[CachedVerdict]:
+    def get(
+        self, key: str, config_fp: str, backend: str = "internal"
+    ) -> Optional[CachedVerdict]:
         entry = self._entries.get(key)
-        if entry is not None and (entry.proved or entry.config == config_fp):
+        if entry is not None and entry.replayable_for(config_fp, backend):
             self.stats.hits += 1
             return entry
         self.stats.misses += 1
         return None
 
     def put(self, key: str, *, proved: bool, elapsed_s: float,
-            context: Sequence[str] = (), config_fp: str = "") -> None:
+            context: Sequence[str] = (), config_fp: str = "",
+            backend: str = "internal") -> None:
         self._entries[key] = CachedVerdict(
             proved=proved,
             elapsed_s=elapsed_s,
             context=list(context)[:_MAX_CONTEXT_LINES],
             config=config_fp,
+            backend=backend,
         )
         self.stats.stores += 1
         self._dirty = True

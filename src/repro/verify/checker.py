@@ -55,6 +55,10 @@ class ObligationResult:
     #: Prover observability counters, aggregated over the obligation's
     #: kind-split cases.  ``None`` for cached verdicts (no search ran).
     stats: Optional[ProverStats] = None
+    #: Identity of the backend that produced this verdict (see
+    #: :meth:`repro.prover.backends.ProverBackend.identity`); keys the
+    #: persistent proof cache.
+    backend: str = "internal"
 
 
 @dataclass
@@ -135,6 +139,8 @@ def discharge_obligation(
     owner: str,
     obligation: Obligation,
     config: Optional[ProverConfig] = None,
+    *,
+    cancel: Optional[object] = None,
 ) -> ObligationResult:
     """Discharge one obligation with the given prover.
 
@@ -142,6 +148,10 @@ def discharge_obligation(
     kind at a time: the top level of the case analysis is performed here,
     each sub-case by the prover.  This function is self-contained (no
     checker state) so worker processes can call it directly.
+
+    ``cancel`` is a zero-argument callable polled by the prover's search
+    loop; the portfolio backend uses it to stop the internal search once
+    the external solver has already proved the obligation.
     """
     from repro.logic.formulas import Eq, Implies, clausify
     from repro.verify import encode as E
@@ -171,6 +181,7 @@ def discharge_obligation(
             extra_axioms=seed_clauses,
             name=f"{owner}:{case_name}",
             config=config,
+            cancel=cancel,
         )
         stats.merge(result.stats)
         if not result.proved:
@@ -181,8 +192,23 @@ def discharge_obligation(
     return ObligationResult(obligation.name, proved, elapsed, context, stats=stats)
 
 
+#: Sentinel distinguishing "kwarg not passed" from an explicit ``None``
+#: in the deprecated :class:`SoundnessChecker` constructor arguments.
+_UNSET = object()
+
+
 class SoundnessChecker:
-    """Automatically proves Cobalt optimizations sound (or rejects them)."""
+    """Automatically proves Cobalt optimizations sound (or rejects them).
+
+    Configure it with a :class:`repro.api.VerifyOptions`::
+
+        SoundnessChecker(options=VerifyOptions(backend="portfolio", jobs=4))
+
+    The pre-façade keyword arguments (``cache=``, ``jobs=``,
+    ``obligation_timeout_s=``) still work but emit a ``DeprecationWarning``
+    pointing at the options object; ``config=`` remains the supported way
+    to hand over a bare :class:`ProverConfig` and overrides
+    ``options.prover`` when both are given."""
 
     def __init__(
         self,
@@ -190,27 +216,68 @@ class SoundnessChecker:
         *,
         analyses: Sequence[PureAnalysis] = (),
         config: Optional[ProverConfig] = None,
-        cache: Union[ProofCache, str, os.PathLike, None] = None,
-        jobs: int = 1,
-        obligation_timeout_s: Optional[float] = None,
+        options: Optional["VerifyOptions"] = None,
+        cache: Union[ProofCache, str, os.PathLike, None] = _UNSET,  # type: ignore[assignment]
+        jobs: int = _UNSET,  # type: ignore[assignment]
+        obligation_timeout_s: Optional[float] = _UNSET,  # type: ignore[assignment]
     ) -> None:
+        import warnings
+
+        from repro.api import VerifyOptions
+        from repro.prover.backends.base import resolve_backend
+
+        def _deprecated(kwarg: str, replacement: str):
+            warnings.warn(
+                f"SoundnessChecker({kwarg}=...) is deprecated; pass "
+                f"SoundnessChecker(options=VerifyOptions({replacement}=...)) "
+                f"instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+
+        if options is None:
+            options = VerifyOptions()
+        self.options = options
         self.registry = registry or standard_registry()
         self.semantic_meanings: Dict[str, PureAnalysis] = {
             a.label_name: a for a in analyses
         }
-        self.config = config or ProverConfig(timeout_s=300.0)
+        if config is not None:
+            self.config = config
+        elif options.prover != VerifyOptions().prover:
+            self.config = options.prover_config()
+        else:
+            self.config = ProverConfig(timeout_s=300.0)
         axioms = all_axioms()
         self._prover = Prover(
             axioms, constructors=CONSTRUCTORS, config=self.config
         )
         self._analysis_cache: Dict[str, SoundnessReport] = {}
+        if cache is _UNSET:
+            cache = options.cache_dir
+        else:
+            _deprecated("cache", "cache_dir")
         if isinstance(cache, (str, os.PathLike)):
             cache = ProofCache(cache)
         self.cache: Optional[ProofCache] = cache
+        if jobs is _UNSET:
+            jobs = options.jobs
+        else:
+            _deprecated("jobs", "jobs")
         self.jobs = max(1, int(jobs))
         #: hard per-obligation wall-clock limit for parallel workers (the
         #: prover's own cooperative timeout still applies everywhere).
+        if obligation_timeout_s is _UNSET:
+            obligation_timeout_s = options.obligation_timeout_s
+        else:
+            _deprecated("obligation_timeout_s", "obligation_timeout_s")
         self.obligation_timeout_s = obligation_timeout_s
+        #: the resolved prover backend (degrades to internal, with a one-line
+        #: warning, when an external solver was requested but none exists).
+        self.backend = resolve_backend(
+            options.backend_spec(), self.config, prover=self._prover
+        )
+        self._backend_id = self.backend.identity()
         self._axiom_digest = axioms_digest(axioms, CONSTRUCTORS)
         self._config_fp = config_fingerprint(self.config)
 
@@ -230,17 +297,25 @@ class SoundnessChecker:
         for i, ob in enumerate(obligations):
             if self.cache is not None:
                 hit = self.cache.get(
-                    obligation_key(ob, self._axiom_digest), self._config_fp
+                    obligation_key(ob, self._axiom_digest),
+                    self._config_fp,
+                    self._backend_id,
                 )
                 if hit is not None:
                     results[i] = ObligationResult(
-                        ob.name, hit.proved, 0.0, list(hit.context), cached=True
+                        ob.name,
+                        hit.proved,
+                        0.0,
+                        list(hit.context),
+                        cached=True,
+                        backend=hit.backend,
                     )
                     continue
             pending.append((i, ob))
 
         if pending:
             if self.jobs > 1 and len(pending) > 1:
+                from repro.prover.backends.base import worker_spec
                 from repro.verify.parallel import discharge_parallel
 
                 fresh = discharge_parallel(
@@ -250,11 +325,12 @@ class SoundnessChecker:
                     jobs=self.jobs,
                     hard_timeout_s=self.obligation_timeout_s,
                     fallback_prover=self._prover,
+                    backend_spec=worker_spec(self.backend),
+                    fallback_backend=self.backend,
                 )
             else:
                 fresh = [
-                    discharge_obligation(self._prover, name, ob)
-                    for _, ob in pending
+                    self.backend.discharge(name, ob) for _, ob in pending
                 ]
             for (i, ob), result in zip(pending, fresh):
                 results[i] = result
@@ -265,6 +341,7 @@ class SoundnessChecker:
                         elapsed_s=result.elapsed_s,
                         context=result.context,
                         config_fp=self._config_fp,
+                        backend=result.backend if result.proved else self._backend_id,
                     )
             if self.cache is not None:
                 self.cache.save()

@@ -30,10 +30,13 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.prover import Prover, ProverConfig
 
-#: Worker-process prover, built once per worker by the pool initializer and
-#: reused for every obligation the worker discharges.
-_WORKER_PROVER: Optional[Prover] = None
-_WORKER_FP: Optional[str] = None
+#: Worker-process backend, built once per worker by the pool initializer and
+#: reused for every obligation the worker discharges.  Workers *own* their
+#: backend — including external solver subprocesses for the ``smtlib`` and
+#: ``portfolio`` backends — so obligation-level parallelism composes with
+#: external solving without sharing process handles across the pool.
+_WORKER_BACKEND = None
+_WORKER_KEY: Optional[Tuple[str, object]] = None
 
 
 def _config_fp(config: ProverConfig) -> str:
@@ -49,21 +52,24 @@ def build_prover(config: ProverConfig) -> Prover:
     return Prover(all_axioms(), constructors=CONSTRUCTORS, config=config)
 
 
-def _worker_init(config: ProverConfig) -> None:
-    global _WORKER_PROVER, _WORKER_FP
-    _WORKER_PROVER = build_prover(config)
-    _WORKER_FP = _config_fp(config)
+def _worker_init(config: ProverConfig, spec=None) -> None:
+    global _WORKER_BACKEND, _WORKER_KEY
+    from repro.prover.backends.base import BackendSpec, resolve_backend
+
+    spec = spec or BackendSpec()
+    # quiet=True: solver discovery (and any missing-solver warning) already
+    # happened in the parent — worker specs carry the resolved command.
+    _WORKER_BACKEND = resolve_backend(spec, config, quiet=True)
+    _WORKER_KEY = (_config_fp(config), spec)
 
 
-def _worker_discharge(task: Tuple[int, str, object, ProverConfig]):
+def _worker_discharge(task: Tuple[int, str, object, ProverConfig, object]):
     """Discharge one obligation in a worker process."""
-    from repro.verify.checker import discharge_obligation
-
-    global _WORKER_PROVER, _WORKER_FP
-    index, owner, obligation, config = task
-    if _WORKER_PROVER is None or _WORKER_FP != _config_fp(config):
-        _worker_init(config)
-    return index, discharge_obligation(_WORKER_PROVER, owner, obligation, config)
+    global _WORKER_BACKEND, _WORKER_KEY
+    index, owner, obligation, config, spec = task
+    if _WORKER_BACKEND is None or _WORKER_KEY != (_config_fp(config), spec):
+        _worker_init(config, spec)
+    return index, _WORKER_BACKEND.discharge(owner, obligation)
 
 
 def _hard_timeout(config: ProverConfig, override: Optional[float]) -> float:
@@ -82,9 +88,17 @@ def discharge_parallel(
     jobs: int,
     hard_timeout_s: Optional[float] = None,
     fallback_prover: Optional[Prover] = None,
+    backend_spec=None,
+    fallback_backend=None,
     _worker=None,
 ) -> List["ObligationResult"]:
     """Discharge ``obligations`` across ``jobs`` workers; results in order.
+
+    ``backend_spec`` (a picklable :class:`repro.prover.backends.BackendSpec`,
+    default internal) tells each worker which backend to build; the parent
+    should pass :func:`repro.prover.backends.worker_spec` so the resolved
+    solver command travels with the task.  ``fallback_backend`` (default: an
+    internal prover over ``fallback_prover``) handles in-process fallback.
 
     ``_worker`` is a test seam: a replacement for the worker entry point
     (it must be a picklable top-level callable with the same contract).
@@ -96,13 +110,15 @@ def discharge_parallel(
     results: List[Optional[ObligationResult]] = [None] * len(obligations)
 
     def serial(index: int, obligation) -> ObligationResult:
+        if fallback_backend is not None:
+            return fallback_backend.discharge(owner, obligation)
         prover = fallback_prover or build_prover(config)
         return discharge_obligation(prover, owner, obligation, config)
 
     # A task set that cannot be pickled cannot cross a process boundary at
     # all — discharge everything serially in this process.
     try:
-        pickle.dumps((owner, list(obligations), config))
+        pickle.dumps((owner, list(obligations), config, backend_spec))
     except Exception:
         return [serial(i, ob) for i, ob in enumerate(obligations)]
 
@@ -110,7 +126,7 @@ def discharge_parallel(
         executor = ProcessPoolExecutor(
             max_workers=max(1, min(jobs, len(obligations))),
             initializer=_worker_init,
-            initargs=(config,),
+            initargs=(config, backend_spec),
         )
     except (OSError, ValueError):  # no usable start method / no semaphores
         return [serial(i, ob) for i, ob in enumerate(obligations)]
@@ -118,7 +134,7 @@ def discharge_parallel(
     timed_out = False
     try:
         futures = [
-            (i, ob, executor.submit(worker, (i, owner, ob, config)))
+            (i, ob, executor.submit(worker, (i, owner, ob, config, backend_spec)))
             for i, ob in enumerate(obligations)
         ]
         for i, ob, future in futures:

@@ -1,0 +1,456 @@
+"""Prover backends (repro.prover.backends, repro.verify.smtlib).
+
+The contract under test, per docs/BACKENDS.md:
+
+* SMT-LIB2 emission produces well-formed ``(set-logic UF)`` scripts whose
+  ``unsat`` answers are sound to trust;
+* the solver subprocess discipline is robust — missing binaries, crashes
+  mid-stream, malformed output, hung solvers, and retry exhaustion all
+  produce structured outcomes, never exceptions or hangs;
+* the portfolio merge is a pure function of the two backends' answers
+  (byte-identical canonical reports across runs);
+* backend resolution degrades gracefully to internal when no solver
+  exists, with a single warning;
+* the proof cache replays internal proofs for any backend but scopes
+  external verdicts to the producing solver identity.
+
+Everything here runs with *scripted fake solvers* (small Python programs
+standing in for z3), so no SMT solver needs to be installed; the one
+cross-check against a real solver is skipped when none is available.
+"""
+
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cobalt.labels import standard_registry
+from repro.prover import ProverConfig
+from repro.prover.backends import (
+    BackendSpec,
+    InternalBackend,
+    PortfolioBackend,
+    SmtLibBackend,
+    SolverRunner,
+    discover_solver,
+    parse_solver_output,
+    resolve_backend,
+    worker_spec,
+)
+from repro.verify.cache import CachedVerdict
+from repro.verify.obligations import ObligationBuilder
+from repro.verify.smtlib import emit_obligation, emit_script
+from repro.opts import const_fold, const_prop
+from repro.opts.buggy import copy_prop_no_target_check
+
+FAST = ProverConfig(timeout_s=60.0)
+
+
+def _obligations(pattern):
+    return ObligationBuilder(standard_registry()).forward_obligations(pattern)
+
+
+@pytest.fixture()
+def fake_solver(tmp_path):
+    """A factory for scripted stand-in solvers: returns an argv tuple."""
+
+    counter = [0]
+
+    def make(body: str):
+        counter[0] += 1
+        script = tmp_path / f"solver{counter[0]}.py"
+        script.write_text("import sys, os, time\n" + body)
+        return (sys.executable, str(script))
+
+    return make
+
+
+# ---------------------------------------------------------------------------
+# Output parsing
+# ---------------------------------------------------------------------------
+
+
+class TestParseSolverOutput:
+    def test_unsat(self):
+        assert parse_solver_output("unsat\n") == ("unsat", ())
+
+    def test_sat_with_model(self):
+        verdict, model = parse_solver_output("sat\n(model\n  (f 1)\n)\n")
+        assert verdict == "sat"
+        assert "(model" in model[0]
+
+    def test_warnings_before_verdict_ignored(self):
+        verdict, _ = parse_solver_output('(warning "x")\nunsat\n')
+        assert verdict == "unsat"
+
+    def test_error_lines_not_model(self):
+        verdict, model = parse_solver_output('sat\n(error "no model")\n')
+        assert verdict == "sat"
+        assert model == ()
+
+    def test_garbage_has_no_verdict(self):
+        assert parse_solver_output("hello world\n")[0] is None
+
+    def test_unsatisfied_is_not_unsat(self):
+        # token lines only: a prefix match would misread solver chatter
+        assert parse_solver_output("unsatisfied\n")[0] is None
+
+
+# ---------------------------------------------------------------------------
+# Emission
+# ---------------------------------------------------------------------------
+
+
+class TestEmission:
+    def test_scripts_well_formed(self):
+        obligations = _obligations(const_prop.pattern)
+        scripts = emit_obligation(obligations[0])
+        assert scripts, "kind split must produce at least one script"
+        for script in scripts:
+            assert script.text.count("(") == script.text.count(")")
+            assert "(set-logic UF)" in script.text
+            assert "(check-sat)" in script.text
+            assert "(assert (not " in script.text  # goal is negated
+
+    def test_one_script_per_statement_kind(self):
+        from repro.verify import encode as E
+
+        obligations = _obligations(const_prop.pattern)
+        with_split = [ob for ob in obligations if ob.split_term is not None]
+        assert with_split, "F obligations case-split on the statement kind"
+        scripts = emit_obligation(with_split[0])
+        assert len(scripts) == len(E.STMT_KINDS)
+
+    def test_declarations_unique(self):
+        scripts = emit_obligation(_obligations(const_prop.pattern)[0])
+        for script in scripts:
+            decls = [
+                line.split()[1]
+                for line in script.text.splitlines()
+                if line.startswith("(declare-fun")
+            ]
+            assert len(decls) == len(set(decls)), "duplicate declare-fun"
+
+    def test_real_solver_accepts_and_agrees(self):
+        # Cross-check against a real SMT solver when one is installed: every
+        # obligation of a sound optimization the internal prover discharges
+        # must come back unsat (the emission never weakens soundly-provable
+        # goals into sat).
+        cmd = discover_solver()
+        if cmd is None:
+            pytest.skip("no SMT solver installed")
+        spec = BackendSpec(name="smtlib", solver_cmd=cmd, solver_timeout_s=60.0)
+        backend = SmtLibBackend(spec, FAST)
+        for ob in _obligations(const_fold.pattern):
+            result = backend.discharge("constFold", ob)
+            assert result.proved, (ob.name, result.context)
+
+
+# ---------------------------------------------------------------------------
+# Subprocess discipline
+# ---------------------------------------------------------------------------
+
+
+class TestSolverRunner:
+    def test_missing_binary_is_immediate_error(self):
+        runner = SolverRunner(("/nonexistent/solver-xyz",), retries=3)
+        outcome = runner.check("(check-sat)\n")
+        assert outcome.status == "error"
+        assert outcome.attempts == 1, "a missing binary must not be retried"
+
+    def test_timeout_kills_the_solver(self, fake_solver):
+        cmd = fake_solver("time.sleep(60)\n")
+        runner = SolverRunner(cmd, timeout_s=0.3, retries=2)
+        start = time.monotonic()
+        outcome = runner.check("(check-sat)\n")
+        assert outcome.status == "timeout"
+        assert "killed" in outcome.detail
+        assert outcome.attempts == 1, "timeouts must not be retried"
+        assert time.monotonic() - start < 10.0
+
+    def test_malformed_output_not_retried(self, fake_solver):
+        cmd = fake_solver("print('certainly!')\n")
+        runner = SolverRunner(cmd, retries=5, backoff_s=0.0)
+        outcome = runner.check("(check-sat)\n")
+        assert outcome.status == "error"
+        assert "malformed" in outcome.detail
+        assert outcome.attempts == 1, "deterministic garbage must not be retried"
+
+    def test_crash_mid_stream_retries_until_exhausted(self, fake_solver):
+        cmd = fake_solver(
+            "sys.stdout.write('(partial')\nsys.stdout.flush()\nsys.exit(3)\n"
+        )
+        runner = SolverRunner(cmd, retries=2, backoff_s=0.0)
+        outcome = runner.check("(check-sat)\n")
+        assert outcome.status == "error"
+        assert outcome.attempts == 3  # 1 try + 2 retries
+        assert "attempt" in outcome.detail
+
+    def test_transient_crash_recovers_on_retry(self, fake_solver, tmp_path):
+        marker = tmp_path / "crashed-once"
+        cmd = fake_solver(
+            f"m = {str(marker)!r}\n"
+            "if not os.path.exists(m):\n"
+            "    open(m, 'w').close()\n"
+            "    sys.exit(1)\n"
+            "print('unsat')\n"
+        )
+        runner = SolverRunner(cmd, retries=2, backoff_s=0.0)
+        outcome = runner.check("(check-sat)\n")
+        assert outcome.status == "unsat"
+        assert outcome.attempts == 2
+
+    def test_cancellation_stops_promptly(self, fake_solver):
+        cmd = fake_solver("time.sleep(60)\n")
+        runner = SolverRunner(cmd, timeout_s=30.0, retries=0)
+        start = time.monotonic()
+        outcome = runner.check("(check-sat)\n", cancel=lambda: True)
+        assert outcome.status == "cancelled"
+        assert time.monotonic() - start < 5.0
+
+
+# ---------------------------------------------------------------------------
+# The smtlib backend
+# ---------------------------------------------------------------------------
+
+
+class TestSmtLibBackend:
+    def _backend(self, cmd, timeout_s=30.0):
+        spec = BackendSpec(
+            name="smtlib", solver_cmd=cmd, solver_timeout_s=timeout_s
+        )
+        return SmtLibBackend(spec, FAST)
+
+    def test_all_unsat_proves(self, fake_solver):
+        backend = self._backend(fake_solver("print('unsat')\n"))
+        ob = _obligations(const_fold.pattern)[0]
+        result = backend.discharge("constFold", ob)
+        assert result.proved
+        assert result.backend.startswith("smtlib;")
+
+    def test_sat_reports_countermodel(self, fake_solver):
+        backend = self._backend(
+            fake_solver("print('sat')\nprint('(model (x 1))')\n")
+        )
+        ob = _obligations(const_fold.pattern)[0]
+        result = backend.discharge("constFold", ob)
+        assert not result.proved
+        assert any("countermodel" in line for line in result.context)
+        assert any("(model (x 1))" in line for line in result.context)
+
+    def test_unknown_is_inconclusive(self, fake_solver):
+        backend = self._backend(fake_solver("print('unknown')\n"))
+        ob = _obligations(const_fold.pattern)[0]
+        proved, conclusive, context = backend.run_cases(ob)
+        assert not proved and not conclusive
+        assert any("unknown" in line for line in context)
+
+
+# ---------------------------------------------------------------------------
+# Resolution and degradation
+# ---------------------------------------------------------------------------
+
+
+class TestResolveBackend:
+    def test_internal_by_default(self):
+        backend = resolve_backend(BackendSpec(), FAST)
+        assert isinstance(backend, InternalBackend)
+        assert backend.identity().startswith("internal;")
+
+    def test_missing_solver_degrades_with_warning(self, monkeypatch, capsys):
+        import repro.prover.backends.base as base
+
+        monkeypatch.setattr(base, "discover_solver", lambda: None)
+        monkeypatch.setattr(base, "_WARNED", set())
+        backend = resolve_backend(BackendSpec(name="smtlib"), FAST)
+        assert isinstance(backend, InternalBackend)
+        err = capsys.readouterr().err
+        assert "no SMT solver found" in err
+        # …and only once per process:
+        resolve_backend(BackendSpec(name="portfolio"), FAST)
+        resolve_backend(BackendSpec(name="smtlib"), FAST)
+        again = capsys.readouterr().err
+        assert again.count("no SMT solver found") <= 1
+
+    def test_portfolio_resolves_both_legs(self, fake_solver):
+        cmd = fake_solver("print('unsat')\n")
+        spec = BackendSpec(name="portfolio", solver_cmd=cmd)
+        backend = resolve_backend(spec, FAST)
+        assert isinstance(backend, PortfolioBackend)
+        assert "portfolio(" in backend.identity()
+        assert "smtlib;" in backend.identity()
+
+    def test_worker_spec_carries_resolved_command(self, fake_solver):
+        cmd = fake_solver("print('unsat')\n")
+        backend = resolve_backend(
+            BackendSpec(name="portfolio", solver_cmd=cmd), FAST
+        )
+        spec = worker_spec(backend)
+        assert spec.name == "portfolio"
+        assert spec.solver_cmd == tuple(cmd)
+        # worker specs must survive pickling into pool workers
+        import pickle
+
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_unknown_backend_name_rejected(self):
+        with pytest.raises(ValueError):
+            BackendSpec(name="simplify")
+
+
+# ---------------------------------------------------------------------------
+# Portfolio semantics
+# ---------------------------------------------------------------------------
+
+
+class TestPortfolio:
+    def _portfolio(self, cmd, timeout_s=30.0):
+        spec = BackendSpec(
+            name="portfolio", solver_cmd=cmd, solver_timeout_s=timeout_s
+        )
+        return resolve_backend(spec, FAST)
+
+    def test_internal_proof_wins_over_slow_solver(self, fake_solver):
+        # The external racer never answers inside its budget; the internal
+        # prover's verdict must come back without waiting for it.
+        backend = self._portfolio(fake_solver("time.sleep(60)\n"), timeout_s=2.0)
+        ob = _obligations(const_fold.pattern)[0]
+        start = time.monotonic()
+        result = backend.discharge("constFold", ob)
+        assert result.proved
+        assert result.backend.startswith("internal;")
+        assert time.monotonic() - start < 30.0
+
+    def test_external_sat_never_flips_an_internal_proof(self, fake_solver):
+        # The emission is an abstraction: external ``sat`` is evidence, not
+        # a disproof, and must lose to an internal proof deterministically.
+        backend = self._portfolio(fake_solver("print('sat')\n"))
+        ob = _obligations(const_fold.pattern)[0]
+        result = backend.discharge("constFold", ob)
+        assert result.proved
+
+    def test_external_proof_rescues_internal_failure(self, fake_solver):
+        # The buggy pattern is internally unprovable; a (scripted) external
+        # proof must carry the obligation, attributed to the solver.
+        backend = self._portfolio(fake_solver("print('unsat')\n"))
+        ob = _obligations(copy_prop_no_target_check.pattern)[1]
+        result = backend.discharge("copyProp", ob)
+        assert result.proved
+        assert result.backend.startswith("smtlib;")
+
+    def test_external_countermodel_reported_when_internal_fails(
+        self, fake_solver
+    ):
+        backend = self._portfolio(
+            fake_solver("print('sat')\nprint('(model)')\n")
+        )
+        ob = _obligations(copy_prop_no_target_check.pattern)[1]
+        result = backend.discharge("copyProp", ob)
+        assert not result.proved
+        assert any("countermodel" in line for line in result.context)
+
+    def test_merge_is_deterministic_across_runs(self, fake_solver):
+        from repro.api import ProverOptions, VerifyOptions
+        from repro.verify import SoundnessChecker
+
+        cmd = fake_solver("print('unsat')\n")
+        options = VerifyOptions(
+            backend="portfolio",
+            solver_cmd=cmd,
+            prover=ProverOptions(timeout_s=60.0),
+        )
+
+        def canonical():
+            checker = SoundnessChecker(options=options)
+            return checker.check_optimization(const_fold).canonical()
+
+        first = canonical()
+        assert first == canonical() == canonical()
+
+
+# ---------------------------------------------------------------------------
+# Checker integration and cache keying
+# ---------------------------------------------------------------------------
+
+
+class TestCheckerIntegration:
+    def test_smtlib_checker_end_to_end(self, fake_solver):
+        from repro.api import ProverOptions, VerifyOptions
+        from repro.verify import SoundnessChecker
+
+        options = VerifyOptions(
+            backend="smtlib",
+            solver_cmd=fake_solver("print('unsat')\n"),
+            prover=ProverOptions(timeout_s=60.0),
+        )
+        checker = SoundnessChecker(options=options)
+        report = checker.check_optimization(const_fold)
+        assert report.sound
+        assert all(r.backend.startswith("smtlib;") for r in report.results)
+
+    def test_parallel_smtlib_matches_serial(self, fake_solver):
+        from repro.api import ProverOptions, VerifyOptions
+        from repro.verify import SoundnessChecker
+
+        cmd = fake_solver("print('unsat')\n")
+        base = dict(
+            backend="smtlib",
+            solver_cmd=cmd,
+            prover=ProverOptions(timeout_s=60.0),
+        )
+        serial = SoundnessChecker(options=VerifyOptions(**base))
+        parallel = SoundnessChecker(options=VerifyOptions(jobs=2, **base))
+        left = serial.check_optimization(const_prop).canonical()
+        right = parallel.check_optimization(const_prop).canonical()
+        assert left == right
+
+    def test_internal_proofs_replay_for_any_backend(self):
+        proof = CachedVerdict(
+            proved=True, elapsed_s=0.1, config="fp", backend="internal;mode=incremental"
+        )
+        assert proof.replayable_for("other-fp", "smtlib;cmd=z3;version=4")
+        assert proof.replayable_for("fp", "portfolio(internal|smtlib)")
+
+    def test_external_proofs_scoped_to_solver_identity(self):
+        proof = CachedVerdict(
+            proved=True, elapsed_s=0.1, config="fp", backend="smtlib;cmd=z3;version=4"
+        )
+        assert proof.replayable_for("fp", "smtlib;cmd=z3;version=4")
+        # a portfolio embedding the same solver may trust the proof…
+        assert proof.replayable_for(
+            "fp", "portfolio(internal;mode=x|smtlib;cmd=z3;version=4)"
+        )
+        # …a different solver version may not.
+        assert not proof.replayable_for("fp", "smtlib;cmd=z3;version=5")
+
+    def test_failures_scoped_to_config_and_backend(self):
+        failure = CachedVerdict(
+            proved=False, elapsed_s=0.1, config="fp", backend="internal;mode=x"
+        )
+        assert failure.replayable_for("fp", "internal;mode=x")
+        assert not failure.replayable_for("fp2", "internal;mode=x")
+        assert not failure.replayable_for("fp", "smtlib;cmd=z3;version=4")
+
+    def test_cache_warm_across_backend_switch(self, tmp_path, fake_solver):
+        # An internal run populates the cache; a later smtlib run replays
+        # every proof without invoking its solver even once.
+        from repro.api import ProverOptions, VerifyOptions
+        from repro.verify import SoundnessChecker
+
+        cache = str(tmp_path / "cache")
+        prover = ProverOptions(timeout_s=60.0)
+        internal = SoundnessChecker(
+            options=VerifyOptions(cache_dir=cache, prover=prover)
+        )
+        assert internal.check_optimization(const_fold).sound
+
+        cmd = fake_solver("sys.exit(7)\n")  # would fail loudly if invoked
+        external = SoundnessChecker(
+            options=VerifyOptions(
+                backend="smtlib", solver_cmd=cmd, cache_dir=cache, prover=prover
+            )
+        )
+        report = external.check_optimization(const_fold)
+        assert report.sound
+        assert all(r.cached for r in report.results)
