@@ -1,0 +1,63 @@
+"""E10 — mass fuzzing: the axiom differential and the rule frontier.
+
+Measures the fuzzing subsystem at benchmark scale (docs/FUZZING.md):
+
+* the axiom-vs-interpreter oracle over a batch of ground probes — zero
+  misproofs required, with probe throughput recorded;
+* the rule frontier at seed 0 — verdict counts (sound/unsound/unknown/
+  invalid), unique-rule ratio, and end-to-end campaign throughput, with a
+  byte-identity check across two runs (the determinism claim the CI
+  fuzz-smoke job re-checks against a golden file at smaller scale).
+
+The frontier size here is a benchmark-friendly 140 rules (20 per family);
+the headline E10 numbers at 1000 rules in EXPERIMENTS.md come from
+``repro fuzz --seed 0 --cases 1000 --kind frontier``.
+"""
+
+import pytest
+
+from repro.fuzz import axiom_campaign, frontier_campaign
+
+from _report import emit
+
+_SUMMARY = {}
+
+
+def test_axiom_oracle(benchmark):
+    report = benchmark.pedantic(
+        lambda: axiom_campaign(0, 120), rounds=1, iterations=1
+    )
+    assert report.ok, report.canonical()
+    _SUMMARY["axioms"] = report
+
+
+def test_frontier(benchmark):
+    report = benchmark.pedantic(
+        lambda: frontier_campaign(0, 140), rounds=1, iterations=1
+    )
+    assert report.canonical() == frontier_campaign(0, 140).canonical(), (
+        "frontier report is not byte-identical across runs"
+    )
+    _SUMMARY["frontier"] = report
+
+
+def teardown_module(module):
+    lines = ["E10: mass fuzzing (seed 0)", ""]
+    ax = _SUMMARY.get("axioms")
+    if ax is not None:
+        lines.append(
+            f"axiom differential : {ax.probes} probes / {ax.programs} programs"
+            f" — {ax.true_proved} true proved, {ax.true_unproved} unproved"
+            f" (incompleteness), {ax.false_rejected} false rejected,"
+            f" {len(ax.misproofs)} MISPROOFS"
+        )
+    fr = _SUMMARY.get("frontier")
+    if fr is not None:
+        counts = fr.counts()
+        lines.append(
+            f"rule frontier      : {fr.cases} minted / {fr.unique} unique —"
+            f" {counts['sound']} sound, {counts['unsound']} unsound,"
+            f" {counts['unknown']} unknown, {counts['invalid']} invalid"
+            f" (report byte-identical across two runs)"
+        )
+    emit("E10_fuzz", "\n".join(lines))

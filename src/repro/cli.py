@@ -272,6 +272,65 @@ def cmd_counterexample(args) -> int:
     return status
 
 
+def cmd_fuzz(args) -> int:
+    """Run fuzzing campaigns (docs/FUZZING.md): canonical report on stdout,
+    progress and summaries on stderr.
+
+    Exit status 1 means the *verifier itself* failed fuzzing — an axiom
+    misproof or a metamorphic prover disagreement.  Unsound rules in the
+    frontier report are the expected output of the campaign, not an error.
+    """
+    from dataclasses import replace
+
+    from repro.fuzz import (
+        DEFAULT_CORPUS_DIR,
+        FRONTIER_PROVER_OPTIONS,
+        axiom_campaign,
+        frontier_campaign,
+        metamorphic_campaign,
+    )
+
+    base = build_verify_options(args)
+    # Campaign verdicts must be byte-identical across machines and --jobs
+    # settings, so the prover budget is the fixed counter-only one; only the
+    # backend/solver/jobs/cache axes and --prover-mode are taken from flags.
+    options = replace(
+        base, prover=replace(FRONTIER_PROVER_OPTIONS, mode=base.prover.mode)
+    )
+    corpus_dir = None if args.no_corpus else (args.corpus_dir or str(DEFAULT_CORPUS_DIR))
+    progress = None if args.quiet else (lambda m: print(m, file=sys.stderr))
+
+    sections = []
+    status = 0
+    if args.kind in ("axioms", "all"):
+        n = args.cases if args.kind == "axioms" else max(1, args.cases // 2)
+        report = axiom_campaign(
+            args.seed, n, corpus_dir=corpus_dir, progress=progress
+        )
+        sections.append(report.canonical())
+        print(report.summary(), file=sys.stderr)
+        if not report.ok:
+            status = 1
+    if args.kind in ("frontier", "all"):
+        n = args.cases if args.kind == "frontier" else max(1, args.cases // 4)
+        report = frontier_campaign(
+            args.seed, n, options=options, corpus_dir=corpus_dir,
+            progress=progress,
+        )
+        sections.append(report.canonical())
+        print(report.summary(), file=sys.stderr)
+    if args.kind in ("metamorphic", "all"):
+        n = args.cases if args.kind == "metamorphic" else max(1, args.cases // 20)
+        report = metamorphic_campaign(
+            args.seed, n, options=options, corpus_dir=corpus_dir,
+            progress=progress,
+        )
+        sections.append(report.canonical())
+        print(report.summary(), file=sys.stderr)
+    print("\n".join(sections))
+    return status
+
+
 def cmd_suite(args) -> int:
     from repro.api import verify_suite
 
@@ -373,6 +432,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="synthesize a miscompilation for an optimization")
     p.add_argument("file")
     p.set_defaults(fn=cmd_counterexample)
+
+    p = sub.add_parser("fuzz",
+                       help="fuzz the verifier: axiom differential, rule "
+                            "frontier, metamorphic prover checks")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed; reports are byte-identical across "
+                        "runs and --jobs settings at a fixed seed")
+    p.add_argument("--cases", type=int, default=200,
+                   help="campaign size: probes for --kind axioms, minted "
+                        "rules for frontier/metamorphic; --kind all splits "
+                        "this across the three kinds (default: 200)")
+    p.add_argument("--kind",
+                   choices=("axioms", "frontier", "metamorphic", "all"),
+                   default="all",
+                   help="which campaign to run (default: all)")
+    p.add_argument("--corpus-dir", default=None, metavar="DIR",
+                   help="where to persist shrunk failing cases (default: "
+                        "the repository-level corpus/ directory)")
+    p.add_argument("--no-corpus", action="store_true",
+                   help="do not persist discovered failures")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress progress lines on stderr")
+    p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser("suite", help="verify the entire shipped suite")
     p.set_defaults(fn=cmd_suite)

@@ -1,0 +1,653 @@
+"""Differential oracles: the IL interpreter as the single source of truth.
+
+Two oracles live here:
+
+* the **program-level** oracle (:func:`check_equivalence`,
+  :func:`differential_campaign`) — the paper's one-directional semantic
+  equivalence, checked empirically by interpreting original vs. transformed
+  programs.  Promoted from ``repro.testing.differential`` (which remains as
+  a deprecation shim).
+
+* the **axiom-level** oracle (:class:`AxiomOracle`,
+  :func:`oracle_check_program`) — the fuzzing subsystem's differential
+  check of the *axiomatization itself*.  A random ground state is sampled
+  from an execution trace, its contents are asserted as ground premises in
+  the vocabulary of :mod:`repro.verify.encode`, and the prover is asked to
+  prove facts the interpreter has already decided.  The soundness
+  invariant: **the prover must never prove a fact the interpreter
+  falsifies.**  A fact the interpreter affirms but the prover cannot reach
+  is mere incompleteness (recorded, not fatal); a proved-but-false fact is
+  a bug in the axiom list and fails the campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.il.ast import (
+    AddrOf,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Decl,
+    Deref,
+    DerefLhs,
+    Expr,
+    IfGoto,
+    New,
+    Return,
+    Skip,
+    Stmt,
+    UnOp,
+    Var,
+    VarLhs,
+    expr_reads,
+    expr_vars,
+    stmt_used_vars,
+)
+from repro.il.generator import GeneratorConfig, ProgramGenerator
+from repro.il.interp import ExecError, Interpreter, Next, OutOfFuel, Stuck
+from repro.il.printer import proc_to_str, stmt_to_str
+from repro.il.program import Program
+from repro.il.state import Loc, State
+from repro.cobalt.dsl import Optimization
+from repro.cobalt.engine import CobaltEngine
+from repro.cobalt.labels import standard_registry
+from repro.logic.formulas import Eq, Formula, Implies, Not, conj
+from repro.logic.terms import App, IntConst, Term, mk
+from repro.prover import Prover, ProverConfig
+from repro.verify import encode as E
+from repro.verify.encode import CONSTRUCTORS, all_axioms
+from repro.verify.labels2logic import VarMap, concrete_id, encode_expr, encode_stmt
+
+# ---------------------------------------------------------------------------
+# Program-level differential oracle (promoted from repro.testing.differential)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DifferentialResult:
+    """Outcome of one campaign."""
+
+    programs: int = 0
+    runs: int = 0
+    transformations: int = 0
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def run_outcome(program: Program, arg: int, fuel: int = 50_000) -> Tuple[str, Optional[object]]:
+    """Classify a run: ('value', v) | ('stuck', None) | ('fuel', None)."""
+    try:
+        return "value", Interpreter(program).run(arg, fuel=fuel)
+    except ExecError:
+        return "stuck", None
+    except OutOfFuel:
+        return "fuel", None
+
+
+#: Backwards-compatible alias for the pre-fuzz private name.
+_run = run_outcome
+
+
+def check_equivalence(
+    original: Program,
+    transformed: Program,
+    args: Sequence[int],
+    *,
+    fuel: int = 50_000,
+) -> Optional[str]:
+    """None if equivalent on the given inputs, else a mismatch description.
+
+    Per the paper's definition the check is one-directional: a run of the
+    original that returns a value must return the *same* value in the
+    transformed program.  Original runs that get stuck or exhaust fuel
+    constrain nothing.  A transformed run that gets *stuck* where the
+    original returned a value is the most suspicious violation (the
+    footnote-6 progress condition exists precisely to rule it out), so it
+    is flagged distinctly from a plain wrong value or a fuel blow-up.
+    """
+    for arg in args:
+        kind, value = run_outcome(original, arg, fuel)
+        if kind != "value":
+            continue
+        kind2, value2 = run_outcome(transformed, arg, fuel)
+        if kind2 == "value" and value2 == value:
+            continue
+        if kind2 == "stuck":
+            return (
+                f"main({arg}): original returned {value!r} but the "
+                f"transformed program got STUCK — a progress violation: "
+                f"one-directional equivalence requires the transformed "
+                f"program to complete every run the original completes"
+            )
+        if kind2 == "fuel":
+            return (
+                f"main({arg}): original returned {value!r} but the "
+                f"transformed program exhausted its fuel budget "
+                f"(possible introduced divergence)"
+            )
+        return (
+            f"main({arg}): original returned {value!r}, "
+            f"transformed returned {value2!r}"
+        )
+    return None
+
+
+def differential_campaign(
+    optimization: Optimization,
+    *,
+    seeds: Sequence[int],
+    config: Optional[GeneratorConfig] = None,
+    args: Sequence[int] = (-2, -1, 0, 1, 2, 3, 7),
+    engine: Optional[CobaltEngine] = None,
+) -> DifferentialResult:
+    """Run an optimization over generated programs, interpreting both
+    versions on every argument; collects mismatches (there must be none for
+    a proven-sound optimization)."""
+    engine = engine or CobaltEngine(standard_registry())
+    result = DifferentialResult()
+    for seed in seeds:
+        generator = ProgramGenerator(config, seed=seed)
+        program = Program((generator.gen_proc(),))
+        transformed_proc, applied = engine.run_optimization(
+            optimization, program.main
+        )
+        transformed = program.with_proc(transformed_proc)
+        result.programs += 1
+        result.transformations += len(applied)
+        result.runs += len(args)
+        mismatch = check_equivalence(program, transformed, args)
+        if mismatch is not None:
+            result.mismatches.append(
+                f"seed {seed} ({optimization.name}): {mismatch}\n"
+                f"--- original ---\n{proc_to_str(program.main, indices=True)}\n"
+                f"--- transformed ---\n{proc_to_str(transformed_proc, indices=True)}"
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Ground-state encoding: a concrete State as premises over encode.py's terms
+# ---------------------------------------------------------------------------
+
+#: Skolem constants naming the sampled state and the (implicit) program.
+ETA: Term = App("fzEta")
+PI: Term = App("fzPi")
+
+#: Deterministic counter-budget prover configuration for oracle probes.
+#: Wall-clock limits would make campaign reports machine-dependent, so the
+#: budget is expressed purely in rounds/instances/decisions and the timeout
+#: is set high enough to never fire on a ground probe.
+ORACLE_PROVER_CONFIG = ProverConfig(
+    max_rounds=4, max_instances=4_000, max_decisions=40_000, timeout_s=600.0
+)
+
+
+def _loc_term(loc: Loc) -> Term:
+    tag = "S" if loc.kind == "stack" else "H"
+    return App(f"loc:{tag}{loc.number}")
+
+
+def _value_term(value: object) -> Term:
+    if isinstance(value, Loc):
+        return _loc_term(value)
+    assert isinstance(value, int), value
+    return IntConst(value)
+
+
+def _mutant_term(value: object) -> Term:
+    """A term whose concrete meaning provably differs from ``value``."""
+    if isinstance(value, Loc):
+        return IntConst(0)  # locations are never integers
+    assert isinstance(value, int)
+    return IntConst(value + 1)
+
+
+@dataclass(frozen=True)
+class Probe:
+    """One ground fact to ask the prover about.
+
+    ``polarity`` is ``"true"`` for facts the interpreter affirms (provable
+    in a complete axiomatization; failure to prove is only incompleteness)
+    and ``"false"`` for facts the interpreter refutes (**must not** be
+    provable; a proof is a soundness bug in the axioms).
+    """
+
+    family: str
+    polarity: str  # "true" | "false"
+    goal: Formula
+    description: str
+
+
+class GroundState:
+    """Premises asserting the contents of one concrete execution state."""
+
+    def __init__(self, state: State, extra_unbound: Sequence[str] = ()) -> None:
+        self.state = state
+        self.premises: List[Formula] = []
+        rho, sigma = E.s_env(ETA), E.s_store(ETA)
+        self.premises.append(Eq(E.s_index(ETA), IntConst(state.index)))
+
+        locs: Dict[Loc, Term] = {}
+        for _, loc in state.env.entries:
+            locs.setdefault(loc, _loc_term(loc))
+        for loc, value in state.store.entries:
+            locs.setdefault(loc, _loc_term(loc))
+            if isinstance(value, Loc):
+                locs.setdefault(value, _loc_term(value))
+
+        bound = {name for name, _ in state.env.entries}
+        for name, loc in state.env.entries:
+            self.premises.append(Eq(E.select(rho, concrete_id(name)), locs[loc]))
+            self.premises.append(E.bound_env(rho, concrete_id(name)))
+        for name in extra_unbound:
+            if name not in bound:
+                self.premises.append(Not(E.bound_env(rho, concrete_id(name))))
+
+        for loc, value in state.store.entries:
+            self.premises.append(Eq(E.select(sigma, locs[loc]), _value_term(value)))
+            if isinstance(value, int):
+                self.premises.append(E.is_int_val(IntConst(value)))
+
+        terms = list(locs.values())
+        for term in terms:
+            self.premises.append(E.is_loc_val(term))
+        for i, t1 in enumerate(terms):
+            for t2 in terms[i + 1 :]:
+                self.premises.append(Not(Eq(t1, t2)))
+        self._locs = locs
+
+    def loc_term(self, loc: Loc) -> Term:
+        return self._locs.setdefault(loc, _loc_term(loc))
+
+
+# ---------------------------------------------------------------------------
+# Probe generation
+# ---------------------------------------------------------------------------
+
+
+def _subexprs(e: Expr) -> List[Expr]:
+    out = [e]
+    if isinstance(e, UnOp):
+        out.extend(_subexprs(e.arg))
+    elif isinstance(e, BinOp):
+        out.extend(_subexprs(e.left))
+        out.extend(_subexprs(e.right))
+    return out
+
+
+def _stmt_exprs(s: Stmt) -> List[Expr]:
+    if isinstance(s, Assign):
+        return _subexprs(s.rhs)
+    if isinstance(s, IfGoto):
+        return _subexprs(s.cond)
+    if isinstance(s, Return):
+        return [s.var]
+    if isinstance(s, Call):
+        return _subexprs(s.arg)
+    return []
+
+
+def _is_pure(e: Expr) -> bool:
+    return not any(isinstance(sub, Deref) for sub in _subexprs(e))
+
+
+def _probe_vars(mentioned: Iterable[str], in_scope: Sequence[str]) -> List[str]:
+    """The mentioned variables plus one in-scope unmentioned control."""
+    out = sorted(set(mentioned))
+    for name in in_scope:
+        if name not in out:
+            out.append(name)
+            break
+    return out
+
+
+def _expr_probes(interp: Interpreter, state: State, e: Expr) -> List[Probe]:
+    vm = VarMap()
+    enc = encode_expr(e, vm)
+    text = str(e)
+    probes: List[Probe] = []
+    value = interp.eval_expr(state, e)
+    if value is None:
+        probes.append(
+            Probe(
+                "evalOK",
+                "false",
+                E.eval_ok(ETA, enc),
+                f"evalOK({text}) — the interpreter gets stuck on it",
+            )
+        )
+    else:
+        probes.append(
+            Probe(
+                "evalExpr",
+                "true",
+                Eq(E.eval_expr(ETA, enc), _value_term(value)),
+                f"{text} evaluates to {value}",
+            )
+        )
+        probes.append(
+            Probe(
+                "evalExpr",
+                "false",
+                Eq(E.eval_expr(ETA, enc), _mutant_term(value)),
+                f"{text} does NOT evaluate to the mutant of {value}",
+            )
+        )
+        probes.append(
+            Probe("evalOK", "true", E.eval_ok(ETA, enc), f"evalOK({text})")
+        )
+        probes.append(
+            Probe(
+                "evalOK",
+                "false",
+                Not(E.eval_ok(ETA, enc)),
+                f"!evalOK({text}) — but the interpreter evaluates it fine",
+            )
+        )
+    # Syntactic label facts are state-independent; probe them on the
+    # top-level expression only (callers pass each subexpression anyway).
+    uses = expr_reads(e)
+    mentions = expr_vars(e)
+    in_scope = [name for name, _ in state.env.entries]
+    for x in _probe_vars(mentions, in_scope):
+        ux = E.uses_e(enc, concrete_id(x))
+        mx = E.mentions_e(enc, concrete_id(x))
+        if x in uses:
+            probes.append(Probe("usesE", "true", ux, f"usesE({text}, {x})"))
+            probes.append(
+                Probe("usesE", "false", Not(ux), f"!usesE({text}, {x}) is false")
+            )
+        else:
+            probes.append(
+                Probe("usesE", "false", ux, f"usesE({text}, {x}) is false")
+            )
+        if x in mentions:
+            probes.append(Probe("mentionsE", "true", mx, f"mentionsE({text}, {x})"))
+        else:
+            probes.append(
+                Probe("mentionsE", "false", mx, f"mentionsE({text}, {x}) is false")
+            )
+    if _is_pure(e):
+        probes.append(Probe("pureE", "true", E.pure_e(enc), f"pureE({text})"))
+        probes.append(
+            Probe("pureE", "false", Not(E.pure_e(enc)), f"!pureE({text}) is false")
+        )
+    else:
+        probes.append(
+            Probe("pureE", "false", E.pure_e(enc), f"pureE({text}) is false")
+        )
+    return probes
+
+
+def _stmt_probes(
+    interp: Interpreter, ground: GroundState, stmt: Stmt
+) -> Tuple[List[Formula], List[Probe]]:
+    """stmtUses and step-semantics probes for the current statement.
+
+    Returns extra premises (the statement term at the current index, plus
+    allocator bindings for decl/new) and the probes themselves.
+    """
+    state = ground.state
+    vm = VarMap()
+    enc_s = encode_stmt(stmt, vm)
+    text = stmt_to_str(stmt)
+    extra: List[Formula] = [Eq(E.stmt_at(PI, E.s_index(ETA)), enc_s)]
+    probes: List[Probe] = []
+
+    used = stmt_used_vars(stmt)
+    in_scope = [name for name, _ in state.env.entries]
+    for x in _probe_vars(used, in_scope):
+        fact = E.stmt_uses(enc_s, concrete_id(x))
+        if x in used:
+            probes.append(
+                Probe("stmtUses", "true", fact, f"stmtUses({text}, {x})")
+            )
+        else:
+            probes.append(
+                Probe("stmtUses", "false", fact, f"stmtUses({text}, {x}) is false")
+            )
+
+    if isinstance(stmt, (Return, Call)):
+        # Returning from main terminates (no intraprocedural successor) and
+        # call stepping involves the conservative call axioms; neither is a
+        # deterministic ground fact of this single state.
+        return extra, probes
+
+    if isinstance(stmt, Decl):
+        fresh_loc, _ = state.alloc.fresh("stack")
+        extra.append(Eq(mk("freshStack", E.s_mem(ETA)), ground.loc_term(fresh_loc)))
+    if isinstance(stmt, New):
+        fresh_loc, _ = state.alloc.fresh("heap")
+        extra.append(Eq(mk("freshHeap", E.s_mem(ETA)), ground.loc_term(fresh_loc)))
+
+    result = interp.step(state)
+    sok = E.step_ok(ETA, PI)
+    if isinstance(result, Stuck):
+        probes.append(
+            Probe(
+                "stepOK",
+                "false",
+                sok,
+                f"stepOK at '{text}' — but the interpreter is stuck "
+                f"({result.reason})",
+            )
+        )
+        return extra, probes
+    assert isinstance(result, Next), result
+    nxt = result.state
+
+    probes.append(Probe("stepOK", "true", sok, f"stepOK at '{text}'"))
+    probes.append(
+        Probe("stepOK", "false", Not(sok), f"!stepOK at '{text}' is false")
+    )
+
+    si = E.step_index(ETA, PI)
+    probes.append(
+        Probe(
+            "stepIndex",
+            "true",
+            Eq(si, IntConst(nxt.index)),
+            f"step from '{text}' goes to index {nxt.index}",
+        )
+    )
+    wrong_index = state.index + 1 if nxt.index != state.index + 1 else -1
+    probes.append(
+        Probe(
+            "stepIndex",
+            "false",
+            Eq(si, IntConst(wrong_index)),
+            f"step from '{text}' does NOT go to index {wrong_index}",
+        )
+    )
+
+    # Stepped-store cell probes: the written cell holds the new value, and
+    # one untouched cell keeps its old value.
+    ss = E.step_store(ETA, PI)
+    written: Optional[Loc] = None
+    if isinstance(stmt, Assign):
+        written = interp.eval_lhs(state, stmt.lhs)
+    elif isinstance(stmt, New):
+        written = state.env.lookup(stmt.var.name)
+    elif isinstance(stmt, Decl):
+        written, _ = state.alloc.fresh("stack")
+    if written is not None:
+        new_value = nxt.store.lookup(written)
+        if new_value is not None:
+            cell = E.select(ss, ground.loc_term(written))
+            probes.append(
+                Probe(
+                    "stepStore",
+                    "true",
+                    Eq(cell, _value_term(new_value)),
+                    f"after '{text}', cell {written} holds {new_value}",
+                )
+            )
+            probes.append(
+                Probe(
+                    "stepStore",
+                    "false",
+                    Eq(cell, _mutant_term(new_value)),
+                    f"after '{text}', cell {written} does NOT hold the mutant",
+                )
+            )
+    for loc, old_value in state.store.entries:
+        if loc == written:
+            continue
+        cell = E.select(ss, ground.loc_term(loc))
+        probes.append(
+            Probe(
+                "stepStore",
+                "true",
+                Eq(cell, _value_term(old_value)),
+                f"'{text}' leaves cell {loc} at {old_value}",
+            )
+        )
+        probes.append(
+            Probe(
+                "stepStore",
+                "false",
+                Eq(cell, _mutant_term(old_value)),
+                f"'{text}' does NOT change cell {loc} to the mutant",
+            )
+        )
+        break  # one untouched cell suffices per state
+    return extra, probes
+
+
+# ---------------------------------------------------------------------------
+# The oracle harness
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OracleFinding:
+    """A fact the interpreter falsifies but the prover proved."""
+
+    family: str
+    description: str
+    program_text: str
+    argument: int
+    state_index: int
+
+    def describe(self) -> str:
+        return (
+            f"[{self.family}] {self.description}\n"
+            f"  at trace position with sIndex={self.state_index}, "
+            f"main({self.argument}) of:\n{self.program_text}"
+        )
+
+
+@dataclass
+class OracleOutcome:
+    """Per-program oracle tallies."""
+
+    probes: int = 0
+    true_proved: int = 0
+    true_unproved: int = 0
+    false_rejected: int = 0
+    misproofs: List[OracleFinding] = field(default_factory=list)
+
+    def merge(self, other: "OracleOutcome") -> None:
+        self.probes += other.probes
+        self.true_proved += other.true_proved
+        self.true_unproved += other.true_unproved
+        self.false_rejected += other.false_rejected
+        self.misproofs.extend(other.misproofs)
+
+
+class AxiomOracle:
+    """Asks the background axioms about ground facts of concrete states.
+
+    ``extra_axioms`` exist for the oracle's own tests: injecting a known-bad
+    axiom must make the campaign report a misproof (the fuzzer fuzzing
+    itself).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ProverConfig] = None,
+        *,
+        extra_axioms: Sequence[Formula] = (),
+    ) -> None:
+        self.config = config or ORACLE_PROVER_CONFIG
+        self.prover = Prover(
+            tuple(all_axioms()) + tuple(extra_axioms),
+            constructors=CONSTRUCTORS,
+            config=self.config,
+        )
+
+    def proves(self, premises: Sequence[Formula], fact: Formula, name: str) -> bool:
+        goal = Implies(conj(tuple(premises)), fact)
+        return self.prover.prove(goal, name=name).proved
+
+
+def oracle_check_program(
+    program: Program,
+    argument: int,
+    oracle: AxiomOracle,
+    *,
+    max_states: int = 6,
+    max_probes: Optional[int] = None,
+    fuel: int = 2_000,
+) -> OracleOutcome:
+    """Sample trace states of ``main(argument)`` and probe every ground fact.
+
+    States are taken evenly across the trace prefix so early declarations
+    and late, store-rich states are both exercised.
+    """
+    interp = Interpreter(program)
+    trace = interp.trace(argument, fuel=fuel)
+    outcome = OracleOutcome()
+    if not trace:
+        return outcome
+    if len(trace) <= max_states:
+        picks = list(range(len(trace)))
+    else:
+        stride = len(trace) / max_states
+        picks = sorted({int(i * stride) for i in range(max_states)})
+    program_text = proc_to_str(program.main, indices=True)
+    proc = program.main
+    for pos in picks:
+        state = trace[pos]
+        if not 0 <= state.index < len(proc.stmts):
+            continue
+        stmt = proc.stmt_at(state.index)
+        ground = GroundState(state, extra_unbound=("zz_unbound",))
+        extra, stmt_probes = _stmt_probes(interp, ground, stmt)
+        probes = list(stmt_probes)
+        for e in _stmt_exprs(stmt):
+            probes.extend(_expr_probes(interp, state, e))
+        premises = ground.premises + extra
+        for probe in probes:
+            if max_probes is not None and outcome.probes >= max_probes:
+                return outcome
+            outcome.probes += 1
+            proved = oracle.proves(
+                premises, probe.goal, name=f"fuzz:{probe.family}"
+            )
+            if probe.polarity == "true":
+                if proved:
+                    outcome.true_proved += 1
+                else:
+                    outcome.true_unproved += 1
+            else:
+                if proved:
+                    outcome.misproofs.append(
+                        OracleFinding(
+                            probe.family,
+                            probe.description,
+                            program_text,
+                            argument,
+                            state.index,
+                        )
+                    )
+                else:
+                    outcome.false_rejected += 1
+    return outcome

@@ -1,0 +1,588 @@
+"""Minting, serializing and shrinking candidate Cobalt rules.
+
+The frontier campaign needs Cobalt rules in bulk.  :class:`RuleMinter`
+derives each candidate deterministically from ``(seed, index)`` by drawing
+from a family of rule *skeletons* (constant/copy propagation, CSE, dead
+assignment elimination, load elimination, algebraic rewrites) and then
+perturbing the guard set and the witness — dropping conjuncts, swapping
+witnesses for wrong ones, weakening ``mayDef`` to ``syntacticDef``.  The
+result is a spread of genuinely sound rules, classic near-miss unsound
+rules (the section 6 bug class), and resource-limited unknowns.
+
+Rules are value objects here: :func:`rule_to_json`/:func:`rule_from_json`
+give a structural round-trip (used by the ``corpus/`` regression store) and
+:func:`rule_digest` a content address for deduplication.  ``Computed`` side
+conditions carry arbitrary functions and are deliberately rejected by the
+serializer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cobalt.dsl import BackwardPattern, ForwardPattern
+from repro.cobalt.guards import GAnd, GCase, GEq, GFalse, GLabel, GNot, GOr, GTrue
+from repro.cobalt.patterns import (
+    ConstPat,
+    ExprPat,
+    IndexPat,
+    OpPat,
+    VarPat,
+    Wildcard,
+    parse_pattern_stmt,
+)
+from repro.cobalt.witness import (
+    Conj,
+    EqualExceptVar,
+    NotPointedTo,
+    TrueWitness,
+    VarEqConst,
+    VarEqExpr,
+    VarEqVar,
+)
+from repro.il.ast import (
+    AddrOf,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Decl,
+    Deref,
+    DerefLhs,
+    IfGoto,
+    New,
+    Return,
+    Skip,
+    UnOp,
+    Var,
+    VarLhs,
+)
+
+Pattern = object  # ForwardPattern | BackwardPattern
+
+
+# ---------------------------------------------------------------------------
+# Structural JSON serialization
+# ---------------------------------------------------------------------------
+
+_STMT_TYPES = (Skip, Decl, Assign, New, Call, IfGoto, Return)
+
+
+def _frag_to_json(obj: object) -> object:
+    """Serialize an extended-IL fragment (pattern leaves, exprs, stmts)."""
+    if isinstance(obj, VarPat):
+        return {"k": "VarPat", "name": obj.name}
+    if isinstance(obj, ConstPat):
+        return {"k": "ConstPat", "name": obj.name}
+    if isinstance(obj, ExprPat):
+        return {"k": "ExprPat", "name": obj.name}
+    if isinstance(obj, OpPat):
+        return {"k": "OpPat", "name": obj.name}
+    if isinstance(obj, IndexPat):
+        return {"k": "IndexPat", "name": obj.name}
+    if isinstance(obj, Wildcard):
+        return {"k": "Wildcard"}
+    if isinstance(obj, Var):
+        return {"k": "Var", "name": obj.name}
+    if isinstance(obj, Const):
+        return {"k": "Const", "value": obj.value}
+    if isinstance(obj, Deref):
+        return {"k": "Deref", "var": _frag_to_json(obj.var)}
+    if isinstance(obj, AddrOf):
+        return {"k": "AddrOf", "var": _frag_to_json(obj.var)}
+    if isinstance(obj, UnOp):
+        return {"k": "UnOp", "op": _frag_to_json(obj.op), "arg": _frag_to_json(obj.arg)}
+    if isinstance(obj, BinOp):
+        return {
+            "k": "BinOp",
+            "op": _frag_to_json(obj.op),
+            "left": _frag_to_json(obj.left),
+            "right": _frag_to_json(obj.right),
+        }
+    if isinstance(obj, VarLhs):
+        return {"k": "VarLhs", "var": _frag_to_json(obj.var)}
+    if isinstance(obj, DerefLhs):
+        return {"k": "DerefLhs", "var": _frag_to_json(obj.var)}
+    if isinstance(obj, Skip):
+        return {"k": "Skip"}
+    if isinstance(obj, Decl):
+        return {"k": "Decl", "var": _frag_to_json(obj.var)}
+    if isinstance(obj, Assign):
+        return {"k": "Assign", "lhs": _frag_to_json(obj.lhs), "rhs": _frag_to_json(obj.rhs)}
+    if isinstance(obj, New):
+        return {"k": "New", "var": _frag_to_json(obj.var)}
+    if isinstance(obj, Call):
+        return {
+            "k": "Call",
+            "var": _frag_to_json(obj.var),
+            "proc": _frag_to_json(obj.proc),
+            "arg": _frag_to_json(obj.arg),
+        }
+    if isinstance(obj, IfGoto):
+        return {
+            "k": "IfGoto",
+            "cond": _frag_to_json(obj.cond),
+            "then": _frag_to_json(obj.then_index),
+            "else": _frag_to_json(obj.else_index),
+        }
+    if isinstance(obj, Return):
+        return {"k": "Return", "var": _frag_to_json(obj.var)}
+    if isinstance(obj, (str, int)):
+        return obj
+    raise TypeError(f"cannot serialize fragment {obj!r}")
+
+
+def _frag_from_json(data: object) -> object:
+    if isinstance(data, (str, int)):
+        return data
+    assert isinstance(data, dict), data
+    k = data["k"]
+    if k == "VarPat":
+        return VarPat(data["name"])
+    if k == "ConstPat":
+        return ConstPat(data["name"])
+    if k == "ExprPat":
+        return ExprPat(data["name"])
+    if k == "OpPat":
+        return OpPat(data["name"])
+    if k == "IndexPat":
+        return IndexPat(data["name"])
+    if k == "Wildcard":
+        return Wildcard()
+    if k == "Var":
+        return Var(data["name"])
+    if k == "Const":
+        return Const(data["value"])
+    if k == "Deref":
+        return Deref(_frag_from_json(data["var"]))
+    if k == "AddrOf":
+        return AddrOf(_frag_from_json(data["var"]))
+    if k == "UnOp":
+        return UnOp(_frag_from_json(data["op"]), _frag_from_json(data["arg"]))
+    if k == "BinOp":
+        return BinOp(
+            _frag_from_json(data["op"]),
+            _frag_from_json(data["left"]),
+            _frag_from_json(data["right"]),
+        )
+    if k == "VarLhs":
+        return VarLhs(_frag_from_json(data["var"]))
+    if k == "DerefLhs":
+        return DerefLhs(_frag_from_json(data["var"]))
+    if k == "Skip":
+        return Skip()
+    if k == "Decl":
+        return Decl(_frag_from_json(data["var"]))
+    if k == "Assign":
+        return Assign(_frag_from_json(data["lhs"]), _frag_from_json(data["rhs"]))
+    if k == "New":
+        return New(_frag_from_json(data["var"]))
+    if k == "Call":
+        return Call(
+            _frag_from_json(data["var"]),
+            _frag_from_json(data["proc"]),
+            _frag_from_json(data["arg"]),
+        )
+    if k == "IfGoto":
+        return IfGoto(
+            _frag_from_json(data["cond"]),
+            _frag_from_json(data["then"]),
+            _frag_from_json(data["else"]),
+        )
+    if k == "Return":
+        return Return(_frag_from_json(data["var"]))
+    raise ValueError(f"unknown fragment kind {k!r}")
+
+
+def _guard_to_json(g: object) -> Dict:
+    if isinstance(g, GTrue):
+        return {"k": "GTrue"}
+    if isinstance(g, GFalse):
+        return {"k": "GFalse"}
+    if isinstance(g, GNot):
+        return {"k": "GNot", "body": _guard_to_json(g.body)}
+    if isinstance(g, GAnd):
+        return {"k": "GAnd", "parts": [_guard_to_json(p) for p in g.parts]}
+    if isinstance(g, GOr):
+        return {"k": "GOr", "parts": [_guard_to_json(p) for p in g.parts]}
+    if isinstance(g, GEq):
+        return {"k": "GEq", "lhs": _frag_to_json(g.lhs), "rhs": _frag_to_json(g.rhs)}
+    if isinstance(g, GLabel):
+        return {
+            "k": "GLabel",
+            "name": g.name,
+            "args": [_frag_to_json(a) for a in g.args],
+        }
+    if isinstance(g, GCase):
+        return {
+            "k": "GCase",
+            "arms": [
+                [_frag_to_json(p), _guard_to_json(body)] for p, body in g.arms
+            ],
+            "default": _guard_to_json(g.default),
+        }
+    raise TypeError(f"cannot serialize guard {g!r}")
+
+
+def _guard_from_json(data: Dict) -> object:
+    k = data["k"]
+    if k == "GTrue":
+        return GTrue()
+    if k == "GFalse":
+        return GFalse()
+    if k == "GNot":
+        return GNot(_guard_from_json(data["body"]))
+    if k == "GAnd":
+        return GAnd(tuple(_guard_from_json(p) for p in data["parts"]))
+    if k == "GOr":
+        return GOr(tuple(_guard_from_json(p) for p in data["parts"]))
+    if k == "GEq":
+        return GEq(_frag_from_json(data["lhs"]), _frag_from_json(data["rhs"]))
+    if k == "GLabel":
+        return GLabel(data["name"], tuple(_frag_from_json(a) for a in data["args"]))
+    if k == "GCase":
+        return GCase(
+            tuple(
+                (_frag_from_json(p), _guard_from_json(body))
+                for p, body in data["arms"]
+            ),
+            _guard_from_json(data["default"]),
+        )
+    raise ValueError(f"unknown guard kind {k!r}")
+
+
+def _witness_to_json(w: object) -> Dict:
+    if isinstance(w, TrueWitness):
+        return {"k": "TrueWitness"}
+    if isinstance(w, VarEqConst):
+        return {"k": "VarEqConst", "var": _frag_to_json(w.var), "const": _frag_to_json(w.const)}
+    if isinstance(w, VarEqVar):
+        return {"k": "VarEqVar", "lhs": _frag_to_json(w.lhs), "rhs": _frag_to_json(w.rhs)}
+    if isinstance(w, VarEqExpr):
+        return {"k": "VarEqExpr", "var": _frag_to_json(w.var), "expr": _frag_to_json(w.expr)}
+    if isinstance(w, EqualExceptVar):
+        return {"k": "EqualExceptVar", "var": _frag_to_json(w.var)}
+    if isinstance(w, NotPointedTo):
+        return {"k": "NotPointedTo", "var": _frag_to_json(w.var)}
+    if isinstance(w, Conj):
+        return {"k": "Conj", "parts": [_witness_to_json(p) for p in w.parts]}
+    raise TypeError(f"cannot serialize witness {w!r}")
+
+
+def _witness_from_json(data: Dict) -> object:
+    k = data["k"]
+    if k == "TrueWitness":
+        return TrueWitness()
+    if k == "VarEqConst":
+        return VarEqConst(_frag_from_json(data["var"]), _frag_from_json(data["const"]))
+    if k == "VarEqVar":
+        return VarEqVar(_frag_from_json(data["lhs"]), _frag_from_json(data["rhs"]))
+    if k == "VarEqExpr":
+        return VarEqExpr(_frag_from_json(data["var"]), _frag_from_json(data["expr"]))
+    if k == "EqualExceptVar":
+        return EqualExceptVar(_frag_from_json(data["var"]))
+    if k == "NotPointedTo":
+        return NotPointedTo(_frag_from_json(data["var"]))
+    if k == "Conj":
+        return Conj(tuple(_witness_from_json(p) for p in data["parts"]))
+    raise ValueError(f"unknown witness kind {k!r}")
+
+
+def rule_to_json(pattern: Pattern) -> Dict:
+    """Structural JSON for a transformation pattern (no ``computed``)."""
+    if getattr(pattern, "computed", ()):
+        raise TypeError(
+            f"pattern {pattern.name!r} carries Computed side conditions, "
+            f"which hold arbitrary functions and cannot be serialized"
+        )
+    if isinstance(pattern, ForwardPattern):
+        direction = "forward"
+    elif isinstance(pattern, BackwardPattern):
+        direction = "backward"
+    else:
+        raise TypeError(f"not a transformation pattern: {pattern!r}")
+    return {
+        "direction": direction,
+        "name": pattern.name,
+        "psi1": _guard_to_json(pattern.psi1),
+        "psi2": _guard_to_json(pattern.psi2),
+        "s": _frag_to_json(pattern.s),
+        "s_new": _frag_to_json(pattern.s_new),
+        "witness": _witness_to_json(pattern.witness),
+    }
+
+
+def rule_from_json(data: Dict) -> Pattern:
+    cls = ForwardPattern if data["direction"] == "forward" else BackwardPattern
+    return cls(
+        name=data["name"],
+        psi1=_guard_from_json(data["psi1"]),
+        psi2=_guard_from_json(data["psi2"]),
+        s=_frag_from_json(data["s"]),
+        s_new=_frag_from_json(data["s_new"]),
+        witness=_witness_from_json(data["witness"]),
+    )
+
+
+def rule_digest(pattern: Pattern) -> str:
+    """A content address for a rule, independent of its minted name."""
+    data = rule_to_json(pattern)
+    data["name"] = ""
+    blob = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The rule minter
+# ---------------------------------------------------------------------------
+
+_X, _Y, _Z, _W = VarPat("X"), VarPat("Y"), VarPat("Z"), VarPat("W")
+_C = ConstPat("C")
+_E = ExprPat("E")
+
+
+def _conj(parts: Sequence[object]) -> object:
+    parts = tuple(parts)
+    if not parts:
+        return GTrue()
+    if len(parts) == 1:
+        return parts[0]
+    return GAnd(parts)
+
+
+def _pick_subset(rng: random.Random, pool: Sequence[object]) -> List[object]:
+    """A random (biased-toward-complete) subset of guard conjuncts."""
+    out = []
+    for item in pool:
+        if rng.random() < 0.8:
+            out.append(item)
+    return out
+
+
+class RuleMinter:
+    """Deterministic candidate-rule generator.
+
+    ``mint(i)`` depends only on ``(seed, i)``, never on shared RNG state,
+    so campaigns parallelize and resume without changing the rule stream.
+    """
+
+    #: skeleton family names, in minting rotation order
+    FAMILIES = (
+        "constProp",
+        "copyProp",
+        "cse",
+        "dae",
+        "selfAssign",
+        "algebra",
+        "loadElim",
+    )
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def mint(self, index: int) -> Pattern:
+        rng = random.Random(f"repro-fuzz:{self.seed}:{index}")
+        family = self.FAMILIES[index % len(self.FAMILIES)]
+        build = getattr(self, f"_mint_{family}")
+        name = f"mint{index:04d}_{family}"
+        return build(name, rng)
+
+    def mint_many(self, count: int) -> List[Pattern]:
+        return [self.mint(i) for i in range(count)]
+
+    # -- families ----------------------------------------------------------
+
+    def _mint_constProp(self, name: str, rng: random.Random) -> Pattern:
+        psi2 = _conj(_pick_subset(rng, [GNot(GLabel("mayDef", (_Y,)))]))
+        if rng.random() < 0.2:  # the classic pointer-blind weakening
+            psi2 = GNot(GLabel("syntacticDef", (_Y,)))
+        witness = rng.choice(
+            [VarEqConst(_Y, _C), VarEqConst(_Y, _C), TrueWitness()]
+        )
+        return ForwardPattern(
+            name=name,
+            psi1=GLabel("stmt", (parse_pattern_stmt("Y := C"),)),
+            psi2=psi2,
+            s=parse_pattern_stmt("X := Y"),
+            s_new=parse_pattern_stmt("X := C"),
+            witness=witness,
+        )
+
+    def _mint_copyProp(self, name: str, rng: random.Random) -> Pattern:
+        pool = [GNot(GLabel("mayDef", (_Y,))), GNot(GLabel("mayDef", (_Z,)))]
+        psi2 = _conj(_pick_subset(rng, pool))
+        witness = rng.choice(
+            [VarEqVar(_Y, _Z), VarEqVar(_Y, _Z), VarEqVar(_Z, _Y), TrueWitness()]
+        )
+        return ForwardPattern(
+            name=name,
+            psi1=GLabel("stmt", (parse_pattern_stmt("Y := Z"),)),
+            psi2=psi2,
+            s=parse_pattern_stmt("X := Y"),
+            s_new=parse_pattern_stmt("X := Z"),
+            witness=witness,
+        )
+
+    def _mint_cse(self, name: str, rng: random.Random) -> Pattern:
+        psi1_parts = [GLabel("stmt", (parse_pattern_stmt("X := E"),))]
+        psi1_parts += _pick_subset(
+            rng,
+            [GLabel("pureExpr", (_E,)), GNot(GLabel("exprUses", (_E, _X)))],
+        )
+        psi2 = _conj(
+            _pick_subset(
+                rng, [GNot(GLabel("mayDef", (_X,))), GLabel("unchanged", (_E,))]
+            )
+        )
+        witness = rng.choice([VarEqExpr(_X, _E), VarEqExpr(_X, _E), TrueWitness()])
+        return ForwardPattern(
+            name=name,
+            psi1=_conj(psi1_parts),
+            psi2=psi2,
+            s=parse_pattern_stmt("Y := E"),
+            s_new=parse_pattern_stmt("Y := X"),
+            witness=witness,
+        )
+
+    def _mint_dae(self, name: str, rng: random.Random) -> Pattern:
+        psi1 = GOr(
+            (
+                GLabel("stmt", (parse_pattern_stmt("X := ..."),)),
+                GLabel("stmt", (parse_pattern_stmt("return ..."),)),
+            )
+        )
+        if rng.random() < 0.6:  # the use check on the enabling statement
+            psi1 = GAnd((psi1, GNot(GLabel("mayUse", (_X,)))))
+        psi2 = _conj(_pick_subset(rng, [GNot(GLabel("mayUse", (_X,)))]))
+        witness = rng.choice(
+            [EqualExceptVar(_X), EqualExceptVar(_X), TrueWitness()]
+        )
+        return BackwardPattern(
+            name=name,
+            psi1=psi1,
+            psi2=psi2,
+            s=parse_pattern_stmt("X := E"),
+            s_new=parse_pattern_stmt("skip"),
+            witness=witness,
+        )
+
+    def _mint_selfAssign(self, name: str, rng: random.Random) -> Pattern:
+        src, dst = rng.choice(
+            [("X := X", "skip"), ("X := Y", "skip"), ("X := X", "X := X")]
+        )
+        return ForwardPattern(
+            name=name,
+            psi1=GTrue(),
+            psi2=GTrue(),
+            s=parse_pattern_stmt(src),
+            s_new=parse_pattern_stmt(dst),
+            witness=TrueWitness(),
+        )
+
+    def _mint_algebra(self, name: str, rng: random.Random) -> Pattern:
+        src, dst = rng.choice(
+            [
+                ("X := Y * 1", "X := Y"),
+                ("X := Y + 0", "X := Y"),
+                ("X := 1 * Y", "X := Y"),
+                ("X := Y / 1", "X := Y"),
+                ("X := Y + 1", "X := Y"),  # unsound: off by one
+                ("X := Y * 0", "X := Y"),  # unsound unless Y = 0
+            ]
+        )
+        return ForwardPattern(
+            name=name,
+            psi1=GTrue(),
+            psi2=GTrue(),
+            s=parse_pattern_stmt(src),
+            s_new=parse_pattern_stmt(dst),
+            witness=TrueWitness(),
+        )
+
+    def _mint_loadElim(self, name: str, rng: random.Random) -> Pattern:
+        psi1_parts = [GLabel("stmt", (parse_pattern_stmt("X := *W"),))]
+        psi1_parts += _pick_subset(rng, [GNot(GEq(_X, _W))])
+        store_arm = (parse_pattern_stmt("*Z := E"), GFalse())
+        assign_arm = (parse_pattern_stmt("Z := ..."), GFalse())
+        arms = [store_arm] + _pick_subset(rng, [assign_arm])
+        psi2_pool = [
+            GNot(GLabel("mayDef", (_X,))),
+            GNot(GLabel("mayDef", (_W,))),
+            GCase(tuple(arms), GTrue()),
+        ]
+        psi2 = _conj(_pick_subset(rng, psi2_pool))
+        witness = rng.choice([VarEqExpr(_X, Deref(_W)), TrueWitness()])
+        return ForwardPattern(
+            name=name,
+            psi1=_conj(psi1_parts),
+            psi2=psi2,
+            s=parse_pattern_stmt("Y := *W"),
+            s_new=parse_pattern_stmt("Y := X"),
+            witness=witness,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Rule shrinking
+# ---------------------------------------------------------------------------
+
+
+def _guard_simplifications(g: object) -> List[object]:
+    """One-step structural weakenings of a guard, smallest change first."""
+    out: List[object] = []
+    if isinstance(g, GAnd):
+        parts = list(g.parts)
+        for i in range(len(parts)):
+            rest = parts[:i] + parts[i + 1 :]
+            out.append(_conj(rest))
+    if not isinstance(g, GTrue):
+        out.append(GTrue())
+    return out
+
+
+def _witness_simplifications(w: object) -> List[object]:
+    out: List[object] = []
+    if isinstance(w, Conj):
+        parts = list(w.parts)
+        for i in range(len(parts)):
+            rest = parts[:i] + parts[i + 1 :]
+            out.append(rest[0] if len(rest) == 1 else Conj(tuple(rest)))
+    if not isinstance(w, TrueWitness):
+        out.append(TrueWitness())
+    return out
+
+
+def _replace(pattern: Pattern, **changes) -> Pattern:
+    from dataclasses import replace
+
+    return replace(pattern, **changes)
+
+
+def shrink_rule(pattern: Pattern, still_interesting: Callable[[Pattern], bool]) -> Pattern:
+    """Greedy structural shrinking: drop guard conjuncts and witness parts
+    while ``still_interesting`` keeps holding (the fuzz campaigns pass the
+    oracle re-check here).  Mirrors the statement-deletion shrinker for
+    counterexample programs in :mod:`repro.verify.synthesize`."""
+    current = pattern
+    improved = True
+    while improved:
+        improved = False
+        candidates: List[Pattern] = []
+        for g in _guard_simplifications(current.psi2):
+            candidates.append(_replace(current, psi2=g))
+        for g in _guard_simplifications(current.psi1):
+            candidates.append(_replace(current, psi1=g))
+        for w in _witness_simplifications(current.witness):
+            candidates.append(_replace(current, witness=w))
+        for candidate in candidates:
+            try:
+                if still_interesting(candidate):
+                    current = candidate
+                    improved = True
+                    break
+            except Exception:
+                continue  # a candidate that crashes the oracle is not simpler
+    return current

@@ -58,11 +58,24 @@ _SAFE_BINOPS = ("+", "-", "*", "==", "!=", "<", "<=", ">", ">=", "&&", "||")
 
 
 class ProgramGenerator:
-    """Generates valid, mostly-terminating programs from a seeded RNG."""
+    """Generates valid, mostly-terminating programs from a seeded RNG.
 
-    def __init__(self, config: Optional[GeneratorConfig] = None, seed: int = 0) -> None:
+    All randomness flows through a single :class:`random.Random` instance:
+    either pass ``rng=`` explicitly (shared streams, e.g. fuzz campaigns
+    drawing many programs from one seed) or ``seed=`` to get a private
+    instance.  No module-global ``random`` state is ever consulted, so a
+    campaign is reproducible from its seed alone.
+    """
+
+    def __init__(
+        self,
+        config: Optional[GeneratorConfig] = None,
+        seed: int = 0,
+        *,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         self.config = config or GeneratorConfig()
-        self.rng = random.Random(seed)
+        self.rng = rng if rng is not None else random.Random(seed)
 
     # -- pieces -------------------------------------------------------------------
 

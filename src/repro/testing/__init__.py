@@ -7,7 +7,10 @@ side by side (translation-validation style), and witness predicates proven
 to hold symbolically are re-checked on concrete execution traces.
 """
 
-from repro.testing.differential import (
+# The differential oracle now lives in the fuzzing subsystem; this package
+# keeps re-exporting it (silently — the per-module shim in
+# repro.testing.differential is what warns).
+from repro.fuzz.oracle import (
     DifferentialResult,
     check_equivalence,
     differential_campaign,

@@ -1,122 +1,43 @@
-"""Differential interpretation of original vs. optimized programs.
+"""Deprecated: differential testing moved to :mod:`repro.fuzz.oracle`.
 
-The paper's notion of semantic equivalence (section 4): whenever
-``main(v1)`` returns ``v2`` in the original program, it also does in the
-transformed program.  This module checks exactly that, empirically, on
-generated programs and input ranges — an end-to-end cross-validation of the
-engine, the optimizations, and (indirectly) the soundness proofs.
+The program-level differential oracle (interpret original vs. transformed
+programs, the paper's one-directional equivalence) was promoted into the
+fuzzing subsystem, where it doubles as the counterexample oracle for the
+``repro fuzz`` campaigns.  This module remains as an import shim: every
+attribute is forwarded to :mod:`repro.fuzz.oracle` with a
+:class:`DeprecationWarning` (the same lazy-``__getattr__`` pattern as the
+:mod:`repro` façade).  New code should import from :mod:`repro.fuzz` —
+``repro.testing`` itself still re-exports the names silently.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+import warnings
 
-from repro.il.generator import GeneratorConfig, ProgramGenerator
-from repro.il.interp import ExecError, Interpreter, OutOfFuel
-from repro.il.printer import proc_to_str
-from repro.il.program import Program
-from repro.cobalt.dsl import Optimization
-from repro.cobalt.engine import CobaltEngine
-from repro.cobalt.labels import standard_registry
-
-
-@dataclass
-class DifferentialResult:
-    """Outcome of one campaign."""
-
-    programs: int = 0
-    runs: int = 0
-    transformations: int = 0
-    mismatches: List[str] = field(default_factory=list)
-
-    @property
-    def ok(self) -> bool:
-        return not self.mismatches
+#: public names forwarded to repro.fuzz.oracle (plus the legacy private
+#: alias ``_run``, kept because counterexample synthesis used it).
+_FORWARDED = (
+    "DifferentialResult",
+    "check_equivalence",
+    "differential_campaign",
+    "run_outcome",
+    "_run",
+)
 
 
-def _run(program: Program, arg: int, fuel: int) -> Tuple[str, Optional[object]]:
-    """Classify a run: ('value', v) | ('stuck', None) | ('fuel', None)."""
-    try:
-        return "value", Interpreter(program).run(arg, fuel=fuel)
-    except ExecError:
-        return "stuck", None
-    except OutOfFuel:
-        return "fuel", None
+def __getattr__(name: str):
+    if name in _FORWARDED:
+        import importlib
 
-
-def check_equivalence(
-    original: Program,
-    transformed: Program,
-    args: Sequence[int],
-    *,
-    fuel: int = 50_000,
-) -> Optional[str]:
-    """None if equivalent on the given inputs, else a mismatch description.
-
-    Per the paper's definition the check is one-directional: a run of the
-    original that returns a value must return the *same* value in the
-    transformed program.  Original runs that get stuck or exhaust fuel
-    constrain nothing.  A transformed run that gets *stuck* where the
-    original returned a value is the most suspicious violation (the
-    footnote-6 progress condition exists precisely to rule it out), so it
-    is flagged distinctly from a plain wrong value or a fuel blow-up.
-    """
-    for arg in args:
-        kind, value = _run(original, arg, fuel)
-        if kind != "value":
-            continue
-        kind2, value2 = _run(transformed, arg, fuel)
-        if kind2 == "value" and value2 == value:
-            continue
-        if kind2 == "stuck":
-            return (
-                f"main({arg}): original returned {value!r} but the "
-                f"transformed program got STUCK — a progress violation: "
-                f"one-directional equivalence requires the transformed "
-                f"program to complete every run the original completes"
-            )
-        if kind2 == "fuel":
-            return (
-                f"main({arg}): original returned {value!r} but the "
-                f"transformed program exhausted its fuel budget "
-                f"(possible introduced divergence)"
-            )
-        return (
-            f"main({arg}): original returned {value!r}, "
-            f"transformed returned {value2!r}"
+        warnings.warn(
+            f"repro.testing.differential.{name} is deprecated; import it "
+            f"from repro.fuzz.oracle (or the repro.fuzz package) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    return None
+        return getattr(importlib.import_module("repro.fuzz.oracle"), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-def differential_campaign(
-    optimization: Optimization,
-    *,
-    seeds: Sequence[int],
-    config: Optional[GeneratorConfig] = None,
-    args: Sequence[int] = (-2, -1, 0, 1, 2, 3, 7),
-    engine: Optional[CobaltEngine] = None,
-) -> DifferentialResult:
-    """Run an optimization over generated programs, interpreting both
-    versions on every argument; collects mismatches (there must be none for
-    a proven-sound optimization)."""
-    engine = engine or CobaltEngine(standard_registry())
-    result = DifferentialResult()
-    for seed in seeds:
-        generator = ProgramGenerator(config, seed=seed)
-        program = Program((generator.gen_proc(),))
-        transformed_proc, applied = engine.run_optimization(
-            optimization, program.main
-        )
-        transformed = program.with_proc(transformed_proc)
-        result.programs += 1
-        result.transformations += len(applied)
-        result.runs += len(args)
-        mismatch = check_equivalence(program, transformed, args)
-        if mismatch is not None:
-            result.mismatches.append(
-                f"seed {seed} ({optimization.name}): {mismatch}\n"
-                f"--- original ---\n{proc_to_str(program.main, indices=True)}\n"
-                f"--- transformed ---\n{proc_to_str(transformed_proc, indices=True)}"
-            )
-    return result
+def __dir__():
+    return sorted(set(globals()) | set(_FORWARDED))

@@ -30,14 +30,61 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from contextlib import contextmanager
+
 from repro.il.ast import IfGoto, Return, Skip
 from repro.il.generator import GeneratorConfig, ProgramGenerator
-from repro.il.printer import proc_to_str
+from repro.il.printer import proc_to_str, stmt_to_str
 from repro.il.program import Procedure, Program, ProgramError
 from repro.cobalt.dsl import Optimization
 from repro.cobalt.engine import CobaltEngine, TransformationInstance
 from repro.cobalt.labels import standard_registry
-from repro.testing.differential import check_equivalence
+from repro.cobalt.patterns import PatternError
+from repro.fuzz.oracle import check_equivalence
+
+
+def _stmt_text(stmt: object) -> str:
+    """Render a (possibly pattern-bearing) statement, tolerantly."""
+    try:
+        return stmt_to_str(stmt)  # type: ignore[arg-type]
+    except Exception:
+        return repr(stmt)
+
+
+def rule_text(pattern: object) -> str:
+    """One-line rendering of a transformation pattern for error messages."""
+    return (
+        f"{getattr(pattern, 'direction', '?')} {getattr(pattern, 'name', '?')}: "
+        f"{{{pattern.psi1}}} ; {{{pattern.psi2}}} ; "
+        f"{_stmt_text(pattern.s)} => {_stmt_text(pattern.s_new)} "
+        f"with witness {pattern.witness}"
+    )
+
+
+@contextmanager
+def _rule_error_context(optimization: Optimization):
+    """Attach the offending rule's text to pattern/program failures.
+
+    Counterexample search is driven over machine-minted candidate rules
+    (``repro fuzz --kind frontier``); a malformed candidate must surface as
+    a :class:`PatternError`/:class:`ProgramError` naming the rule, never a
+    bare traceback from deep inside the rewriting machinery.
+    """
+    try:
+        yield
+    except (PatternError, ProgramError) as exc:
+        if "while testing candidate rule" in str(exc):
+            raise  # already annotated by a nested search phase
+        raise type(exc)(
+            f"{exc}\n  while testing candidate rule:\n"
+            f"  {rule_text(optimization.pattern)}"
+        ) from exc
+    except Exception as exc:
+        raise PatternError(
+            f"malformed candidate rule ({type(exc).__name__}: {exc})\n"
+            f"  while testing candidate rule:\n"
+            f"  {rule_text(optimization.pattern)}"
+        ) from exc
 
 
 @dataclass
@@ -95,13 +142,13 @@ def _mismatch_for(
 
 
 def _build_counterexample(program, transformed, subset, args) -> Counterexample:
-    from repro.testing.differential import _run
+    from repro.fuzz.oracle import run_outcome
 
     for arg in args:
-        kind, value = _run(program, arg, 50_000)
+        kind, value = run_outcome(program, arg, 50_000)
         if kind != "value":
             continue
-        kind2, value2 = _run(transformed, arg, 50_000)
+        kind2, value2 = run_outcome(transformed, arg, 50_000)
         if kind2 != "value" or value2 != value:
             outcome = f"returns {value2!r}" if kind2 == "value" else f"gets {kind2}"
             return Counterexample(program, transformed, list(subset), arg, value, outcome)
@@ -190,32 +237,38 @@ def find_counterexample(
     engine = engine or CobaltEngine(standard_registry())
     hints = hints_from_context(context)
 
-    for program in _template_programs(max_template_body, hints):
-        proc = program.main
-        if not any(
-            match_stmt(optimization.pattern.s, s) is not None for s in proc.stmts
-        ):
-            continue
-        found = _mismatch_for(optimization, engine, program, args)
-        if found is not None:
-            if shrink:
-                found = shrink_counterexample(optimization, engine, found, args)
-            return found
-
-    configs = [
-        GeneratorConfig(num_stmts=10, num_vars=3),
-        GeneratorConfig(num_stmts=12, num_vars=4, allow_pointers=True),
-        GeneratorConfig(num_stmts=16, num_vars=4, allow_pointers=True, num_branches=3),
-    ]
-    for config in configs:
-        for seed in seeds:
-            program = Program((ProgramGenerator(config, seed=seed).gen_proc(),))
+    with _rule_error_context(optimization):
+        for program in _template_programs(max_template_body, hints):
+            proc = program.main
+            if not any(
+                match_stmt(optimization.pattern.s, s) is not None
+                for s in proc.stmts
+            ):
+                continue
             found = _mismatch_for(optimization, engine, program, args)
             if found is not None:
                 if shrink:
                     found = shrink_counterexample(optimization, engine, found, args)
                 return found
-    return None
+
+        configs = [
+            GeneratorConfig(num_stmts=10, num_vars=3),
+            GeneratorConfig(num_stmts=12, num_vars=4, allow_pointers=True),
+            GeneratorConfig(
+                num_stmts=16, num_vars=4, allow_pointers=True, num_branches=3
+            ),
+        ]
+        for config in configs:
+            for seed in seeds:
+                program = Program((ProgramGenerator(config, seed=seed).gen_proc(),))
+                found = _mismatch_for(optimization, engine, program, args)
+                if found is not None:
+                    if shrink:
+                        found = shrink_counterexample(
+                            optimization, engine, found, args
+                        )
+                    return found
+        return None
 
 
 def shrink_counterexample(
@@ -227,23 +280,24 @@ def shrink_counterexample(
     """Greedy statement deletion while the miscompilation persists."""
     current = counterexample
     improved = True
-    while improved:
-        improved = False
-        proc = current.original.main
-        for index in range(len(proc.stmts) - 1):  # keep the final return
-            candidate_proc = _delete_stmt(proc, index)
-            if candidate_proc is None:
-                continue
-            candidate = current.original.with_proc(candidate_proc)
-            try:
-                candidate.validate()
-            except ProgramError:
-                continue
-            found = _mismatch_for(optimization, engine, candidate, args)
-            if found is not None:
-                current = found
-                improved = True
-                break
+    with _rule_error_context(optimization):
+        while improved:
+            improved = False
+            proc = current.original.main
+            for index in range(len(proc.stmts) - 1):  # keep the final return
+                candidate_proc = _delete_stmt(proc, index)
+                if candidate_proc is None:
+                    continue
+                candidate = current.original.with_proc(candidate_proc)
+                try:
+                    candidate.validate()
+                except ProgramError:
+                    continue
+                found = _mismatch_for(optimization, engine, candidate, args)
+                if found is not None:
+                    current = found
+                    improved = True
+                    break
     return current
 
 

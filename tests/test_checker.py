@@ -164,7 +164,7 @@ class TestBuggyVariantsRejected:
         from repro.cobalt.engine import CobaltEngine
         from repro.cobalt.labels import standard_registry
         from repro.opts.buggy import pre_duplicate_no_unchanged
-        from repro.testing.differential import check_equivalence
+        from repro.fuzz.oracle import check_equivalence
 
         program = parse_program(
             """

@@ -93,7 +93,7 @@ class TestFixpointComposition:
     def test_fixpoint_preserves_semantics_on_random_programs(self, engine):
         from repro.il.generator import GeneratorConfig, ProgramGenerator
         from repro.il.program import Program
-        from repro.testing.differential import check_equivalence
+        from repro.fuzz.oracle import check_equivalence
 
         for seed in range(25):
             generator = ProgramGenerator(GeneratorConfig(num_stmts=12), seed=seed)

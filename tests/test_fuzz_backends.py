@@ -1,0 +1,62 @@
+"""Backend-verdict agreement on the E1 suite, seeded from the fuzz corpus.
+
+The metamorphic relation behind ``repro fuzz --kind metamorphic``, pinned
+as a parametrized cross-check: for every item of the shipped E1
+optimization suite AND every rule stored in the fuzz regression corpus,
+the ``internal`` and ``portfolio`` backends must produce byte-identical
+canonical soundness reports.  (Without an external solver the portfolio
+degrades to the internal prover; with one, the portfolio may only *race*
+to the same verdicts — either way the canonical rendering must match.)
+"""
+
+import pytest
+
+from repro import opts as suite
+from repro.fuzz import DEFAULT_CORPUS_DIR, frontier_verify_options, load_entries
+from repro.fuzz.rules import rule_from_json
+from repro.verify.checker import SoundnessChecker
+
+pytestmark = pytest.mark.slow
+
+_CORPUS_RULES = [
+    (entry.data["rule"]["name"] or path.stem, entry.data["rule"])
+    for path, entry in load_entries(DEFAULT_CORPUS_DIR)
+    if entry.kind in ("unsound-rule", "metamorphic")
+]
+
+
+@pytest.fixture(scope="module")
+def checkers():
+    return (
+        SoundnessChecker(options=frontier_verify_options(backend="internal")),
+        SoundnessChecker(options=frontier_verify_options(backend="portfolio")),
+    )
+
+
+@pytest.mark.parametrize(
+    "item",
+    list(suite.ALL_ANALYSES) + list(suite.ALL_OPTIMIZATIONS),
+    ids=lambda item: item.name,
+)
+def test_e1_suite_backend_agreement(item, checkers):
+    internal, portfolio = checkers
+    from repro.cobalt.dsl import PureAnalysis
+
+    if isinstance(item, PureAnalysis):
+        a = internal.check_analysis(item).canonical()
+        b = portfolio.check_analysis(item).canonical()
+    else:
+        a = internal.check_optimization(item).canonical()
+        b = portfolio.check_optimization(item).canonical()
+    assert a == b
+
+
+@pytest.mark.parametrize(
+    "name,rule_json", _CORPUS_RULES, ids=[name for name, _ in _CORPUS_RULES]
+)
+def test_corpus_rule_backend_agreement(name, rule_json, checkers):
+    internal, portfolio = checkers
+    rule = rule_from_json(rule_json)
+    a = internal.check_pattern(rule).canonical()
+    b = portfolio.check_pattern(rule).canonical()
+    assert a == b

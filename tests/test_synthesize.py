@@ -8,6 +8,7 @@ import pytest
 from repro.il import run_program
 from repro.il.interp import ExecError, OutOfFuel
 from repro.verify.synthesize import find_counterexample
+from repro.cobalt.dsl import Optimization
 from repro.opts import const_prop, dae
 from repro.opts.buggy import (
     assign_removal_overbroad,
@@ -97,3 +98,80 @@ class TestSoundOptimizations:
             opt, seeds=range(40), shrink=False, max_template_body=3
         )
         assert found is None
+
+
+class TestMalformedRules:
+    """Machine-minted candidate rules can be arbitrarily broken; the search
+    must reject them with a PatternError/ProgramError naming the rule —
+    never a bare traceback from the rewriting machinery."""
+
+    def _search(self, rule):
+        return find_counterexample(
+            Optimization(rule), seeds=range(2), max_template_body=2
+        )
+
+    def test_unbound_metavariable_names_the_rule(self):
+        from repro.cobalt.guards import GTrue
+        from repro.cobalt.patterns import PatternError, parse_pattern_stmt
+        from repro.cobalt.witness import TrueWitness
+        from repro.cobalt.dsl import ForwardPattern
+
+        bad = ForwardPattern(
+            name="bad_unbound",
+            psi1=GTrue(),
+            psi2=GTrue(),
+            s=parse_pattern_stmt("X := Y"),
+            s_new=parse_pattern_stmt("X := Q"),  # Q is never bound
+            witness=TrueWitness(),
+        )
+        with pytest.raises(PatternError) as excinfo:
+            self._search(bad)
+        message = str(excinfo.value)
+        assert "while testing candidate rule" in message
+        assert "bad_unbound" in message
+        assert "Q" in message  # the unbound metavariable is named
+
+    def test_nonsense_guard_object_becomes_pattern_error(self):
+        from repro.cobalt.patterns import PatternError, parse_pattern_stmt
+        from repro.cobalt.witness import TrueWitness
+        from repro.cobalt.dsl import ForwardPattern
+
+        bad = ForwardPattern(
+            name="bad_guard",
+            psi1="this is not a guard",  # type: ignore[arg-type]
+            psi2="neither is this",  # type: ignore[arg-type]
+            s=parse_pattern_stmt("X := Y"),
+            s_new=parse_pattern_stmt("skip"),
+            witness=TrueWitness(),
+        )
+        with pytest.raises(PatternError) as excinfo:
+            self._search(bad)
+        message = str(excinfo.value)
+        assert "while testing candidate rule" in message
+        assert "bad_guard" in message
+
+    def test_rule_text_renders_guards_and_witness(self):
+        from repro.verify.synthesize import rule_text
+        from repro.opts.buggy import dae_no_use_check
+
+        text = rule_text(dae_no_use_check.pattern)
+        assert dae_no_use_check.pattern.name in text
+        assert "=>" in text
+        assert "witness" in text
+
+    def test_wrapping_does_not_stack_in_nested_phases(self):
+        from repro.cobalt.patterns import PatternError, parse_pattern_stmt
+        from repro.cobalt.witness import TrueWitness
+        from repro.cobalt.dsl import ForwardPattern
+
+        bad = ForwardPattern(
+            name="bad_once",
+            psi1="still not a guard",  # type: ignore[arg-type]
+            psi2="nope",  # type: ignore[arg-type]
+            s=parse_pattern_stmt("X := Y"),
+            s_new=parse_pattern_stmt("skip"),
+            witness=TrueWitness(),
+        )
+        with pytest.raises(PatternError) as excinfo:
+            self._search(bad)
+        assert str(excinfo.value).count("while testing candidate rule") == 1
