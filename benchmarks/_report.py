@@ -1,16 +1,43 @@
-"""Table emission for the benchmark harnesses.
+"""Table + JSON emission for the benchmark harnesses.
 
 Each experiment's table is printed (visible with ``-s`` or on failure) and
 persisted under ``benchmarks/results/`` so EXPERIMENTS.md can reference the
-latest measured numbers regardless of pytest's output capturing.
+latest measured numbers regardless of pytest's output capturing.  Every
+table is also mirrored as machine-readable ``BENCH_<name>.json`` — the
+structured rows (when the harness provides them), the environment, and the
+rendered table lines — so trajectory notes and external tooling never have
+to screen-scrape the text files.
 """
 
+import json
+import platform
+import sys
+import time
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
-def emit(name: str, text: str) -> None:
+def emit(name: str, text: str, rows=None, config=None) -> None:
+    """Persist ``<name>.txt`` and ``BENCH_<name>.json``, and print the table.
+
+    ``rows`` is any JSON-serializable structure of measured values (lists of
+    row dicts by convention); ``config`` records the knobs that produced
+    them (timeouts, kernels, modes).  Harnesses that only have a rendered
+    table still get a JSON mirror via ``table``.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    payload = {
+        "bench": name,
+        "generated_unix": round(time.time(), 3),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "config": config or {},
+        "rows": rows if rows is not None else [],
+        "table": text.splitlines(),
+    }
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
     print(text)

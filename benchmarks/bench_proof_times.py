@@ -28,9 +28,11 @@ from repro.opts import ALL_OPTIMIZATIONS, taintedness_analysis
 _RESULTS = {}
 _WARM = {}
 _RACE = {}
+_KERNEL_RACE = {}
 
-#: Rows raced reference-vs-incremental (the ones with enough search for the
-#: comparison to mean anything; folding rules finish in milliseconds).
+#: Rows raced reference-vs-incremental (mode) and reference-vs-flat
+#: (kernel) — the ones with enough search for the comparison to mean
+#: anything; folding rules finish in milliseconds.
 _RACE_ROWS = [
     "cse",
     "loadElim",
@@ -131,6 +133,42 @@ def test_xx_mode_race(benchmark, name):
     _RACE[name] = (ref[1], inc[1], ref[2], inc[2])
 
 
+@pytest.mark.parametrize("name", _RACE_ROWS)
+def test_xx_kernel_race(benchmark, name):
+    """Reference vs flat e-graph kernel on the same row, no cache: the
+    reports must be byte-identical, the search counters must coincide, and
+    the flat kernel must perform strictly fewer Python-level structural
+    visits (docs/KERNELS.md)."""
+    opt = {o.name: o for o in ALL_OPTIMIZATIONS}[name]
+    out = {}
+
+    def race():
+        for kernel in ("reference", "flat"):
+            checker = SoundnessChecker(
+                config=ProverConfig(timeout_s=120, kernel=kernel)
+            )
+            start = time.monotonic()
+            report = checker.check_optimization(opt)
+            elapsed = time.monotonic() - start
+            stats = report.prover_stats()
+            out[kernel] = (
+                _mode_fingerprint(report),
+                stats.search_fingerprint(),
+                stats.struct_visits,
+                elapsed,
+            )
+
+    benchmark.pedantic(race, rounds=1, iterations=1)
+    ref, flat = out["reference"], out["flat"]
+    assert ref[0] == flat[0], f"{name}: kernels returned different reports"
+    assert ref[1] == flat[1], f"{name}: kernels' search counters diverged"
+    assert flat[2] < ref[2], (
+        f"{name}: flat visited {flat[2]} structures, reference {ref[2]} — "
+        f"not strictly fewer"
+    )
+    _KERNEL_RACE[name] = (ref[2], flat[2], ref[3], flat[3])
+
+
 def test_zz_report(benchmark):
     """Emits the E1 table (runs last; name-ordered after the rows)."""
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
@@ -165,5 +203,65 @@ def test_zz_report(benchmark):
                 f"{name:24s} {ref_le:13,d} {inc_le:13,d} "
                 f"{ref_s:6.2f}s {inc_s:6.2f}s"
             )
+    if _KERNEL_RACE:
+        lines.append("")
+        lines.append(
+            "=== reference vs flat e-graph kernel (identical verdicts and "
+            "search counters) ==="
+        )
+        lines.append(
+            f"{'optimization':24s} {'ref visits':>12s} {'flat visits':>12s} "
+            f"{'ref':>7s} {'flat':>7s} {'speedup':>8s}"
+        )
+        for name, (ref_sv, flat_sv, ref_s, flat_s) in sorted(
+            _KERNEL_RACE.items()
+        ):
+            speedup = ref_s / flat_s if flat_s > 0 else float("inf")
+            lines.append(
+                f"{name:24s} {ref_sv:12,d} {flat_sv:12,d} "
+                f"{ref_s:6.2f}s {flat_s:6.2f}s {speedup:7.2f}x"
+            )
     lines.append("paper (Simplify, 2003 workstation): range 3s .. 104s, average 28s")
-    emit("E1_proof_times", "\n".join(lines))
+
+    from repro.prover.kernels import kernel_identity
+
+    rows = {
+        "items": [
+            {
+                "name": name,
+                "cold_s": round(seconds, 4),
+                "warm_ms": (
+                    round(_WARM[name] * 1000, 3) if name in _WARM else None
+                ),
+            }
+            for name, seconds in sorted(_RESULTS.items())
+        ],
+        "mode_race": [
+            {
+                "name": name,
+                "ref_lit_evals": ref_le,
+                "inc_lit_evals": inc_le,
+                "ref_s": round(ref_s, 4),
+                "inc_s": round(inc_s, 4),
+            }
+            for name, (ref_le, inc_le, ref_s, inc_s) in sorted(_RACE.items())
+        ],
+        "kernel_race": [
+            {
+                "name": name,
+                "ref_struct_visits": ref_sv,
+                "flat_struct_visits": flat_sv,
+                "ref_s": round(ref_s, 4),
+                "flat_s": round(flat_s, 4),
+            }
+            for name, (ref_sv, flat_sv, ref_s, flat_s) in sorted(
+                _KERNEL_RACE.items()
+            )
+        ],
+    }
+    config = {
+        "timeout_s": 120,
+        "default_kernel": kernel_identity("flat"),
+        "cold_rows_cached": True,
+    }
+    emit("E1_proof_times", "\n".join(lines), rows=rows, config=config)

@@ -288,4 +288,20 @@ def test_zz_report(benchmark):
         "(interned side: cached-slot reads / table probes)"
     )
     lines.append(I.STATS.summary())
-    emit("E8_terms", "\n".join(lines))
+    rows = [
+        {
+            "operation": name,
+            "interned_s": round(i_s, 6),
+            "reference_s": round(r_s, 6),
+            "speedup": round(speedup, 2),
+            "interned_visits": iv,
+            "reference_visits": rv,
+        }
+        for name, i_s, r_s, speedup, iv, rv in _ROWS
+    ]
+    emit(
+        "E8_terms",
+        "\n".join(lines),
+        rows=rows,
+        config={"repeats": _REPEATS, "encode_repeats": _ENCODE_REPEATS},
+    )

@@ -57,6 +57,10 @@ class ProverOptions:
     #: ``"incremental"`` (mod-times E-matching + watched clauses) or
     #: ``"reference"`` (the executable specification).
     mode: str = "incremental"
+    #: e-graph substrate: ``"flat"`` (struct-of-arrays integer kernel) or
+    #: ``"reference"`` (the ``_Node``-object implementation); byte-identical
+    #: results either way (docs/KERNELS.md).
+    kernel: str = "flat"
     #: cooperative wall-clock limit per prover call
     timeout_s: float = 300.0
     max_rounds: int = 12
@@ -70,12 +74,14 @@ class ProverOptions:
             max_decisions=self.max_decisions,
             timeout_s=self.timeout_s,
             mode=self.mode,
+            kernel=self.kernel,
         )
 
     @classmethod
     def from_config(cls, config: ProverConfig) -> "ProverOptions":
         return cls(
             mode=getattr(config, "mode", "incremental") or "incremental",
+            kernel=getattr(config, "kernel", "flat") or "flat",
             timeout_s=config.timeout_s,
             max_rounds=config.max_rounds,
             max_instances=config.max_instances,

@@ -34,12 +34,18 @@ external solver subprocess (``--solver-cmd`` overrides auto-discovery of
 z3/cvc5), or a per-obligation race of the two (docs/BACKENDS.md).
 ``--prover-mode incremental|reference`` selects the internal proof search
 loop — incremental E-matching with watched ground clauses (the default) or
-the full-rescan reference it is cross-checked against.  ``--prover`` is a
-deprecated alias that accepts either axis.  ``--prover-stats`` prints the
-prover's observability counters to stderr (see docs/PROVER.md), including
-the hash-consing metrics — intern-table size, constructor hit rate, and
-the subst/pipeline memo hit rates — plus a process-global interning
-summary line (docs/TERMS.md).
+the full-rescan reference it is cross-checked against.  ``--kernel
+flat|reference`` selects the e-graph substrate the search runs on — the
+struct-of-arrays integer kernel (default; compiled to a C extension when
+``repro[compiled]`` is installed) or the object-graph reference, with
+byte-identical results either way (docs/KERNELS.md).  ``--prover`` is a
+deprecated alias that accepts either search axis.  ``--prover-stats``
+prints the prover's observability counters to stderr (see docs/PROVER.md),
+including the active kernel identity and its structural-visit count, the
+hash-consing metrics — intern-table size, constructor hit rate, and the
+subst/pipeline memo hit rates — plus a process-global interning summary
+line (docs/TERMS.md).  ``--version`` reports the package version and
+whether the compiled or pure-Python flat kernel is active.
 
 Every subcommand builds its verification configuration through
 :func:`build_verify_options` into a single :class:`repro.api.VerifyOptions`
@@ -133,7 +139,9 @@ def build_verify_options(args):
         solver_timeout_s=args.solver_timeout,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
-        prover=ProverOptions(mode=mode, timeout_s=args.timeout),
+        prover=ProverOptions(
+            mode=mode, kernel=args.kernel, timeout_s=args.timeout
+        ),
     )
 
 
@@ -295,7 +303,12 @@ def cmd_fuzz(args) -> int:
     # settings, so the prover budget is the fixed counter-only one; only the
     # backend/solver/jobs/cache axes and --prover-mode are taken from flags.
     options = replace(
-        base, prover=replace(FRONTIER_PROVER_OPTIONS, mode=base.prover.mode)
+        base,
+        prover=replace(
+            FRONTIER_PROVER_OPTIONS,
+            mode=base.prover.mode,
+            kernel=base.prover.kernel,
+        ),
     )
     corpus_dir = None if args.no_corpus else (args.corpus_dir or str(DEFAULT_CORPUS_DIR))
     progress = None if args.quiet else (lambda m: print(m, file=sys.stderr))
@@ -350,10 +363,19 @@ def cmd_suite(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+    from repro.prover.kernels import kernel_identity
+
     parser = argparse.ArgumentParser(
         prog="repro-cobalt",
         description="Cobalt: write, prove, and run compiler optimizations.",
     )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"repro-cobalt {__version__} "
+                f"(prover kernel: {kernel_identity('flat')})",
+        help="print the package version and whether the compiled or "
+             "pure-Python flat prover kernel is active, then exit")
     parser.add_argument("--timeout", type=float, default=120.0,
                         help="prover timeout per obligation (seconds)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -386,6 +408,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "E-matching with watched ground clauses "
                              "(default) or the full rescan reference it is "
                              "cross-checked against")
+    parser.add_argument("--kernel", choices=("flat", "reference"),
+                        default="flat",
+                        help="e-graph substrate for the internal prover: "
+                             "the struct-of-arrays integer kernel (default; "
+                             "compiled when repro[compiled] is installed) "
+                             "or the object-graph reference — results are "
+                             "byte-identical either way")
     parser.add_argument("--prover",
                         choices=("incremental", "reference", "internal",
                                  "smtlib", "portfolio"),

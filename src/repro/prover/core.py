@@ -37,6 +37,7 @@ Two interchangeable inner loops implement the search
 
 from __future__ import annotations
 
+import gc
 import heapq
 import time
 from dataclasses import dataclass, field
@@ -57,9 +58,15 @@ from repro.logic.terms import App, Term
 from repro.prover.egraph import EGraph, EGraphConflict, FALSE, TRUE
 from repro.prover.ematch import (
     MatchTimeout,
-    binding_to_terms,
     ematch,
     select_triggers,
+)
+from repro.prover.kernels import (
+    KERNEL_NAMES,
+    compiled_trigger,
+    flat_ematch,
+    kernel_identity,
+    make_egraph,
 )
 
 
@@ -86,6 +93,12 @@ class ProverConfig:
     #: rescan; the executable specification the incremental mode is
     #: cross-checked against).  Both produce identical results.
     mode: str = "incremental"
+    #: E-graph substrate: ``"flat"`` (struct-of-arrays integer kernel,
+    #: optionally compiled — see docs/KERNELS.md) or ``"reference"`` (the
+    #: ``_Node``-object implementation).  Byte-identical results either
+    #: way; the choice is deliberately excluded from the proof-cache
+    #: fingerprint and backend identity.
+    kernel: str = "flat"
     #: Debug/test hook: record the canonical keys of the instances admitted
     #: by each instantiation round (``Result``-independent; used by the
     #: round-by-round mode-equivalence tests).
@@ -114,18 +127,31 @@ def default_split_priority(lit: "Literal", clause: "Clause") -> int:
     return 0
 
 
+#: ``_is_kind_literal`` results per literal — a pure structural property,
+#: probed for every literal of every admitted instance every round, and
+#: literals are hash-consed, so the memo is small and hit-dominated.
+_KIND_MEMO: Dict["Literal", bool] = {}
+
+
 def _is_kind_literal(lit: "Literal") -> bool:
+    hit = _KIND_MEMO.get(lit)
+    if hit is not None:
+        return hit
     atom = lit.atom
-    if not isinstance(atom, Eq):
-        return False
-    for side in (atom.lhs, atom.rhs):
-        if isinstance(side, App) and not side.args and (
-            side.fn.startswith("K_")
-            or side.fn.startswith("EK_")
-            or side.fn.startswith("LK_")
-        ):
-            return True
-    return False
+    out = False
+    if isinstance(atom, Eq):
+        for side in (atom.lhs, atom.rhs):
+            if isinstance(side, App) and not side.args and (
+                side.fn.startswith("K_")
+                or side.fn.startswith("EK_")
+                or side.fn.startswith("LK_")
+            ):
+                out = True
+                break
+    if len(_KIND_MEMO) >= 65536:
+        _KIND_MEMO.clear()
+    _KIND_MEMO[lit] = out
+    return out
 
 
 @dataclass
@@ -172,6 +198,11 @@ class ProverStats:
     free_vars_hits: int = 0  # cached free-variable set reads
     pipeline_hits: int = 0  # memoized nnf/skolemize/clausify calls
     pipeline_misses: int = 0
+    #: Kernel identity ("flat/pure-python", "flat/compiled",
+    #: "reference/object-graph") and its structural-visit count — the
+    #: object-graph touches the benchmark race compares across kernels.
+    kernel: str = ""
+    struct_visits: int = 0
     #: Per-round yields, capped at 1000 entries.  Not merged by ``merge``.
     round_log: List[RoundStats] = field(default_factory=list)
 
@@ -198,6 +229,9 @@ class ProverStats:
         self.free_vars_hits += other.free_vars_hits
         self.pipeline_hits += other.pipeline_hits
         self.pipeline_misses += other.pipeline_misses
+        self.struct_visits += other.struct_visits
+        if not self.kernel:
+            self.kernel = other.kernel
 
     @property
     def dedup_rate(self) -> float:
@@ -211,9 +245,30 @@ class ProverStats:
             return "-"
         return f"{100.0 * hits / total:.1f}%  ({hits:,}/{total:,})"
 
+    def search_fingerprint(self) -> Tuple[int, ...]:
+        """The search-shape counters, excluding timing, interning, and
+        kernel identity.  Two provers that explored the same search tree —
+        whatever kernel ran underneath — produce equal fingerprints; the
+        kernel byte-identity tests compare these across kernels."""
+        return (
+            self.decisions,
+            self.propagations,
+            self.instances,
+            self.rounds,
+            self.lit_evals,
+            self.clause_evals,
+            self.scan_passes,
+            self.wakeups,
+            self.watch_moves,
+            self.bindings,
+            self.dedup_hits,
+        )
+
     def table(self) -> str:
         """A human-readable rendering for ``--prover-stats``."""
         rows = [
+            ("kernel", self.kernel or "-"),
+            ("structural visits", f"{self.struct_visits:,}"),
             ("decisions", f"{self.decisions}"),
             ("unit propagations", f"{self.propagations}"),
             ("scan passes", f"{self.scan_passes}"),
@@ -347,6 +402,11 @@ class Prover:
         return search.run(name)
 
 
+#: Selected triggers per quantified axiom clause, keyed by object id with
+#: the clause kept alive in the value (see ``_Search._classify``).
+_TRIGGER_CACHE: Dict[int, Tuple[Clause, Tuple]] = {}
+
+
 class _Search:
     """One refutation search (fresh E-graph, fresh instance cache)."""
 
@@ -356,10 +416,20 @@ class _Search:
         if mode not in ("incremental", "reference"):
             raise ValueError(f"unknown prover mode {mode!r}")
         self.watched = mode == "incremental"
-        self.egraph = EGraph(constructors)
+        kernel = getattr(cfg, "kernel", "flat") or "flat"
+        if kernel not in KERNEL_NAMES:
+            raise ValueError(f"unknown prover kernel {kernel!r}")
+        self.kernel = kernel
+        self.flat = kernel == "flat"
+        self.egraph = make_egraph(kernel, constructors)
         self._true_node = self.egraph.term_to_node[TRUE]
         self.ground: List[Clause] = []
-        self.quantified: List[Tuple[Clause, Tuple[Tuple[Term, ...], ...]]] = []
+        #: ``(clause, triggers, programs)`` per quantified clause; the
+        #: programs list holds the flat kernel's lazily compiled triggers
+        #: (empty on the reference kernel, which interprets pattern terms).
+        self.quantified: List[
+            Tuple[Clause, Tuple[Tuple[Term, ...], ...], List]
+        ] = []
         #: Per quantified clause: instances found by E-matching but held back
         #: by the relevance guard, keyed like ``seen_instances``.  Global
         #: (never popped): a ground instance of a universally quantified
@@ -369,12 +439,33 @@ class _Search:
         self.seen_instances: Set[Tuple] = set()
         #: Structural atom interning for clause keys: atom -> small int.
         self._atom_ids: Dict[object, int] = {}
+        #: Clause -> its ``_clause_key`` (the key depends on this search's
+        #: ``_atom_ids`` numbering, so the memo is per search; instances are
+        #: hash-consed and re-keyed every round they are re-derived).
+        self._ckey_memo: Dict[Clause, Tuple] = {}
+        #: Per quantified clause: representative-term tuple -> (clause key,
+        #: render key, instance).  E-matching re-derives the same binding
+        #: constantly (~35% of bindings are downstream dedup hits) and the
+        #: whole substitute/key pipeline is pure in the representative
+        #: terms, so duplicates collapse to one probe on interned-term
+        #: identity before any of it runs.
+        self._inst_memo: List[Dict[Tuple, Tuple]] = []
+        #: Per (quantified clause, trigger): (covers, var_order) — whether
+        #: the trigger binds every clause variable, and its name-sorted
+        #: variable order.  Both are trigger constants (every complete
+        #: match of one trigger binds exactly its variable set), computed
+        #: once from the first binding instead of per binding.
+        self._trig_info: Dict[Tuple[int, int], Tuple[bool, List[str]]] = {}
         #: Per-literal evaluation cache: id(lit) -> [lit, lhs_term, rhs_term,
-        #: is_kind, lhs_node, rhs_node].  The stored literal reference both
-        #: validates the id (ids of dead objects get recycled) and keeps the
-        #: literal alive so it cannot be.  Node ids are revalidated against
-        #: the node table, since pops recycle them.
+        #: is_kind, lhs_node, rhs_node, positive].  The stored literal
+        #: reference both validates the id (ids of dead objects get recycled)
+        #: and keeps the literal alive so it cannot be.  Node ids are
+        #: revalidated against the node table, since pops recycle them.
         self._lit_info: Dict[int, list] = {}
+        #: Per-ground-clause list of those records, built on first watched
+        #: evaluation — the hot scan walks records directly instead of
+        #: re-resolving ``id(lit)`` per literal per evaluation.
+        self._clause_lits: List[Optional[list]] = []
         self.stats = ProverStats()
         self.deadline = 0.0
         #: Optional zero-argument cancellation poll (see ``Prover.prove``).
@@ -395,11 +486,18 @@ class _Search:
         # Watched-clause propagation state (incremental mode).  ``evals``
         # caches each open clause's last evaluation; ``dirty`` holds the
         # clauses whose cache is stale; ``watchers`` maps a class root to the
-        # clauses watching it; ``eval_scopes`` re-dirties, on pop, every
-        # clause evaluated inside the popped level.
+        # clauses watching it.  ``eval_scopes`` holds one undo journal per
+        # decision level: every in-level mutation of ``dirty``/``evals``/
+        # ``watchers`` is logged, and ``_pop_level`` plays the journal
+        # backwards.  Because the E-graph pop restores the exact pre-push
+        # state, the restored caches are valid as-is — clauses untouched by
+        # the sibling branch are never re-evaluated.  Journal ops:
+        # ``(0, c)`` dirty.add, ``(1, c)`` dirty.discard,
+        # ``(2, c, prev)`` evals[c] overwrite, ``(3, root, c)`` watcher
+        # registration, ``(4, root, bucket)`` watcher bucket drain.
         self.dirty: Set[int] = set()
         self.evals: List[Optional[Tuple[int, Literal, int]]] = []
-        self.eval_scopes: List[List[int]] = [[]]
+        self.eval_scopes: List[List[Tuple]] = [[]]
         self.watchers: Dict[int, Set[int]] = {}
         self.event_cursor = 0
         self.event_marks: List[int] = []
@@ -420,20 +518,36 @@ class _Search:
                 self.seen_instances.add(key)
                 self._append_ground(clause)
             return
-        triggers = tuple(
-            tuple(App(p.name, p.args) if isinstance(p, Pred) else p for p in trig)
-            for trig in clause.triggers
-        )
-        if not triggers:
-            atom_terms: List[Term] = []
-            for lit in clause.literals:
-                if isinstance(lit.atom, Eq):
-                    atom_terms.extend((lit.atom.lhs, lit.atom.rhs))
-                else:
-                    atom_terms.append(App(lit.atom.name, lit.atom.args))
-            triggers = select_triggers(atom_terms, sorted(clause.vars()))
-        self.quantified.append((clause, triggers))
+        # Trigger selection is a pure function of the clause, and the
+        # clausifier memoizes its output, so the same ~100 axiom clause
+        # objects reach every search of a theory: cache by identity (the
+        # stored clause both validates the recycled id and pins it alive).
+        cached = _TRIGGER_CACHE.get(id(clause))
+        if cached is not None and cached[0] is clause:
+            triggers = cached[1]
+        else:
+            triggers = tuple(
+                tuple(App(p.name, p.args) if isinstance(p, Pred) else p for p in trig)
+                for trig in clause.triggers
+            )
+            if not triggers:
+                atom_terms: List[Term] = []
+                for lit in clause.literals:
+                    if isinstance(lit.atom, Eq):
+                        atom_terms.extend((lit.atom.lhs, lit.atom.rhs))
+                    else:
+                        atom_terms.append(App(lit.atom.name, lit.atom.args))
+                triggers = select_triggers(atom_terms, sorted(clause.vars()))
+            if len(_TRIGGER_CACHE) >= 65536:
+                _TRIGGER_CACHE.clear()
+            _TRIGGER_CACHE[id(clause)] = (clause, triggers)
+        # Flat-kernel trigger programs, compiled lazily on first match (an
+        # obligation refuted propositionally never pays for them); ``None``
+        # slots are filled in ``_instantiate``.
+        programs: List = [None] * len(triggers) if self.flat else []
+        self.quantified.append((clause, triggers, programs))
         self.deferred.append({})
+        self._inst_memo.append({})
 
     def _append_ground(self, clause: Clause) -> int:
         index = len(self.ground)
@@ -441,6 +555,7 @@ class _Search:
         self.sat.append(False)
         self.evals.append(None)
         self.split_pushed.append(None)
+        self._clause_lits.append(None)
         self.dirty.add(index)
         return index
 
@@ -453,6 +568,10 @@ class _Search:
         :mod:`repro.logic`, the dict probe below is an O(1) identity
         lookup — the atom's hash is a cached int and equality short-circuits
         on pointer comparison."""
+        memo = self._ckey_memo
+        key = memo.get(clause)
+        if key is not None:
+            return key
         ids = self._atom_ids
         out = []
         for lit in clause.literals:
@@ -462,7 +581,9 @@ class _Search:
                 ids[lit.atom] = aid
             out.append((lit.positive, aid))
         out.sort()
-        return tuple(out)
+        key = tuple(out)
+        memo[clause] = key
+        return key
 
     # ------------------------------------------------------------------
 
@@ -470,6 +591,14 @@ class _Search:
         self.deadline = time.monotonic() + self.cfg.timeout_s
         start = time.monotonic()
         mark = intern.STATS.snapshot()
+        # The search allocates heavily (trail entries, watch lists, binding
+        # tuples) but almost nothing becomes cyclic garbage mid-proof, so
+        # generational collections are pure overhead (~10% of search time).
+        # Collection is deferred until the proof returns; timeouts bound how
+        # long that can be.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         self.egraph.push()
         try:
             refuted = self._dpll(0)
@@ -479,9 +608,13 @@ class _Search:
             self.saturated_context = ["<resource limit reached>"] + list(self.assertion_log)
         finally:
             self.egraph.pop()
+            if gc_was_enabled:
+                gc.enable()
         self.stats.elapsed_s = time.monotonic() - start
         delta = intern.STATS.delta(mark)
         st = self.stats
+        st.kernel = kernel_identity(self.kernel)
+        st.struct_visits = self.egraph.struct_visits
         st.intern_table = intern.table_size()
         st.intern_hits += delta["term_hits"] + delta["formula_hits"]
         st.intern_misses += delta["term_misses"] + delta["formula_misses"]
@@ -513,8 +646,33 @@ class _Search:
         skipping it cannot change behavior."""
         self.stats.lit_evals += 1
         eg = self.egraph
-        nodes = eg.nodes
-        n = len(nodes)
+        node_terms = eg.node_terms
+        n = len(node_terms)
+        info = self._lit_record(lit)
+        ta = info[1]
+        a = info[4]
+        if not (0 <= a < n and node_terms[a] is ta):
+            a = eg.add_term(ta)
+            info[1] = node_terms[a]
+            info[4] = a
+            n = len(node_terms)
+        tb = info[2]
+        if tb is None:
+            b = self._true_node
+        else:
+            b = info[5]
+            if not (0 <= b < n and node_terms[b] is tb):
+                b = eg.add_term(tb)
+                info[2] = node_terms[b]
+                info[5] = b
+        rel = eg.relation_ids(a, b)
+        if rel < 0:
+            return None, a, b
+        value = rel == 1
+        return (value if lit.positive else not value), a, b
+
+    def _lit_record(self, lit: Literal) -> list:
+        """The shared evaluation record for a literal (see ``_lit_info``)."""
         info = self._lit_info.get(id(lit))
         if info is None or info[0] is not lit:
             atom = lit.atom
@@ -522,32 +680,9 @@ class _Search:
                 ta, tb = atom.lhs, atom.rhs
             else:
                 ta, tb = App(atom.name, atom.args), None
-            info = [lit, ta, tb, _is_kind_literal(lit), -1, -1]
+            info = [lit, ta, tb, _is_kind_literal(lit), -1, -1, lit.positive]
             self._lit_info[id(lit)] = info
-        ta = info[1]
-        a = info[4]
-        if not (0 <= a < n and nodes[a].term is ta):
-            a = eg.add_term(ta)
-            info[1] = nodes[a].term
-            info[4] = a
-            n = len(nodes)
-        tb = info[2]
-        if tb is None:
-            b = self._true_node
-        else:
-            b = info[5]
-            if not (0 <= b < n and nodes[b].term is tb):
-                b = eg.add_term(tb)
-                info[2] = nodes[b].term
-                info[5] = b
-        value: Optional[bool]
-        if eg.find(a) == eg.find(b):
-            value = True
-        elif eg._ids_diseq(a, b):
-            value = False
-        else:
-            return None, a, b
-        return (value if lit.positive else not value), a, b
+        return info
 
     def _lit_is_kind(self, lit: Literal) -> bool:
         """Cached :func:`_is_kind_literal` (hot in both scan loops)."""
@@ -588,15 +723,54 @@ class _Search:
 
     def _pop_level(self) -> None:
         self.egraph.pop()
-        for index in self.sat_scopes.pop():
+        unsatted = self.sat_scopes.pop()
+        for index in unsatted:
             self.sat[index] = False
         if self.watched:
-            # Every clause (re-)evaluated inside the popped level saw state
-            # that no longer exists: re-dirty it.  Events logged inside the
-            # level are dropped — their wakes either already happened or are
-            # now covered by the re-dirtying.
-            for index in self.eval_scopes.pop():
-                self.dirty.add(index)
+            # Play the level's journal backwards: the E-graph pop restored
+            # the exact pre-push state, so the pre-push evaluation caches,
+            # watcher registrations, and dirty set are restored with it —
+            # the sibling branch re-evaluates only the clauses its own
+            # merges actually wake.  Events logged inside the level are
+            # dropped; their wakes are part of the journal.
+            dirty = self.dirty
+            evals = self.evals
+            watchers = self.watchers
+            split_pushed = self.split_pushed
+            split_heap = self.split_heap
+            for op in reversed(self.eval_scopes.pop()):
+                tag = op[0]
+                if tag == 0:
+                    dirty.discard(op[1])
+                elif tag == 1:
+                    dirty.add(op[1])
+                elif tag == 2:
+                    index = op[1]
+                    prev = op[2]
+                    evals[index] = prev
+                    if prev is not None:
+                        # Heap invariant: a clause's current cached
+                        # evaluation always has a live heap entry.
+                        entry = (-prev[2], prev[0])
+                        if split_pushed[index] != entry:
+                            heapq.heappush(
+                                split_heap, (-prev[2], prev[0], index)
+                            )
+                            split_pushed[index] = entry
+                elif tag == 3:
+                    watchers[op[1]].discard(op[2])
+                else:
+                    watchers[op[1]] = op[2]
+            # A clause whose sat mark was just cleared kept its pre-sat
+            # cache, but the split selection may have discarded its heap
+            # entry while it was satisfied: re-establish the invariant.
+            for index in unsatted:
+                ev = evals[index]
+                if ev is not None:
+                    entry = (-ev[2], ev[0])
+                    if split_pushed[index] != entry:
+                        heapq.heappush(split_heap, (-ev[2], ev[0], index))
+                        split_pushed[index] = entry
             mark = self.event_marks.pop()
             del self.egraph.events[mark:]
             if self.event_cursor > mark:
@@ -708,17 +882,20 @@ class _Search:
         dirty = self.dirty
         sat = self.sat
         stats = self.stats
+        journal = self.eval_scopes[-1].append
         while cursor < len(events):
             root = events[cursor]
             cursor += 1
             woken = watchers.pop(root, None)
             if not woken:
                 continue
+            journal((4, root, woken))
             for c in woken:
                 if sat[c] or c in dirty:
                     continue
                 stats.wakeups += 1
                 dirty.add(c)
+                journal((0, c))
                 if heap is not None and c > pos:
                     heapq.heappush(heap, c)
         self.event_cursor = cursor
@@ -741,7 +918,11 @@ class _Search:
         evals = self.evals
         split_pushed = self.split_pushed
         split_heap = self.split_heap
-        scope_evals = self.eval_scopes[-1].append
+        journal = self.eval_scopes[-1].append
+        clause_lits = self._clause_lits
+        add_term = eg.add_term
+        relation_ids = eg.relation_ids
+        true_node = self._true_node
         progress = False
         if len(events) != self.event_cursor:
             self._drain_events(-1, None)  # decisions/instantiation since last scan
@@ -753,40 +934,67 @@ class _Search:
             if index not in dirty:
                 continue
             dirty.discard(index)
+            journal((1, index))
             if sat[index]:
                 continue
             pos = index
             evaluated += 1
             if (evaluated & 63) == 0 and time.monotonic() > self.deadline:
                 dirty.add(index)
+                journal((0, index))
                 raise _Timeout()
-            # Record the evaluation *before* performing it: if the level is
-            # popped (even via a conflict mid-evaluation), the cache entry
-            # must be invalidated.
-            scope_evals(index)
             clause = self.ground[index]
             stats.clause_evals += 1
+            recs = clause_lits[index]
+            if recs is None:
+                recs = clause_lits[index] = [
+                    self._lit_record(lit) for lit in clause.literals
+                ]
             width = 0
             candidate: Optional[Literal] = None
             satisfied = False
             has_undetermined_kind = False
             watch_nodes: List[int] = []
+            # The loop below is ``_eval_literal`` unrolled over the clause's
+            # shared records: same interning, same counter increments, same
+            # semantics — minus a method call and an id() probe per literal.
             try:
-                for lit in clause.literals:
-                    value, na, nb = self._eval_literal(lit)
-                    if value is True:
-                        satisfied = True
-                        break
-                    if value is None:
+                node_terms = eg.node_terms
+                n_nodes = len(node_terms)
+                for rec in recs:
+                    stats.lit_evals += 1
+                    ta = rec[1]
+                    a = rec[4]
+                    if not (0 <= a < n_nodes and node_terms[a] is ta):
+                        a = add_term(ta)
+                        rec[1] = node_terms[a]
+                        rec[4] = a
+                        n_nodes = len(node_terms)
+                    tb = rec[2]
+                    if tb is None:
+                        b = true_node
+                    else:
+                        b = rec[5]
+                        if not (0 <= b < n_nodes and node_terms[b] is tb):
+                            b = add_term(tb)
+                            rec[2] = node_terms[b]
+                            rec[5] = b
+                            n_nodes = len(node_terms)
+                    rel = relation_ids(a, b)
+                    if rel < 0:
                         width += 1
-                        if self._lit_is_kind(lit):
+                        if rec[3]:
                             has_undetermined_kind = True
                         if candidate is None:
-                            candidate = lit
-                        watch_nodes.append(na)
-                        watch_nodes.append(nb)
+                            candidate = rec[0]
+                        watch_nodes.append(a)
+                        watch_nodes.append(b)
+                    elif (rel == 1) == rec[6]:
+                        satisfied = True
+                        break
             except EGraphConflict:
                 dirty.add(index)
+                journal((0, index))
                 return "conflict", None
             if satisfied:
                 self._mark_sat(index)
@@ -795,11 +1003,13 @@ class _Search:
                 continue
             if width == 0:
                 dirty.add(index)
+                journal((0, index))
                 return "conflict", None
             if width == 1 and candidate is not None:
                 stats.propagations += 1
                 if not self._assert_literal(candidate, f"unit from {clause.origin or clause}"):
                     dirty.add(index)
+                    journal((0, index))
                     return "conflict", None
                 self._mark_sat(index)
                 progress = True
@@ -818,20 +1028,25 @@ class _Search:
                 clause_priority = -1
             else:
                 clause_priority = priority_fn(candidate, clause)
+            journal((2, index, evals[index]))
             evals[index] = (width, candidate, clause_priority)
             entry = (-clause_priority, width)
             if split_pushed[index] != entry:
                 heapq.heappush(split_heap, (-clause_priority, width, index))
                 split_pushed[index] = entry
             watchers = self.watchers
+            parent = eg.parent
             moved = 0
             for node in watch_nodes:
-                root = eg.find(node)
+                root = parent[node]
+                if root != parent[root]:
+                    root = eg.find(node)
                 bucket = watchers.get(root)
                 if bucket is None:
                     watchers[root] = bucket = set()
                 if index not in bucket:
                     bucket.add(index)
+                    journal((3, root, index))
                     moved += 1
             stats.watch_moves += moved
             # Interning this clause's terms may itself have merged classes.
@@ -905,6 +1120,7 @@ class _Search:
         stats = self.stats
         cfg = self.cfg
         eg = self.egraph
+        representative = eg.representative
         since = self.match_stamp if self.watched else 0
         round_gen = eg.bump_generation()
         round_no = stats.rounds
@@ -915,46 +1131,77 @@ class _Search:
         deferred_n = 0
         added = False
         recorded: List[Tuple] = []
-        for pair_idx, (clause, triggers) in enumerate(self.quantified):
+        for pair_idx, (clause, triggers, programs) in enumerate(self.quantified):
             if self.cancel is not None and self.cancel():
                 raise _Timeout()
             if time.monotonic() > self.deadline:
                 raise _Timeout()
             clause_vars = set(clause.vars())
             carried = self.deferred[pair_idx]
+            memo = self._inst_memo[pair_idx]
             fresh: Dict[Tuple, Tuple[Tuple, Tuple, Clause]] = {}
-            for trigger in triggers:
+            for ti, trigger in enumerate(triggers):
                 try:
-                    bindings = ematch(eg, trigger, since=since, deadline=self.deadline)
+                    if self.flat:
+                        prog = programs[ti]
+                        if prog is None:
+                            prog = programs[ti] = compiled_trigger(trigger)
+                        bindings = flat_ematch(
+                            eg, prog, since=since, deadline=self.deadline
+                        )
+                    else:
+                        bindings = ematch(
+                            eg, trigger, since=since, deadline=self.deadline
+                        )
                 except MatchTimeout:
                     raise _Timeout()
                 except EGraphConflict:
                     return True  # conflict will be picked up by propagation
                 bindings_n += len(bindings)
+                if not bindings:
+                    continue
+                tinfo = self._trig_info.get((pair_idx, ti))
+                if tinfo is None:
+                    names = sorted(bindings[0])
+                    tinfo = (not (set(names) < clause_vars), names)
+                    self._trig_info[(pair_idx, ti)] = tinfo
+                if not tinfo[0]:
+                    continue  # trigger does not bind everything
+                var_order = tinfo[1]
                 for bi, binding in enumerate(bindings):
                     if (bi & 255) == 0 and time.monotonic() > self.deadline:
                         raise _Timeout()
-                    terms = binding_to_terms(eg, binding)
-                    if set(terms) < clause_vars:
-                        continue  # trigger did not bind everything
-                    instance = clause.substitute(terms)
-                    key = self._clause_key(instance)
-                    if key in self.seen_instances or key in carried:
-                        dedup_n += 1
-                        continue
+                    # Binding values are class roots as of the enumeration,
+                    # and nothing between the match and this loop mutates
+                    # the E-graph (substitution and keying are pure term
+                    # work), so they need no re-canonicalization here.
                     # The admission order must not depend on the binding
                     # enumeration order (which differs between modes), so
                     # each candidate carries its binding signature — the
                     # bound class roots, which both modes compute against
                     # identical E-graph states.
-                    sig = tuple(eg.find(binding[v]) for v in sorted(binding))
+                    sig = tuple(binding[v] for v in var_order)
+                    reps = tuple(representative(node) for node in sig)
+                    entry = memo.get(reps)
+                    if entry is None:
+                        instance = clause.substitute(dict(zip(var_order, reps)))
+                        entry = (
+                            self._clause_key(instance),
+                            _render_key(instance),
+                            instance,
+                        )
+                        memo[reps] = entry
+                    key = entry[0]
+                    if key in self.seen_instances or key in carried:
+                        dedup_n += 1
+                        continue
                     prev = fresh.get(key)
                     if prev is not None:
                         dedup_n += 1
                         if sig < prev[0]:
-                            fresh[key] = (sig, _render_key(instance), instance)
+                            fresh[key] = (sig, entry[1], entry[2])
                         continue
-                    fresh[key] = (sig, _render_key(instance), instance)
+                    fresh[key] = (sig, entry[1], entry[2])
             if not fresh and not carried:
                 continue
             # Admit oldest structure first: sort by binding signature (class

@@ -66,6 +66,11 @@ class EGraph:
     def __init__(self, constructors: Optional[Iterable[str]] = None) -> None:
         self.constructors: FrozenSet[str] = frozenset(constructors or ())
         self.nodes: List[_Node] = []
+        #: Parallel node-id -> interned term list.  The prover's literal
+        #: cache validates node ids against this instead of fetching whole
+        #: ``_Node`` records; the flat kernel exposes the same list, which is
+        #: what lets ``core._Search`` stay kernel-agnostic.
+        self.node_terms: List[Term] = []
         self.term_to_node: Dict[Term, int] = {}
         self.parent: List[int] = []  # union-find parent
         self.rank: List[int] = []
@@ -92,6 +97,13 @@ class EGraph:
         #: disequality).  Consumers keep their own cursor; entries are never
         #: removed on ``pop``.
         self.events: List[int] = []
+        #: Python-level structural visits in the hot paths: one per term
+        #: node walked while interning plus one per ``_Node`` record fetched
+        #: during E-matching or congruence propagation.  The flat kernel
+        #: counts only the interning walks (its hot loops never touch the
+        #: object graph), so the benchmark race can assert it does strictly
+        #: less structural work.
+        self.struct_visits: int = 0
         # Interned booleans, pre-asserted distinct.
         t = self.add_term(TRUE)
         f = self.add_term(FALSE)
@@ -100,9 +112,25 @@ class EGraph:
     # -- union-find -----------------------------------------------------------
 
     def find(self, node_id: int) -> int:
-        while self.parent[node_id] != node_id:
-            node_id = self.parent[node_id]
-        return node_id
+        parent = self.parent
+        root = node_id
+        while parent[root] != root:
+            root = parent[root]
+        if parent[node_id] != root:
+            # Full path compression.  Every rewritten pointer is trailed:
+            # a compression edge can skip over a union recorded earlier in
+            # the current scope, and popping that union must not leave the
+            # shortcut behind (it would keep two classes merged that the
+            # pop just separated).  Restores are safe in trail order
+            # because each "parent" entry postdates the union it bypasses.
+            trail = self.trail
+            x = node_id
+            while parent[x] != root:
+                nxt = parent[x]
+                trail.append(("parent", x, nxt))
+                parent[x] = root
+                x = nxt
+        return root
 
     # -- term interning ---------------------------------------------------------
 
@@ -113,6 +141,7 @@ class EGraph:
             return existing
         if isinstance(term, LVar):
             raise ValueError(f"cannot intern non-ground term {term}")
+        self.struct_visits += 1
         if isinstance(term, IntConst):
             node_id = self._new_node(term, None, (), term.value)
             return node_id
@@ -136,6 +165,7 @@ class EGraph:
     def _new_node(self, term: Term, fn: Optional[str], args: Tuple[int, ...], int_value: Optional[int]) -> int:
         node_id = len(self.nodes)
         self.nodes.append(_Node(term, fn, args, int_value))
+        self.node_terms.append(term)
         self.parent.append(node_id)
         self.rank.append(0)
         self.class_members[node_id] = [node_id]
@@ -237,22 +267,35 @@ class EGraph:
         return self._ids_diseq(a, b)
 
     def _ids_diseq(self, a: int, b: int) -> bool:
-        ra, rb = self.find(a), self.find(b)
+        return self.relation_ids(a, b) == 0
+
+    def relation_ids(self, a: int, b: int) -> int:
+        """The class relation of two node ids: ``1`` equal, ``0`` provably
+        disequal, ``-1`` undetermined.  The single-query form the prover's
+        literal evaluation runs on (each id is canonicalized once; one-hop
+        lookups skip the full find)."""
+        parent = self.parent
+        ra = parent[a]
+        if ra != parent[ra]:
+            ra = self.find(a)
+        rb = parent[b]
+        if rb != parent[rb]:
+            rb = self.find(b)
         if ra == rb:
-            return False
+            return 1
         if rb in self.diseq.get(ra, ()):
-            return True
+            return 0
         # Theory-level disequality: distinct numerals / distinct constructors.
         va, vb = self.class_int.get(ra), self.class_int.get(rb)
         if va is not None and vb is not None and va != vb:
-            return True
+            return 0
         ca, cb = self.class_ctor.get(ra), self.class_ctor.get(rb)
         if ca is not None and cb is not None:
             if self.nodes[ca].fn != self.nodes[cb].fn:
-                return True
+                return 0
         if (va is not None and cb is not None) or (vb is not None and ca is not None):
-            return True
-        return False
+            return 0
+        return -1
 
     # -- merging ------------------------------------------------------------------
 
@@ -269,11 +312,23 @@ class EGraph:
                 )
             # Theory checks and propagation before the union.
             self._theory_premerge(rx, ry, pending, why)
-            self.events.append(rx)
-            self.events.append(ry)
             if self.rank[rx] < self.rank[ry]:
                 rx, ry = ry, rx
-            # ry is absorbed into rx.
+            # ry is absorbed into rx.  Wake policy: a watched pair's
+            # relation can only change through the absorbed class (log
+            # ry), or against the surviving class when it gains a theory
+            # annotation or a disequality from the absorbed one (log rx
+            # then) — inherited disequalities only ever pair a partner
+            # with rx's class, so rx's bucket covers them.  Skipping the
+            # surviving root otherwise keeps hub classes (e.g. TRUE's)
+            # from waking every watcher on every assert.
+            self.events.append(ry)
+            if (
+                (ry in self.class_int and rx not in self.class_int)
+                or (ry in self.class_ctor and rx not in self.class_ctor)
+                or self.diseq.get(ry)
+            ):
+                self.events.append(rx)
             self.trail.append(
                 (
                     "union",
@@ -297,8 +352,10 @@ class EGraph:
                 self.class_ctor[rx] = self.class_ctor[ry]
             if self._term_order(self.best_term[ry]) < self._term_order(self.best_term[rx]):
                 self.best_term[rx] = self.best_term[ry]
-            # Migrate disequalities.
-            for other in list(self.diseq.get(ry, ())):
+            # Migrate disequalities.  Iterated live: the loop never mutates
+            # ``diseq[ry]`` itself — ``other`` is never ``ry`` (a root is
+            # not disequal to itself) nor ``rx`` (that raised above).
+            for other in self.diseq.get(ry, ()):
                 was_in_rx = other in self.diseq.setdefault(rx, set())
                 self.diseq[other].discard(ry)
                 self.diseq[other].add(rx)
@@ -309,6 +366,7 @@ class EGraph:
             self.trail.append(("use_merge", rx, ry, len(self.use_list.get(rx, []))))
             self.use_list.setdefault(rx, []).extend(moved_parents)
             for p in moved_parents:
+                self.struct_visits += 1
                 node = self.nodes[p]
                 sig = (node.fn, tuple(self.find(c) for c in node.args))
                 other = self.sig_table.get(sig)
@@ -383,10 +441,14 @@ class EGraph:
         while len(self.trail) > mark:
             entry = self.trail.pop()
             kind = entry[0]
-            if kind == "node":
+            if kind == "parent":
+                _, x, old = entry
+                self.parent[x] = old
+            elif kind == "node":
                 _, term, node_id = entry
                 assert node_id == len(self.nodes) - 1
                 self.nodes.pop()
+                self.node_terms.pop()
                 self.parent.pop()
                 self.rank.pop()
                 del self.class_members[node_id]

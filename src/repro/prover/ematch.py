@@ -123,10 +123,13 @@ def _match_anywhere(
     if since > 0:
         candidates = egraph.nodes_with_fn_since(pattern.fn, since)
     else:
-        candidates = list(egraph.nodes_with_fn(pattern.fn))
+        # The live fn-index list: matching never interns terms, so the row
+        # cannot grow (or shrink) under the iteration — no defensive copy.
+        candidates = egraph.nodes_with_fn(pattern.fn)
     for node_id in candidates:
         if state is not None:
             state.check()
+        egraph.struct_visits += 1
         node = egraph.nodes[node_id]
         if len(node.args) != len(pattern.args):
             continue
@@ -150,6 +153,7 @@ def _match_in_class(egraph: EGraph, pattern: Term, root: int, binding: Binding) 
             yield binding
         return
     for member in egraph.members(root):
+        egraph.struct_visits += 1
         node = egraph.nodes[member]
         if node.fn != pattern.fn or len(node.args) != len(pattern.args):
             continue

@@ -1,0 +1,87 @@
+"""Kernel selection for the prover's e-graph substrate (docs/KERNELS.md).
+
+Two kernels implement the identical congruence-closure/E-matching
+algorithm:
+
+* ``"reference"`` — the original ``_Node``-object implementation in
+  :mod:`repro.prover.egraph` / :mod:`repro.prover.ematch`.  It is the
+  executable specification: readable, debuggable, and the baseline every
+  cross-check compares against.
+* ``"flat"`` — :mod:`repro.prover.kernels.flat`, struct-of-arrays storage
+  where e-nodes are integer ids.  Byte-identical to the reference
+  suite-wide (tests/test_kernels.py) but with flat-array hot loops, and
+  optionally compiled to a C extension via ``pip install repro[compiled]``.
+
+The two kernels never change verdicts, contexts, logs, or search counters
+— only speed — so the choice is excluded from the proof-cache fingerprint
+and backend identity on purpose: cache entries replay across a kernel
+switch (tests/test_kernels.py pins this).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.prover.egraph import EGraph
+from repro.prover.kernels import flat as _flat
+from repro.prover.kernels.flat import (
+    FlatEGraph,
+    FlatProgram,
+    compile_trigger,
+    compiled_trigger,
+    flat_ematch,
+)
+
+#: Recognized values for ``ProverConfig.kernel`` / ``--kernel``.
+KERNEL_NAMES = ("flat", "reference")
+
+DEFAULT_KERNEL = "flat"
+
+
+def make_egraph(kernel: str, constructors: Optional[Iterable[str]] = None):
+    """Instantiate the e-graph for the named kernel."""
+    if kernel == "flat":
+        return FlatEGraph(constructors)
+    if kernel == "reference":
+        return EGraph(constructors)
+    raise ValueError(
+        f"unknown kernel {kernel!r} (expected one of {KERNEL_NAMES})"
+    )
+
+
+def flat_is_compiled() -> bool:
+    """True when the flat kernel module is a compiled extension.
+
+    mypyc and Cython both install the compiled module as a ``.so``/``.pyd``
+    that shadows the pure-Python source; checking the loaded module's file
+    suffix is therefore toolchain-agnostic."""
+    fname = getattr(_flat, "__file__", "") or ""
+    if fname.endswith((".so", ".pyd")):
+        return True
+    # mypyc keeps ``__file__`` pointing at the shim .py but marks the
+    # module with a compiled flag.
+    return bool(getattr(_flat, "__mypyc_attrs__", None))
+
+
+def kernel_identity(kernel: str) -> str:
+    """Human-readable kernel identity for --version / --prover-stats."""
+    if kernel == "reference":
+        return "reference/object-graph"
+    if kernel == "flat":
+        return "flat/compiled" if flat_is_compiled() else "flat/pure-python"
+    return f"{kernel}/unknown"
+
+
+__all__ = [
+    "KERNEL_NAMES",
+    "DEFAULT_KERNEL",
+    "EGraph",
+    "FlatEGraph",
+    "FlatProgram",
+    "compile_trigger",
+    "compiled_trigger",
+    "flat_ematch",
+    "make_egraph",
+    "flat_is_compiled",
+    "kernel_identity",
+]

@@ -1,0 +1,433 @@
+"""Cross-checks between the flat integer-id kernel and the reference e-graph.
+
+The flat kernel (struct-of-arrays congruence closure + compiled trigger
+programs, ``src/repro/prover/kernels/``) is a re-representation of the
+reference ``_Node`` object graph, not a different prover: both must return
+byte-identical results — same verdicts, same counterexample contexts, same
+round-by-round instance admissions, same search counters — while the flat
+kernel performs strictly fewer Python-level structural visits.  These tests
+pin that contract (docs/KERNELS.md):
+
+* obligation-level cross-checks over the shipped optimization suite
+  (fast subset always; the full suite under ``-m slow``), comparing report
+  fingerprints, search fingerprints, and structural-visit counts;
+* 50 seeded-random goals with round-instance recording;
+* every stored fuzzing-corpus entry replayed under both kernels, with the
+  known-unsound rules additionally cross-checked fingerprint-for-fingerprint;
+* randomized union-find/arena traces (add_term / assert_eq / assert_diseq /
+  push / pop) compared state-for-state between the two substrates;
+* proof-cache hits must survive a kernel switch: the kernel is excluded
+  from the cache fingerprint *because* results are byte-identical, and the
+  schema version must not change for a pure re-representation.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.api import ProverOptions, VerifyOptions
+from repro.fuzz import DEFAULT_CORPUS_DIR, load_entries, replay_entry
+from repro.fuzz.campaign import FRONTIER_PROVER_OPTIONS
+from repro.logic.formulas import And, Eq, Implies, Pred
+from repro.logic.terms import App, IntConst
+from repro.opts import ALL_OPTIMIZATIONS, taintedness_analysis
+from repro.prover import Prover, ProverConfig
+from repro.prover.egraph import EGraph
+from repro.prover.kernels import (
+    KERNEL_NAMES,
+    FlatEGraph,
+    compile_trigger,
+    kernel_identity,
+    make_egraph,
+)
+from repro.verify import SoundnessChecker
+from repro.verify.cache import SCHEMA_VERSION, config_fingerprint
+
+from tests.test_prover_incremental import (
+    FAST_OPTS,
+    _explosive_setup,
+    _GoalGen,
+    _random_theory,
+    _report_fingerprint,
+)
+
+KERNELS = ("reference", "flat")
+
+
+# ---------------------------------------------------------------------------
+# Obligation-level byte-identity over the shipped suite.
+# ---------------------------------------------------------------------------
+
+
+def _check_kernels(opt):
+    fps, stats = {}, {}
+    for kernel in KERNELS:
+        checker = SoundnessChecker(
+            config=ProverConfig(timeout_s=120.0, kernel=kernel)
+        )
+        report = checker.check_optimization(opt)
+        fps[kernel] = _report_fingerprint(report)
+        stats[kernel] = report.prover_stats()
+    assert fps["reference"] == fps["flat"], f"{opt.name}: kernels disagree"
+    # The search itself must be the same search: every counter that drives
+    # or observes control flow coincides...
+    assert (
+        stats["reference"].search_fingerprint()
+        == stats["flat"].search_fingerprint()
+    ), f"{opt.name}: search counters diverged"
+    # ...while the flat kernel touches strictly fewer Python-level objects
+    # (the tentpole's perf claim, stated as an invariant).
+    assert stats["flat"].struct_visits < stats["reference"].struct_visits, (
+        f"{opt.name}: flat visits {stats['flat'].struct_visits} "
+        f">= reference visits {stats['reference'].struct_visits}"
+    )
+
+
+@pytest.mark.parametrize("opt", FAST_OPTS, ids=lambda o: o.name)
+def test_kernels_identical_fast(opt):
+    _check_kernels(opt)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("opt", ALL_OPTIMIZATIONS, ids=lambda o: o.name)
+def test_kernels_identical_full_suite(opt):
+    _check_kernels(opt)
+
+
+@pytest.mark.slow
+def test_kernels_identical_analysis():
+    fps = {}
+    for kernel in KERNELS:
+        checker = SoundnessChecker(
+            config=ProverConfig(timeout_s=120.0, kernel=kernel)
+        )
+        fps[kernel] = _report_fingerprint(
+            checker.check_analysis(taintedness_analysis)
+        )
+    assert fps["reference"] == fps["flat"]
+
+
+# ---------------------------------------------------------------------------
+# Seeded-random goals: verdict, context, rounds, and counters per kernel.
+# ---------------------------------------------------------------------------
+
+
+def _prove_both_kernels(goal, axioms=(), cfg_kw=None):
+    kw = dict(timeout_s=20.0, record_round_instances=True)
+    kw.update(cfg_kw or {})
+    out = {}
+    for kernel in KERNELS:
+        prover = Prover(list(axioms), config=ProverConfig(kernel=kernel, **kw))
+        result = prover.prove(goal)
+        rounds = [sorted(r) for r in (result.round_instances or [])]
+        out[kernel] = (
+            result.status,
+            tuple(result.context),
+            rounds,
+            result.stats.search_fingerprint(),
+        )
+    assert out["reference"] == out["flat"], "kernels diverged"
+    return out["reference"]
+
+
+def test_random_goals_identical():
+    """50 seeded-random goals: same verdict, context, rounds, counters."""
+    theory = _random_theory()
+    proved = 0
+    for seed in range(50):
+        gen = _GoalGen(seed)
+        goal = gen.formula()
+        if seed % 2:
+            other = gen.formula()
+            goal = Implies(And((goal, Implies(goal, other))), other)
+        status, _, _, _ = _prove_both_kernels(
+            goal,
+            theory,
+            cfg_kw=dict(max_rounds=4, max_instances=500, timeout_s=10.0),
+        )
+        proved += status.name == "PROVED"
+    assert 0 < proved < 50
+
+
+def test_quantified_goal_rounds_identical():
+    """A goal whose proof needs instantiation rounds, both kernels."""
+    from repro.logic.terms import LVar
+    from repro.logic.formulas import Forall
+
+    x, y = LVar("x"), LVar("y")
+    f = lambda t: App("f", (t,))
+    axioms = [
+        Forall(("x",), Implies(Pred("P", (x,)), Pred("P", (f(x),)))),
+        Forall(
+            ("x", "y"),
+            Implies(And((Pred("P", (x,)), Eq(f(x), f(y)))), Pred("Q", (y,))),
+        ),
+    ]
+    goal = Implies(Pred("P", (App("a"),)), Pred("Q", (f(App("a")),)))
+    status, _, rounds, _ = _prove_both_kernels(goal, axioms)
+    assert status.name == "PROVED"
+    assert rounds, "instantiation rounds were recorded"
+
+
+# ---------------------------------------------------------------------------
+# Fuzzing corpus: every stored failure replays identically per kernel.
+# ---------------------------------------------------------------------------
+
+ENTRIES = load_entries(DEFAULT_CORPUS_DIR)
+
+
+def _kernel_verify_options(kernel):
+    return VerifyOptions(
+        prover=replace(FRONTIER_PROVER_OPTIONS, kernel=kernel)
+    )
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize(
+    "path,entry", ENTRIES, ids=[p.name for p, _ in ENTRIES]
+)
+def test_corpus_replays_per_kernel(path, entry, kernel):
+    ok, detail = replay_entry(entry, _kernel_verify_options(kernel))
+    assert ok, f"{path.name} [{kernel}]: {detail}"
+
+
+@pytest.mark.parametrize(
+    "path,entry",
+    [(p, e) for p, e in ENTRIES if e.kind == "unsound-rule"],
+    ids=[p.name for p, e in ENTRIES if e.kind == "unsound-rule"],
+)
+def test_corpus_unsound_rules_fingerprint_identical(path, entry):
+    """Known-unsound rules: the rejection report is byte-identical."""
+    from repro.api import check_optimization
+    from repro.fuzz.rules import rule_from_json
+
+    rule = rule_from_json(entry.data["rule"])
+    fps = {}
+    for kernel in KERNELS:
+        report = check_optimization(rule, _kernel_verify_options(kernel))
+        assert not report.sound, f"{path.name} [{kernel}]: now proves SOUND"
+        fps[kernel] = _report_fingerprint(report)
+    assert fps["reference"] == fps["flat"], f"{path.name}: kernels disagree"
+
+
+# ---------------------------------------------------------------------------
+# Randomized substrate traces: the two e-graphs, state for state.
+#
+# The prover-level tests above exercise the kernels through one search
+# policy; this drives the substrates directly with operation sequences the
+# search would never emit (deep push/pop nests, disequalities between
+# interior terms, redundant asserts), comparing every observable after
+# every operation.
+# ---------------------------------------------------------------------------
+
+_TRACE_CONSTRUCTORS = ("nil", "cons")
+
+
+class _TraceGen:
+    """Seeded random ground terms over a vocabulary with numerals,
+    constructors, and interpreted arithmetic heads."""
+
+    def __init__(self, seed):
+        self.rng = random.Random(seed)
+        self.consts = [App(n) for n in "abcd"]
+
+    def term(self, depth=2):
+        r = self.rng
+        if depth == 0 or r.random() < 0.45:
+            roll = r.random()
+            if roll < 0.5:
+                return r.choice(self.consts)
+            if roll < 0.8:
+                return IntConst(r.randrange(3))
+            return App("nil")
+        fn = r.choice(["f", "g", "pair", "cons", "add"])
+        if fn in ("pair", "cons", "add"):
+            return App(fn, (self.term(depth - 1), self.term(depth - 1)))
+        return App(fn, (self.term(depth - 1),))
+
+
+def _observables(eg, probe_terms):
+    """Everything a client can see, in kernel-independent form."""
+    n = len(eg.node_terms)
+    finds = tuple(eg.find(i) for i in range(n))
+    classes = {}
+    for i, root in enumerate(finds):
+        classes.setdefault(root, []).append(i)
+    membership = frozenset(frozenset(v) for v in classes.values())
+    ints = tuple(eg.class_int_value(root) for root in sorted(classes))
+    reprs = tuple(str(eg.representative(root)) for root in sorted(classes))
+    pairs = []
+    for i in range(0, len(probe_terms) - 1, 2):
+        t1, t2 = probe_terms[i], probe_terms[i + 1]
+        pairs.append((eg.are_equal(t1, t2), eg.are_diseq(t1, t2)))
+    return (
+        n,
+        finds,
+        membership,
+        ints,
+        reprs,
+        tuple(eg.events),
+        eg.generation,
+        eg.conflict,
+        tuple(pairs),
+    )
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_traces_identical(seed):
+    gen = _TraceGen(seed)
+    rng = gen.rng
+    ref = EGraph(constructors=_TRACE_CONSTRUCTORS)
+    flat = FlatEGraph(constructors=_TRACE_CONSTRUCTORS)
+    added = []
+    depth = 0
+    for step in range(120):
+        roll = rng.random()
+        if roll < 0.35 or not added:
+            t = gen.term()
+            added.append(t)
+            assert ref.add_term(t) == flat.add_term(t)
+        elif roll < 0.60:
+            t1, t2 = rng.choice(added), rng.choice(added)
+            assert ref.assert_eq(t1, t2) == flat.assert_eq(t1, t2)
+        elif roll < 0.75:
+            t1, t2 = rng.choice(added), rng.choice(added)
+            assert ref.assert_diseq(t1, t2) == flat.assert_diseq(t1, t2)
+        elif roll < 0.85:
+            ref.push()
+            flat.push()
+            depth += 1
+        elif roll < 0.95 and depth:
+            ref.pop()
+            flat.pop()
+            depth -= 1
+        else:
+            assert ref.bump_generation() == flat.bump_generation()
+        probes = [rng.choice(added) for _ in range(6)] if added else []
+        assert _observables(ref, probes) == _observables(flat, probes), (
+            f"seed {seed}: state diverged after step {step}"
+        )
+    # Unwind every remaining scope: pop must restore both substrates to
+    # the same (still mutually identical) state.
+    while depth:
+        ref.pop()
+        flat.pop()
+        depth -= 1
+        probes = [rng.choice(added) for _ in range(6)]
+        assert _observables(ref, probes) == _observables(flat, probes)
+
+
+def test_members_agree_as_sets():
+    """Member iteration order may differ (circular cycle vs list); the sets
+    must not."""
+    gen = _TraceGen(99)
+    ref = EGraph(constructors=_TRACE_CONSTRUCTORS)
+    flat = FlatEGraph(constructors=_TRACE_CONSTRUCTORS)
+    terms = [gen.term(3) for _ in range(30)]
+    for t in terms:
+        ref.add_term(t)
+        flat.add_term(t)
+    for i in range(0, 28, 2):
+        ref.assert_eq(terms[i], terms[i + 1])
+        flat.assert_eq(terms[i], terms[i + 1])
+    for i in range(len(ref.node_terms)):
+        assert set(ref.members(ref.find(i))) == set(flat.members(flat.find(i)))
+
+
+# ---------------------------------------------------------------------------
+# Timeout enforcement inside the flat matcher.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_timeout_enforced_mid_match(kernel):
+    import time
+
+    axioms, goal = _explosive_setup()
+    cfg = ProverConfig(
+        timeout_s=0.2, max_rounds=50, max_instances=500_000, kernel=kernel
+    )
+    prover = Prover(axioms, config=cfg)
+    start = time.monotonic()
+    result = prover.prove(goal)
+    elapsed = time.monotonic() - start
+    assert not result.proved
+    assert elapsed < 5.0, f"prove() took {elapsed:.2f}s against timeout_s=0.2"
+    assert any("resource limit" in line for line in result.context)
+
+
+# ---------------------------------------------------------------------------
+# Cache identity: the kernel must be invisible to the proof cache.
+# ---------------------------------------------------------------------------
+
+
+def test_cache_schema_and_fingerprint_exclude_kernel():
+    assert SCHEMA_VERSION == 4, (
+        "kernel selection changed the cache schema; a pure re-representation "
+        "must not invalidate existing caches"
+    )
+    assert config_fingerprint(
+        ProverConfig(kernel="flat")
+    ) == config_fingerprint(ProverConfig(kernel="reference"))
+
+
+def test_cache_hits_survive_kernel_switch(tmp_path):
+    by_name = {o.name: o for o in ALL_OPTIMIZATIONS}
+    opt = by_name["constProp"]
+    first = SoundnessChecker(
+        options=VerifyOptions(
+            cache_dir=str(tmp_path),
+            prover=ProverOptions(kernel="flat", timeout_s=120.0),
+        )
+    )
+    report_flat = first.check_optimization(opt)
+    assert first.cache is not None and first.cache.stats.stores > 0
+    second = SoundnessChecker(
+        options=VerifyOptions(
+            cache_dir=str(tmp_path),
+            prover=ProverOptions(kernel="reference", timeout_s=120.0),
+        )
+    )
+    report_ref = second.check_optimization(opt)
+    assert second.cache.stats.hits > 0, "kernel switch lost every cache hit"
+    assert second.cache.stats.misses == 0, (
+        "some obligations re-proved after a kernel switch"
+    )
+    assert _report_fingerprint(report_flat) == _report_fingerprint(report_ref)
+
+
+# ---------------------------------------------------------------------------
+# Kernel plumbing: registry, identities, trigger compilation errors.
+# ---------------------------------------------------------------------------
+
+
+def test_make_egraph_and_identities():
+    assert set(KERNELS) == set(KERNEL_NAMES)
+    assert isinstance(make_egraph("reference", _TRACE_CONSTRUCTORS), EGraph)
+    assert isinstance(make_egraph("flat", _TRACE_CONSTRUCTORS), FlatEGraph)
+    with pytest.raises(ValueError):
+        make_egraph("turbo", ())
+    assert kernel_identity("reference") == "reference/object-graph"
+    assert kernel_identity("flat").startswith("flat/")
+    with pytest.raises(ValueError):
+        Prover([], config=ProverConfig(kernel="turbo")).prove(
+            Eq(App("a"), App("a"))
+        )
+
+
+def test_stats_report_kernel_identity():
+    for kernel in KERNELS:
+        prover = Prover([], config=ProverConfig(kernel=kernel))
+        result = prover.prove(Eq(App("a"), App("a")))
+        assert result.stats.kernel == kernel_identity(kernel)
+        assert kernel_identity(kernel) in result.stats.table()
+        assert "structural visits" in result.stats.table()
+
+
+def test_compile_trigger_rejects_bare_variable():
+    from repro.logic.terms import LVar
+
+    eg = FlatEGraph()
+    with pytest.raises(ValueError, match="bare variable"):
+        compile_trigger(eg, (LVar("x"),))
