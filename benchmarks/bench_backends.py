@@ -41,6 +41,7 @@ _PROVER = ProverOptions(timeout_s=120.0)
 _INTERNAL = {}   # name -> (elapsed_s, canonical)
 _PORTFOLIO = {}  # name -> (elapsed_s, canonical)
 _SMTLIB = {}     # name -> (proved_obligations, conclusive, agree)
+_SESSION = {}    # name -> row dict (session vs per-process discipline)
 _SOLVER = {"cmd": None, "real": False}
 
 
@@ -125,6 +126,102 @@ def test_smtlib_agreement_row(opt):
     _SMTLIB[opt.name] = (proved, conclusive, True)
 
 
+@pytest.fixture(scope="module")
+def dual_solver(tmp_path_factory):
+    """A scripted solver speaking *both* process disciplines.
+
+    The session rows compare solver-process disciplines, not solver
+    strength, so they always run against this deterministic stand-in: it
+    answers ``unsat`` whether given a script path (spawn-per-script) or
+    driven incrementally over stdin (session).  The per-query cost is the
+    interpreter spawn itself — exactly the overhead sessions amortize."""
+    script = tmp_path_factory.mktemp("dual-solver") / "dual.py"
+    script.write_text(
+        "import sys\n"
+        "if len(sys.argv) > 1:\n"
+        "    print('unsat')\n"
+        "else:\n"
+        "    for raw in sys.stdin:\n"
+        "        line = raw.strip()\n"
+        "        if line.startswith('(check-sat'):\n"
+        "            print('unsat', flush=True)\n"
+        "        elif line.startswith('(echo'):\n"
+        "            print(line.split('\"')[1], flush=True)\n"
+        "        elif line.startswith('(exit'):\n"
+        "            break\n"
+    )
+    return (sys.executable, str(script))
+
+
+@pytest.mark.parametrize("opt", _ROWS, ids=lambda o: o.name)
+def test_session_row(benchmark, dual_solver, opt):
+    """E9 session rows: warm sessions vs spawn-per-script, same verdicts."""
+    row = {"optimization": opt.name}
+    canonical = {}
+
+    def leg(session: bool):
+        options = VerifyOptions(
+            backend="smtlib",
+            solver_cmd=dual_solver,
+            solver_session=session,
+            prover=_PROVER,
+        )
+        checker = SoundnessChecker(options=options)
+        start = time.monotonic()
+        report = checker.check_optimization(opt)
+        elapsed = time.monotonic() - start
+        backend = checker.backend
+        stats = dict(
+            elapsed_s=elapsed,
+            spawns=backend.process_spawns,
+            queries=backend.session_queries
+            if session
+            else backend.runner.spawns,
+            fallback=backend.fallback_queries,
+        )
+        canonical[session] = report.canonical()
+        backend.close()
+        return stats
+
+    out = {}
+
+    def run():
+        out["session"] = leg(True)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    perproc = leg(False)
+    session = out["session"]
+    assert canonical[True] == canonical[False], (
+        f"{opt.name}: session and spawn-per-script reports disagree"
+    )
+    assert session["fallback"] == 0, "a healthy session never degrades"
+    row.update(
+        session_s=round(session["elapsed_s"], 4),
+        perproc_s=round(perproc["elapsed_s"], 4),
+        session_spawns=session["spawns"],
+        perproc_spawns=perproc["spawns"],
+        queries=session["queries"],
+    )
+    _SESSION[opt.name] = row
+
+
+def test_yy_session_discipline():
+    """Warm sessions strictly beat spawn-per-script on spawns and time."""
+    assert _SESSION, "run the session row benchmarks first"
+    session_spawns = sum(r["session_spawns"] for r in _SESSION.values())
+    perproc_spawns = sum(r["perproc_spawns"] for r in _SESSION.values())
+    assert session_spawns < perproc_spawns, (
+        f"sessions spawned {session_spawns} processes vs "
+        f"{perproc_spawns} per-script — amortization is broken"
+    )
+    session_total = sum(r["session_s"] for r in _SESSION.values())
+    perproc_total = sum(r["perproc_s"] for r in _SESSION.values())
+    assert session_total < perproc_total, (
+        f"sessions took {session_total:.2f}s vs {perproc_total:.2f}s "
+        f"per-script — the warm process is not paying for itself"
+    )
+
+
 def test_yy_portfolio_overhead():
     """The headline assertion: portfolio ≤ 1.1× internal wall time."""
     assert set(_INTERNAL) == set(_PORTFOLIO), "run the row benchmarks first"
@@ -175,4 +272,51 @@ def test_zz_report(benchmark):
             )
     else:
         lines.append("smtlib agreement rows skipped: no SMT solver installed")
-    emit("E9_backend_race", "\n".join(lines))
+    if _SESSION:
+        lines.append("")
+        lines.append(
+            "=== session vs spawn-per-script (scripted dual-mode stand-in) ==="
+        )
+        lines.append(
+            f"{'optimization':24s} {'session':>9s} {'perproc':>9s} "
+            f"{'spawns':>13s} {'queries':>8s}"
+        )
+        for name in sorted(_SESSION):
+            row = _SESSION[name]
+            lines.append(
+                f"{name:24s} {row['session_s']:8.2f}s {row['perproc_s']:8.2f}s "
+                f"{row['session_spawns']:5d} vs {row['perproc_spawns']:4d} "
+                f"{row['queries']:8d}"
+            )
+        session_total = sum(r["session_s"] for r in _SESSION.values())
+        perproc_total = sum(r["perproc_s"] for r in _SESSION.values())
+        lines.append(
+            f"total: session {session_total:.2f}s "
+            f"({sum(r['session_spawns'] for r in _SESSION.values())} spawns), "
+            f"per-process {perproc_total:.2f}s "
+            f"({sum(r['perproc_spawns'] for r in _SESSION.values())} spawns)"
+        )
+    emit(
+        "E9_backend_race",
+        "\n".join(lines),
+        rows=[
+            dict(
+                optimization=name,
+                internal_s=round(_INTERNAL[name][0], 4),
+                portfolio_s=round(_PORTFOLIO[name][0], 4),
+                agree=_INTERNAL[name][1] == _PORTFOLIO[name][1],
+                **{
+                    k: v
+                    for k, v in _SESSION.get(name, {}).items()
+                    if k != "optimization"
+                },
+            )
+            for name in sorted(_INTERNAL)
+        ],
+        config=dict(
+            external_leg=solver,
+            real_solver=_SOLVER["real"],
+            prover_timeout_s=_PROVER.timeout_s,
+            rows=sorted(_INTERNAL),
+        ),
+    )

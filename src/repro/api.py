@@ -101,6 +101,13 @@ class VerifyOptions:
     solver_cmd: Optional[Union[str, Tuple[str, ...]]] = None
     #: hard wall-clock limit per solver invocation (kill-on-timeout)
     solver_timeout_s: float = 30.0
+    #: keep one warm, incremental solver session per backend/worker (the
+    #: shared prelude asserted once, each case in a push/pop scope) instead
+    #: of spawning a solver subprocess per obligation case; verdicts and
+    #: reports are identical either way (docs/BACKENDS.md)
+    solver_session: bool = False
+    #: recycle a session's solver process after this many queries (0 = never)
+    max_session_queries: int = 0
     #: obligation-level process-pool width (1 = serial)
     jobs: int = 1
     #: persistent proof-cache location (directory or .json file)
@@ -126,6 +133,8 @@ class VerifyOptions:
             name=self.backend,
             solver_cmd=self.solver_cmd,
             solver_timeout_s=self.solver_timeout_s,
+            session=self.solver_session,
+            max_session_queries=self.max_session_queries,
         )
 
     def prover_config(self) -> ProverConfig:

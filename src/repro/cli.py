@@ -137,6 +137,8 @@ def build_verify_options(args):
         backend=backend,
         solver_cmd=args.solver_cmd,
         solver_timeout_s=args.solver_timeout,
+        solver_session=args.solver_session,
+        max_session_queries=args.max_session_queries,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         prover=ProverOptions(
@@ -402,6 +404,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="hard wall-clock limit per external solver "
                              "invocation; overrunning solvers are killed "
                              "(default: 30s)")
+    parser.add_argument("--solver-session", action="store_true",
+                        help="keep one warm incremental solver session per "
+                             "backend/worker (prelude asserted once, each "
+                             "case in a push/pop scope) instead of one "
+                             "solver subprocess per obligation case; "
+                             "verdicts and reports are identical either way")
+    parser.add_argument("--max-session-queries", type=int, default=0,
+                        metavar="N",
+                        help="recycle a solver session's process after N "
+                             "queries (default: 0, never)")
     parser.add_argument("--prover-mode", choices=("incremental", "reference"),
                         default="incremental",
                         help="internal proof-search loop: incremental "

@@ -17,10 +17,13 @@ from repro.prover.backends.base import (
 from repro.prover.backends.internal import InternalBackend
 from repro.prover.backends.portfolio import PortfolioBackend
 from repro.prover.backends.smtlib import (
+    SessionBroken,
     SmtLibBackend,
     SolverOutcome,
     SolverRunner,
+    SolverSession,
     parse_solver_output,
+    session_argv,
     solver_version,
 )
 
@@ -30,13 +33,16 @@ __all__ = [
     "InternalBackend",
     "PortfolioBackend",
     "ProverBackend",
+    "SessionBroken",
     "SmtLibBackend",
     "SolverOutcome",
     "SolverRunner",
+    "SolverSession",
     "build_internal_prover",
     "discover_solver",
     "parse_solver_output",
     "resolve_backend",
+    "session_argv",
     "solver_version",
     "worker_spec",
 ]

@@ -92,6 +92,15 @@ class BackendSpec:
     #: Ask the solver for a model on ``sat`` (reported as the obligation's
     #: counterexample context).
     want_model: bool = True
+    #: Drive one persistent incremental solver session per backend instead
+    #: of spawning a subprocess per obligation case: the shared prelude is
+    #: asserted once, each case runs inside ``(push 1)``/``(pop 1)``.
+    #: Session reuse never changes verdicts or cache keys — any session
+    #: anomaly degrades that query to the spawn-per-script path.
+    session: bool = False
+    #: Recycle the session process after this many queries (0 = never);
+    #: bounds memory growth of long-lived solver processes.
+    max_session_queries: int = 0
 
     def __post_init__(self) -> None:
         if self.name not in BACKEND_NAMES:

@@ -106,8 +106,24 @@ class PortfolioBackend:
             return internal_result
 
         # Internal gave up (or was cancelled by an external verdict): the
-        # external racer gets the remainder of its own budget.
-        budget = getattr(self.external.spec, "solver_timeout_s", 30.0)
+        # external racer gets the remainder of its own budget.  That budget
+        # is *per case*: a kind-split obligation runs one solver query per
+        # statement kind, so waiting only one ``solver_timeout_s`` would
+        # under-wait multi-case obligations and discard near-finished
+        # external work.  The session path additionally gets one extra
+        # per-case unit of headroom for respawn-and-replay recovery.
+        from repro.verify import encode as E
+
+        spec = getattr(self.external, "spec", None)
+        per_case = getattr(spec, "solver_timeout_s", 30.0)
+        ncases = (
+            len(E.STMT_KINDS)
+            if getattr(obligation, "split_term", None) is not None
+            else 1
+        )
+        budget = per_case * ncases
+        if getattr(spec, "session", False):
+            budget += per_case
         remaining = max(0.0, budget - (time.monotonic() - start)) + 1.0
         external_done.wait(timeout=remaining)
         stop_external.set()

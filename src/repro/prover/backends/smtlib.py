@@ -7,6 +7,17 @@ emitted as ``(set-logic UF)`` scripts (:mod:`repro.verify.smtlib`) and fed
 to a solver subprocess (``z3``, ``cvc5``, or anything that reads a script
 path and prints ``sat``/``unsat``/``unknown``).
 
+Two process disciplines ship (docs/BACKENDS.md):
+
+* **spawn-per-script** (:class:`SolverRunner`, the default) — one solver
+  subprocess per obligation case, the whole script re-asserted each time;
+* **persistent sessions** (:class:`SolverSession`, ``spec.session``) — one
+  warm ``z3 -in``/``cvc5 --incremental`` process per backend, the fixed IL
+  axiomatization asserted once, each case discharged inside
+  ``(push 1)``/``(pop 1)``; crashes and wedges respawn-and-replay, with
+  the spawn-per-script runner as the recovery path, so verdicts (and
+  canonical reports, and proof-cache keys) are identical either way.
+
 Process discipline, in order of paranoia:
 
 * every invocation gets a **hard wall-clock deadline**; an overrunning
@@ -30,9 +41,11 @@ abstraction); ``unknown``/timeout/error mean *not proved, inconclusive*.
 from __future__ import annotations
 
 import os
+import queue
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
@@ -71,8 +84,10 @@ def parse_solver_output(text: str) -> Tuple[Optional[str], Tuple[str, ...]]:
 
     The verdict is the first line that *is* a status token (solvers print
     warnings and, after ``(get-model)`` on unsat, error S-expressions; both
-    are ignored).  Model lines are everything after a ``sat`` verdict that
-    is not an error line."""
+    are ignored).  Model lines are everything after a ``sat`` verdict —
+    and *only* after ``sat`` — that is not an error line: trailing chatter
+    after ``unsat``/``unknown`` (``(error "no model")`` spam, statistics) is
+    not a model and must never be attached to the outcome."""
     verdict: Optional[str] = None
     model: List[str] = []
     for line in text.splitlines():
@@ -81,18 +96,27 @@ def parse_solver_output(text: str) -> Tuple[Optional[str], Tuple[str, ...]]:
             if stripped in _STATUS_TOKENS:
                 verdict = stripped
             continue
+        if verdict != "sat":
+            break
         if stripped and not stripped.startswith("(error"):
             model.append(line.rstrip())
     return verdict, tuple(model[:_MAX_MODEL_LINES])
 
 
 def solver_version(cmd: Sequence[str], *, timeout_s: float = 5.0) -> str:
-    """Best-effort version probe of a solver command (cached per process)."""
+    """Best-effort version probe of a solver command.
+
+    Successful probes are cached per process; a *failed* probe returns
+    ``"unknown"`` without caching it, so a transient failure (a briefly
+    overloaded machine, a blip in process spawning) does not permanently
+    brand the solver unidentifiable — ``"unknown"`` flows into
+    :meth:`SmtLibBackend.identity` and hence into proof-cache scoping
+    (:mod:`repro.verify.cache` treats ``version=unknown`` external proofs
+    as config-scoped precisely because the build is unidentified)."""
     key = tuple(cmd)
     hit = _VERSION_CACHE.get(key)
     if hit is not None:
         return hit
-    version = "unknown"
     for argv in (list(cmd) + ["--version"], [cmd[0], "--version"]):
         try:
             probe = subprocess.run(
@@ -107,9 +131,9 @@ def solver_version(cmd: Sequence[str], *, timeout_s: float = 5.0) -> str:
         first = next((l.strip() for l in probe.stdout.splitlines() if l.strip()), "")
         if probe.returncode == 0 and first:
             version = first[:120]
-            break
-    _VERSION_CACHE[key] = version
-    return version
+            _VERSION_CACHE[key] = version
+            return version
+    return "unknown"
 
 
 _VERSION_CACHE: dict = {}
@@ -130,6 +154,8 @@ class SolverRunner:
         self.timeout_s = timeout_s
         self.retries = max(0, int(retries))
         self.backoff_s = backoff_s
+        #: solver processes spawned over this runner's lifetime (E9 rows)
+        self.spawns = 0
 
     # -- one attempt -------------------------------------------------------
 
@@ -145,6 +171,7 @@ class SolverRunner:
             stderr=subprocess.PIPE,
             text=True,
         )
+        self.spawns += 1
         deadline = time.monotonic() + self.timeout_s
         why = ""
         while True:
@@ -218,7 +245,9 @@ class SolverRunner:
                 if verdict is not None:
                     return SolverOutcome(
                         verdict,
-                        model=model,
+                        # model text is meaningful only alongside ``sat``;
+                        # trailing output after any other verdict is noise.
+                        model=model if verdict == "sat" else (),
                         elapsed_s=time.monotonic() - start,
                         attempts=attempts,
                     )
@@ -243,6 +272,15 @@ class SolverRunner:
                         elapsed_s=time.monotonic() - start,
                         attempts=attempts,
                     )
+                # A decided race must not idle in backoff against a crashing
+                # solver: consult the cancellation hook before every retry.
+                if cancel is not None and cancel():
+                    return SolverOutcome(
+                        "cancelled",
+                        "race already decided (during retry backoff)",
+                        elapsed_s=time.monotonic() - start,
+                        attempts=attempts,
+                    )
                 if self.backoff_s > 0:
                     time.sleep(self.backoff_s * (2 ** (attempts - 1)))
         finally:
@@ -252,8 +290,284 @@ class SolverRunner:
                 pass
 
 
+# ---------------------------------------------------------------------------
+# Persistent incremental sessions
+# ---------------------------------------------------------------------------
+
+
+def session_argv(cmd: Sequence[str]) -> Tuple[str, ...]:
+    """The argv that runs ``cmd``'s solver as an incremental stdin session.
+
+    Known solvers get their incremental flag appended (``z3 -in``,
+    ``cvc5 --incremental``, the bundled z3shim's ``--session``); anything
+    else — scripted fake solvers in the tests, custom wrappers — is assumed
+    to read SMT-LIB2 from stdin already."""
+    cmd = tuple(cmd)
+    base = os.path.basename(cmd[0])
+    if base.startswith("z3"):
+        return cmd + ("-in",)
+    if base.startswith("cvc"):
+        return cmd + ("--incremental",)
+    if any("z3shim" in part for part in cmd):
+        return cmd + ("--session",)
+    return cmd
+
+
+class SessionBroken(Exception):
+    """The session cannot (or should not) answer this query in-process.
+
+    ``kind`` drives recovery (docs/BACKENDS.md, recovery state machine):
+
+    * ``"crash"`` — the solver process died or the pipe broke: respawn,
+      replay the prelude, retry the query once; then fall back to the
+      spawn-per-script :class:`SolverRunner`;
+    * ``"protocol"`` — the solver answered but not with a verdict token:
+      same recovery as a crash (the fallback runner is what decides
+      whether the garbage is deterministic);
+    * ``"wedge"`` — no answer within the per-query deadline: the process
+      is killed and the query reports ``timeout``, exactly as the
+      spawn-per-script path would.
+    """
+
+    def __init__(self, kind: str, detail: str = "") -> None:
+        super().__init__(detail or kind)
+        self.kind = kind
+        self.detail = detail
+
+
+class _SessionCancelled(Exception):
+    """The race was decided while this query was in flight."""
+
+
+#: Sentinel the reader thread enqueues at solver-stdout EOF.
+_EOF = object()
+
+
+class SolverSession:
+    """One warm solver process driven incrementally over stdin/stdout.
+
+    The shared prelude is asserted exactly once per process; each query
+    then runs inside ``(push 1)``/``(pop 1)``, so only the per-goal delta
+    churns.  Responses are framed with ``(echo "marker")`` fences — every
+    command batch ends with a unique marker, and the reader collects lines
+    until the fence comes back (quotes stripped: cvc5 echoes the literal,
+    z3 the bare string).
+
+    The session never raises past :class:`SessionBroken` /
+    :class:`_SessionCancelled`; the owning backend decides between
+    respawn-and-replay and the spawn-per-script fallback."""
+
+    def __init__(
+        self,
+        cmd: Sequence[str],
+        prelude_text: str,
+        *,
+        timeout_s: float = 30.0,
+        max_queries: int = 0,
+        want_model: bool = True,
+    ) -> None:
+        self.cmd = tuple(cmd)
+        self.prelude_text = prelude_text
+        self.timeout_s = timeout_s
+        self.max_queries = max(0, int(max_queries))
+        self.want_model = want_model
+        #: process spawns (initial + recycles + respawns) and queries served
+        self.spawns = 0
+        self.queries = 0
+        #: queries served by the *current* process (recycling trigger)
+        self._proc_queries = 0
+        self._proc: Optional[subprocess.Popen] = None
+        self._out: "queue.Queue" = queue.Queue()
+        self._reader: Optional[threading.Thread] = None
+        self._marker_seq = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self._proc is not None and self._proc.poll() is None
+
+    def start(self) -> None:
+        """Spawn the solver and replay the prelude; fences on completion."""
+        self.close()
+        try:
+            self._proc = subprocess.Popen(
+                list(self.cmd),
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+                text=True,
+                bufsize=1,
+            )
+        except OSError as exc:
+            raise SessionBroken("crash", f"session spawn failed: {exc}")
+        self.spawns += 1
+        self._proc_queries = 0
+        self._out = queue.Queue()
+        self._reader = threading.Thread(
+            target=self._pump, args=(self._proc, self._out),
+            name="repro-solver-session", daemon=True,
+        )
+        self._reader.start()
+        marker = self._next_marker("prelude")
+        self._send(self.prelude_text + f'(echo "{marker}")\n')
+        self._read_until(marker, time.monotonic() + self.timeout_s, None)
+
+    @staticmethod
+    def _pump(proc: subprocess.Popen, out: "queue.Queue") -> None:
+        try:
+            for line in proc.stdout:
+                out.put(line.rstrip("\n"))
+        except ValueError:  # pipe closed under the reader
+            pass
+        out.put(_EOF)
+
+    def close(self) -> None:
+        """Terminate the solver process.  Idempotent."""
+        proc, self._proc = self._proc, None
+        if proc is None:
+            return
+        try:
+            if proc.poll() is None:
+                try:
+                    proc.stdin.write("(exit)\n")
+                    proc.stdin.flush()
+                    proc.stdin.close()
+                except (OSError, ValueError):
+                    pass
+                # Let the solver drain its stdin and honor (exit) — a
+                # graceful quit keeps the final (pop 1) from being lost —
+                # before escalating to terminate/kill.
+                try:
+                    proc.wait(timeout=0.5)
+                except subprocess.TimeoutExpired:
+                    proc.terminate()
+                    try:
+                        proc.wait(timeout=0.5)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+                        proc.wait(timeout=1.0)
+            for stream in (proc.stdin, proc.stdout):
+                if stream is not None:
+                    try:
+                        stream.close()
+                    except OSError:
+                        pass
+        except Exception:  # pragma: no cover - teardown must never raise
+            pass
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _next_marker(self, tag: str) -> str:
+        self._marker_seq += 1
+        return f"repro-{tag}-{self._marker_seq}"
+
+    def _send(self, text: str) -> None:
+        if self._proc is None or self._proc.stdin is None:
+            raise SessionBroken("crash", "session not running")
+        try:
+            self._proc.stdin.write(text)
+            self._proc.stdin.flush()
+        except (BrokenPipeError, OSError, ValueError) as exc:
+            raise SessionBroken("crash", f"solver pipe broke: {exc}")
+
+    def _read_until(
+        self, marker: str, deadline: float, cancel: Optional[object]
+    ) -> List[str]:
+        """Collect output lines until the echo fence, deadline, or EOF."""
+        lines: List[str] = []
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._kill()
+                raise SessionBroken(
+                    "wedge", f"no answer within {self.timeout_s:.1f}s"
+                )
+            if cancel is not None and cancel():
+                self._kill()
+                raise _SessionCancelled()
+            try:
+                item = self._out.get(timeout=min(_POLL_S * 5, remaining))
+            except queue.Empty:
+                continue
+            if item is _EOF:
+                raise SessionBroken(
+                    "crash", "solver closed its output mid-session"
+                )
+            if item.strip().strip('"') == marker:
+                return lines
+            lines.append(item)
+
+    def _kill(self) -> None:
+        proc = self._proc
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+            try:
+                proc.wait(timeout=1.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                pass
+
+    # -- queries -----------------------------------------------------------
+
+    def check(
+        self,
+        tail_lines: Sequence[str],
+        *,
+        name: str = "goal",
+        cancel: Optional[object] = None,
+    ) -> SolverOutcome:
+        """Discharge one goal tail inside a fresh push scope."""
+        start = time.monotonic()
+        if not self.alive:
+            raise SessionBroken("crash", "solver process not running")
+        if self.max_queries and self._proc_queries >= self.max_queries:
+            # Recycle: long-lived solver sessions accumulate learned state
+            # and memory; restart after the configured number of queries.
+            self.start()
+        self.queries += 1
+        self._proc_queries += 1
+        deadline = time.monotonic() + self.timeout_s
+        marker = self._next_marker("q")
+        payload = "(push 1)\n" + "\n".join(tail_lines) + "\n"
+        payload += f'(check-sat)\n(echo "{marker}")\n'
+        self._send(payload)
+        answer = self._read_until(marker, deadline, cancel)
+        verdict = next(
+            (l.strip() for l in answer if l.strip() in _STATUS_TOKENS), None
+        )
+        if verdict is None:
+            head = next((l for l in answer if l.strip()), "")[:120]
+            self._kill()
+            raise SessionBroken(
+                "protocol", f"no verdict in session answer: {head!r}"
+            )
+        model: Tuple[str, ...] = ()
+        if verdict == "sat" and self.want_model:
+            mmarker = self._next_marker("m")
+            self._send(f'(get-model)\n(echo "{mmarker}")\n')
+            raw = self._read_until(mmarker, deadline, cancel)
+            model = tuple(
+                l.rstrip()
+                for l in raw
+                if l.strip() and not l.strip().startswith("(error")
+            )[:_MAX_MODEL_LINES]
+        self._send("(pop 1)\n")
+        return SolverOutcome(
+            verdict,
+            model=model,
+            elapsed_s=time.monotonic() - start,
+        )
+
+
 class SmtLibBackend:
-    """Discharge obligations through an external SMT solver."""
+    """Discharge obligations through an external SMT solver.
+
+    With ``spec.session`` the backend keeps one warm
+    :class:`SolverSession` and discharges every case incrementally; any
+    session anomaly degrades that one query to the spawn-per-script
+    :class:`SolverRunner` (after one respawn-and-replay attempt), so the
+    verdict mapping — and therefore every canonical report and cache key —
+    is identical to spawn-per-obligation mode."""
 
     name = "smtlib"
 
@@ -269,6 +583,111 @@ class SmtLibBackend:
             retries=spec.solver_retries,
             backoff_s=spec.retry_backoff_s,
         )
+        self._session: Optional[SolverSession] = None
+        self._prelude = None
+        #: spawns/queries retired with closed sessions (counter continuity)
+        self._retired_spawns = 0
+        self._retired_queries = 0
+        #: queries that degraded to the spawn-per-script fallback
+        self.fallback_queries = 0
+
+    # -- session plumbing --------------------------------------------------
+
+    @property
+    def session_spawns(self) -> int:
+        live = self._session.spawns if self._session is not None else 0
+        return self._retired_spawns + live
+
+    @property
+    def session_queries(self) -> int:
+        live = self._session.queries if self._session is not None else 0
+        return self._retired_queries + live
+
+    @property
+    def process_spawns(self) -> int:
+        """Every solver process this backend has started (E9 accounting)."""
+        return self.session_spawns + self.runner.spawns
+
+    def _session_prelude(self):
+        if self._prelude is None:
+            from repro.verify.encode import CONSTRUCTORS, all_axioms
+            from repro.verify.smtlib import emit_prelude
+
+            self._prelude = emit_prelude(
+                all_axioms(),
+                sorted(CONSTRUCTORS),
+                produce_models=self.spec.want_model,
+            )
+        return self._prelude
+
+    def _ensure_session(self) -> SolverSession:
+        if self._session is None:
+            self._session = SolverSession(
+                session_argv(self.spec.solver_cmd),
+                self._session_prelude().text,
+                timeout_s=self.spec.solver_timeout_s,
+                max_queries=self.spec.max_session_queries,
+                want_model=self.spec.want_model,
+            )
+        if not self._session.alive:
+            self._session.start()
+        return self._session
+
+    def _close_session(self) -> None:
+        if self._session is not None:
+            self._retired_spawns += self._session.spawns
+            self._retired_queries += self._session.queries
+            self._session.close()
+            self._session = None
+
+    def _check_case(
+        self,
+        case_name: str,
+        goal,
+        seeds,
+        axioms,
+        constructors,
+        cancel: Optional[object],
+    ) -> SolverOutcome:
+        """One case's verdict, through the session when enabled."""
+        from repro.verify.smtlib import emit_goal_tail, emit_script
+
+        if self.spec.session:
+            tail = emit_goal_tail(
+                self._session_prelude(), case_name, goal, seeds=seeds
+            )
+            for _attempt in range(2):  # initial try + respawn-and-replay
+                try:
+                    session = self._ensure_session()
+                    return session.check(
+                        tail.lines, name=case_name, cancel=cancel
+                    )
+                except _SessionCancelled:
+                    self._close_session()
+                    return SolverOutcome("cancelled", "race already decided")
+                except SessionBroken as broken:
+                    self._close_session()
+                    if broken.kind == "wedge":
+                        # Same mapping as the spawn-per-script path: a
+                        # solver that exceeds its budget reports timeout.
+                        return SolverOutcome(
+                            "timeout",
+                            f"killed after {self.spec.solver_timeout_s:.1f}s"
+                            f" (session)",
+                        )
+            # Two broken sessions in a row: recover through the
+            # spawn-per-script path, which settles crash-vs-garbage with
+            # its own retry discipline.
+            self.fallback_queries += 1
+        script = emit_script(
+            case_name,
+            goal,
+            axioms=axioms,
+            seeds=seeds,
+            constructors=constructors,
+            produce_models=self.spec.want_model,
+        )
+        return self.runner.check(script.text, name=case_name, cancel=cancel)
 
     def identity(self) -> str:
         version = solver_version(self.spec.solver_cmd)
@@ -284,24 +703,25 @@ class SmtLibBackend:
 
         Proved only when *every* case comes back ``unsat``; the first
         non-``unsat`` case ends the analysis, conclusively for ``sat``
-        (countermodel) and inconclusively otherwise."""
+        (countermodel) and inconclusively otherwise.  An obligation with
+        *zero* cases is an error outcome, never a vacuous proof."""
         from repro.verify.encode import CONSTRUCTORS, all_axioms
-        from repro.verify.smtlib import emit_script, obligation_cases
+        from repro.verify.smtlib import obligation_cases
 
         axioms = all_axioms()
         constructors = sorted(CONSTRUCTORS)
-        for case_name, goal in obligation_cases(obligation):
+        cases = obligation_cases(obligation)
+        if not cases:
+            return False, False, [
+                f"<obligation {obligation.name} produced no proof cases; "
+                f"refusing a vacuous proof>"
+            ]
+        for case_name, goal in cases:
             if cancel is not None and cancel():
                 return False, False, [f"<cancelled before case {case_name}>"]
-            script = emit_script(
-                case_name,
-                goal,
-                axioms=axioms,
-                seeds=obligation.seeds,
-                constructors=constructors,
-                produce_models=self.spec.want_model,
+            outcome = self._check_case(
+                case_name, goal, obligation.seeds, axioms, constructors, cancel
             )
-            outcome = self.runner.check(script.text, name=case_name, cancel=cancel)
             if outcome.status == "unsat":
                 continue
             if outcome.status == "sat":
@@ -333,4 +753,4 @@ class SmtLibBackend:
         )
 
     def close(self) -> None:
-        pass
+        self._close_session()

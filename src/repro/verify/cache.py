@@ -246,6 +246,11 @@ class CachedVerdict:
           and any requesting backend;
         * external ``proved`` verdicts additionally require the same
           backend identity (a different solver or version must re-prove);
+          when the producing solver's build could not be identified
+          (``version=unknown`` — a failed version probe), the identity is
+          too weak to scope by, so the verdict is config-scoped like a
+          failure: a *different* solver build at the same command would
+          otherwise replay proofs it never produced;
         * ``unknown`` verdicts are resource-limit artifacts — they replay
           only for the exact configuration *and* backend that produced
           them."""
@@ -254,9 +259,14 @@ class CachedVerdict:
                 return True
             # A portfolio identity embeds its legs' identities verbatim, so
             # substring containment is exactly "produced by one of my legs".
-            return self.backend == backend or (
+            identity_ok = self.backend == backend or (
                 bool(self.backend) and self.backend in backend
             )
+            if not identity_ok:
+                return False
+            if "version=unknown" in self.backend:
+                return self.config == config_fp
+            return True
         return self.config == config_fp and self.backend == backend
 
 

@@ -172,6 +172,19 @@ def discharge_obligation(
     else:
         cases = [(obligation.name, obligation.goal)]
     start = time.monotonic()
+    if not cases:
+        # Mirrors SmtLibBackend.run_cases: an obligation with zero proof
+        # cases is an error outcome, never a vacuous proof.
+        return ObligationResult(
+            obligation.name,
+            False,
+            time.monotonic() - start,
+            [
+                f"<obligation {obligation.name} produced no proof cases; "
+                f"refusing a vacuous proof>"
+            ],
+            stats=ProverStats(),
+        )
     proved = True
     context: List[str] = []
     stats = ProverStats()

@@ -23,6 +23,7 @@ embarrassingly parallel at obligation granularity.  This module provides
 
 from __future__ import annotations
 
+import atexit
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
@@ -32,11 +33,14 @@ from repro.prover import Prover, ProverConfig
 
 #: Worker-process backend, built once per worker by the pool initializer and
 #: reused for every obligation the worker discharges.  Workers *own* their
-#: backend — including external solver subprocesses for the ``smtlib`` and
-#: ``portfolio`` backends — so obligation-level parallelism composes with
-#: external solving without sharing process handles across the pool.
+#: backend — including external solver subprocesses and persistent solver
+#: sessions for the ``smtlib`` and ``portfolio`` backends — so
+#: obligation-level parallelism composes with external solving without
+#: sharing process handles across the pool.  Each worker closes its backend
+#: (killing any warm solver session) on pool teardown via ``atexit``.
 _WORKER_BACKEND = None
 _WORKER_KEY: Optional[Tuple[str, object]] = None
+_WORKER_CLEANUP_REGISTERED = False
 
 
 def _config_fp(config: ProverConfig) -> str:
@@ -52,15 +56,32 @@ def build_prover(config: ProverConfig) -> Prover:
     return Prover(all_axioms(), constructors=CONSTRUCTORS, config=config)
 
 
-def _worker_init(config: ProverConfig, spec=None) -> None:
+def _worker_close() -> None:
+    """Release the worker's backend (and any warm solver session)."""
     global _WORKER_BACKEND, _WORKER_KEY
+    backend, _WORKER_BACKEND, _WORKER_KEY = _WORKER_BACKEND, None, None
+    if backend is not None:
+        try:
+            backend.close()
+        except Exception:  # teardown must never take a worker down
+            pass
+
+
+def _worker_init(config: ProverConfig, spec=None) -> None:
+    global _WORKER_BACKEND, _WORKER_KEY, _WORKER_CLEANUP_REGISTERED
     from repro.prover.backends.base import BackendSpec, resolve_backend
 
+    _worker_close()  # a re-init replaces (and releases) the old backend
     spec = spec or BackendSpec()
     # quiet=True: solver discovery (and any missing-solver warning) already
     # happened in the parent — worker specs carry the resolved command.
     _WORKER_BACKEND = resolve_backend(spec, config, quiet=True)
     _WORKER_KEY = (_config_fp(config), spec)
+    if not _WORKER_CLEANUP_REGISTERED:
+        # Pool workers exit normally on executor shutdown, so atexit is the
+        # teardown hook: warm solver sessions never outlive the pool.
+        atexit.register(_worker_close)
+        _WORKER_CLEANUP_REGISTERED = True
 
 
 def _worker_discharge(task: Tuple[int, str, object, ProverConfig, object]):

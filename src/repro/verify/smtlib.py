@@ -462,6 +462,232 @@ def emit_script(
     )
 
 
+# ---------------------------------------------------------------------------
+# Split emission: a once-per-session prelude + a per-goal tail
+# ---------------------------------------------------------------------------
+#
+# A persistent solver session (docs/BACKENDS.md, "Persistent solver
+# sessions") asserts the fixed axiomatization once and then discharges each
+# obligation case inside a ``(push 1)``/``(pop 1)`` scope.  The emission is
+# split accordingly: :func:`emit_prelude` renders everything derivable from
+# the axioms alone, and :func:`emit_goal_tail` renders the *delta* a goal
+# adds — declarations not already in the prelude (scoped to the push, per
+# SMT-LIB 2.6 declaration scoping), constructor/arithmetic facts over the
+# goal's new ground terms, the seeds, and the negated goal.  The union of
+# prelude and tail assertions always contains every assertion the full
+# per-goal script (:func:`emit_script`) would have made, so ``unsat``
+# verdicts remain sound for exactly the same reason.
+
+
+@dataclass
+class SessionPrelude:
+    """The once-per-session half of the emission."""
+
+    logic: str
+    #: complete prelude commands, in emission order
+    lines: Tuple[str, ...]
+    #: declared symbol -> signature (for per-goal conflict checks)
+    symbol_sigs: Dict[str, Sig]
+    ints: FrozenSet[int]
+    arith: FrozenSet[Tuple[str, int]]
+    #: original (unsanitized) constructor names the prelude was built with
+    constructors: Tuple[str, ...]
+    #: constructor-discipline lines already asserted by the prelude
+    ctor_lines: FrozenSet[str]
+    axiom_count: int = 0
+
+    @property
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+    def assert_lines(self) -> List[str]:
+        return [l for l in self.lines if l.startswith("(assert")]
+
+
+@dataclass
+class GoalTail:
+    """The per-goal half: everything asserted inside one push scope."""
+
+    name: str
+    #: commands for the push scope — declarations first, then assertions;
+    #: no ``push``/``pop``/``check-sat`` (the session driver adds those)
+    lines: Tuple[str, ...]
+    declared: Tuple[str, ...] = ()
+
+    @property
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+    def assert_lines(self) -> List[str]:
+        return [l for l in self.lines if l.startswith("(assert")]
+
+
+def emit_prelude(
+    axioms: Sequence[Formula],
+    constructors: Sequence[str] = (),
+    *,
+    logic: str = "UF",
+    produce_models: bool = True,
+) -> SessionPrelude:
+    """Render the shared session prelude: logic, declarations, constructor
+    discipline, ground arithmetic over axiom terms, and the axioms."""
+    compiled_axioms: List[Tuple[str, _Compiled]] = []
+    sigs: Set[Sig] = set()
+    ints: Set[int] = set()
+    arith: Set[Tuple[str, int]] = set()
+    for ax in axioms:
+        origin = ""
+        if isinstance(ax, tuple):
+            origin, ax = ax
+        c = compile_formula(ax)
+        compiled_axioms.append((origin, c))
+        sigs |= c.sigs
+        ints |= c.ints
+        arith |= c.arith
+
+    by_symbol: Dict[str, Sig] = {}
+    for sig in sorted(sigs):
+        prev = by_symbol.get(sig[0])
+        if prev is not None and prev != sig:
+            raise ValueError(
+                f"symbol {sig[0]!r} used inconsistently: {prev} vs {sig}"
+            )
+        by_symbol[sig[0]] = sig
+
+    lines: List[str] = []
+    lines.append("; repro: shared session prelude")
+    lines.append("; emitted by repro.verify.smtlib (docs/BACKENDS.md)")
+    lines.append(f"(set-logic {logic})")
+    if produce_models:
+        lines.append("(set-option :produce-models true)")
+    lines.append(f"(declare-sort {SORT} 0)")
+    for sym in sorted(by_symbol):
+        _, arity, is_pred = by_symbol[sym]
+        out_sort = "Bool" if is_pred else SORT
+        arg_sorts = " ".join([SORT] * arity)
+        lines.append(f"(declare-fun {sym} ({arg_sorts}) {out_sort})")
+    for value in sorted(ints):
+        lines.append(f"(declare-fun {int_symbol(value)} () {SORT})")
+
+    arities = {sym: sig[1] for sym, sig in by_symbol.items() if not sig[2]}
+    ctor_table = {
+        c: arities[smt_symbol(c)]
+        for c in constructors
+        if smt_symbol(c) in arities
+    }
+    ctor_lines = _constructor_axioms(sorted(ctor_table), ctor_table, sorted(ints))
+    lines.extend(ctor_lines)
+
+    if arith:
+        lines.append("; ground arithmetic folding (E-graph built-in, reified)")
+        for sexpr, value in sorted(arith):
+            lines.append(f"(assert (= {sexpr} {int_symbol(value)}))")
+
+    lines.append(f"; background axioms ({len(compiled_axioms)})")
+    for origin, c in compiled_axioms:
+        if origin:
+            lines.append(f"; {origin}")
+        lines.append(f"(assert {c.sexpr})")
+
+    return SessionPrelude(
+        logic=logic,
+        lines=tuple(lines),
+        symbol_sigs=by_symbol,
+        ints=frozenset(ints),
+        arith=frozenset(arith),
+        constructors=tuple(constructors),
+        ctor_lines=frozenset(
+            l for l in ctor_lines if l.startswith("(assert")
+        ),
+        axiom_count=len(compiled_axioms),
+    )
+
+
+def emit_goal_tail(
+    prelude: SessionPrelude,
+    name: str,
+    goal: Formula,
+    *,
+    seeds: Sequence[Formula] = (),
+) -> GoalTail:
+    """Render one goal's push-scope delta against ``prelude``.
+
+    Declarations for symbols/numerals the prelude does not know are made
+    inside the scope (SMT-LIB 2.6 pops them with the scope); constructor
+    and arithmetic facts are re-derived over the *combined* ground terms
+    and only the lines the prelude has not already asserted are kept."""
+    compiled_seeds = [compile_formula(seed) for seed in seeds]
+    goal_c = compile_formula(goal)
+    sigs: Set[Sig] = set(goal_c.sigs)
+    ints: Set[int] = set(goal_c.ints)
+    arith: Set[Tuple[str, int]] = set(goal_c.arith)
+    for c in compiled_seeds:
+        sigs |= c.sigs
+        ints |= c.ints
+        arith |= c.arith
+
+    by_symbol: Dict[str, Sig] = {}
+    for sig in sorted(sigs):
+        prev = prelude.symbol_sigs.get(sig[0]) or by_symbol.get(sig[0])
+        if prev is not None and prev != sig:
+            raise ValueError(
+                f"symbol {sig[0]!r} used inconsistently: {prev} vs {sig}"
+            )
+        by_symbol[sig[0]] = sig
+
+    lines: List[str] = []
+    declared: List[str] = []
+    lines.append(f"; goal {name}")
+    for sym in sorted(by_symbol):
+        if sym in prelude.symbol_sigs:
+            continue
+        _, arity, is_pred = by_symbol[sym]
+        out_sort = "Bool" if is_pred else SORT
+        arg_sorts = " ".join([SORT] * arity)
+        lines.append(f"(declare-fun {sym} ({arg_sorts}) {out_sort})")
+        declared.append(sym)
+    new_ints = sorted(set(ints) - set(prelude.ints))
+    for value in new_ints:
+        lines.append(f"(declare-fun {int_symbol(value)} () {SORT})")
+        declared.append(int_symbol(value))
+
+    # Constructor facts over the combined ground terms, minus what the
+    # prelude already said.  Injectivity/cross-distinctness lines are
+    # int-independent and thus already present; only the nullary-atom
+    # distinctness (which enumerates every numeral) grows.
+    combined_sigs = dict(prelude.symbol_sigs)
+    combined_sigs.update(by_symbol)
+    arities = {sym: sig[1] for sym, sig in combined_sigs.items() if not sig[2]}
+    ctor_table = {
+        c: arities[smt_symbol(c)]
+        for c in prelude.constructors
+        if smt_symbol(c) in arities
+    }
+    combined_ints = sorted(set(prelude.ints) | set(ints))
+    delta_ctor = [
+        l
+        for l in _constructor_axioms(sorted(ctor_table), ctor_table, combined_ints)
+        if l.startswith("(assert") and l not in prelude.ctor_lines
+    ]
+    if delta_ctor:
+        lines.append("; constructor discipline (delta over goal numerals)")
+        lines.extend(delta_ctor)
+
+    delta_arith = sorted(set(arith) - set(prelude.arith))
+    if delta_arith:
+        lines.append("; ground arithmetic folding (delta)")
+        for sexpr, value in delta_arith:
+            lines.append(f"(assert (= {sexpr} {int_symbol(value)}))")
+
+    if compiled_seeds:
+        lines.append(f"; case-split seeds ({len(compiled_seeds)})")
+        for c in compiled_seeds:
+            lines.append(f"(assert {c.sexpr})")
+    lines.append("; negated goal")
+    lines.append(f"(assert (not {goal_c.sexpr}))")
+    return GoalTail(name=name, lines=tuple(lines), declared=tuple(declared))
+
+
 def obligation_cases(obligation) -> List[Tuple[str, Formula]]:
     """The checker-side statement-kind case analysis, one goal per case.
 

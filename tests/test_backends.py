@@ -96,6 +96,22 @@ class TestParseSolverOutput:
         # token lines only: a prefix match would misread solver chatter
         assert parse_solver_output("unsatisfied\n")[0] is None
 
+    def test_trailing_chatter_after_unsat_is_not_a_model(self):
+        # Model lines exist only after ``sat``; statistics or ``(error "no
+        # model")`` spam after unsat/unknown must never be captured.
+        verdict, model = parse_solver_output(
+            "unsat\n(:rlimit-count 1234)\n(objectives)\n"
+        )
+        assert verdict == "unsat"
+        assert model == ()
+
+    def test_trailing_chatter_after_unknown_is_not_a_model(self):
+        verdict, model = parse_solver_output(
+            "unknown\n(:reason-unknown incomplete)\n"
+        )
+        assert verdict == "unknown"
+        assert model == ()
+
 
 # ---------------------------------------------------------------------------
 # Emission
@@ -209,6 +225,27 @@ class TestSolverRunner:
         assert outcome.status == "cancelled"
         assert time.monotonic() - start < 5.0
 
+    def test_cancel_consulted_before_retry_backoff(self, tmp_path):
+        # A directory as the solver command makes every spawn fail with
+        # EACCES — the one failure mode whose retry loop never enters the
+        # process-poll loop, so the *backoff path itself* must consult the
+        # cancellation hook.  A decided race must not sit through the
+        # whole backoff schedule against an unspawnable solver.
+        runner = SolverRunner((str(tmp_path),), retries=5, backoff_s=5.0)
+        start = time.monotonic()
+        outcome = runner.check("(check-sat)\n", cancel=lambda: True)
+        assert outcome.status == "cancelled"
+        assert outcome.attempts == 1, "cancelled before the first retry"
+        assert time.monotonic() - start < 4.0, "no backoff was slept"
+
+    def test_unsat_with_trailing_output_has_no_model(self, fake_solver):
+        # end-to-end twin of the parser test: a solver that prints
+        # statistics after its verdict still yields an empty model
+        cmd = fake_solver("print('unsat')\nprint('(:memory 12.34)')\n")
+        outcome = SolverRunner(cmd).check("(check-sat)\n")
+        assert outcome.status == "unsat"
+        assert outcome.model == ()
+
 
 # ---------------------------------------------------------------------------
 # The smtlib backend
@@ -245,6 +282,77 @@ class TestSmtLibBackend:
         proved, conclusive, context = backend.run_cases(ob)
         assert not proved and not conclusive
         assert any("unknown" in line for line in context)
+
+    def test_zero_cases_is_an_error_not_a_vacuous_proof(
+        self, fake_solver, monkeypatch
+    ):
+        # An obligation whose case analysis is empty must never be
+        # "proved" by an all-of-nothing loop — emptying the statement-kind
+        # table turns every split obligation into exactly that trap.
+        from repro.verify import encode as E
+
+        monkeypatch.setattr(E, "STMT_KINDS", ())
+        backend = self._backend(fake_solver("print('unsat')\n"))
+        ob = next(
+            o for o in _obligations(const_prop.pattern)
+            if o.split_term is not None
+        )
+        proved, conclusive, context = backend.run_cases(ob)
+        assert not proved and not conclusive
+        assert any("no proof cases" in line for line in context)
+
+    def test_zero_cases_internal_discharge_mirrors(self, monkeypatch):
+        # Same contract on the internal path (shared by pool workers).
+        from repro.verify import encode as E
+        from repro.verify.checker import discharge_obligation
+        from repro.verify.parallel import build_prover
+
+        ob = next(
+            o for o in _obligations(const_prop.pattern)
+            if o.split_term is not None
+        )
+        monkeypatch.setattr(E, "STMT_KINDS", ())
+        result = discharge_obligation(build_prover(FAST), "constProp", ob, FAST)
+        assert not result.proved
+        assert any("no proof cases" in line for line in result.context)
+
+
+# ---------------------------------------------------------------------------
+# Version probing
+# ---------------------------------------------------------------------------
+
+
+class TestSolverVersion:
+    def test_transient_probe_failure_is_not_cached(self, tmp_path):
+        # The probe fails once (machine blip), then answers.  Caching the
+        # failure would brand the solver "unknown" for the whole process —
+        # and silently demote every cached proof it produces to
+        # config-scoped replay.
+        from repro.prover.backends.smtlib import solver_version
+
+        counter = tmp_path / "probes"
+        script = tmp_path / "solver"
+        script.write_text(
+            f"#!{sys.executable}\n"
+            "import os, sys\n"
+            f"c = {str(counter)!r}\n"
+            "n = int(open(c).read()) if os.path.exists(c) else 0\n"
+            "open(c, 'w').write(str(n + 1))\n"
+            # one solver_version call probes two argv shapes: fail both
+            "if n < 2:\n"
+            "    sys.exit(1)\n"
+            "print('fakesolver 1.0')\n"
+        )
+        script.chmod(0o755)
+        cmd = (str(script),)
+        assert solver_version(cmd) == "unknown"
+        assert solver_version(cmd) == "fakesolver 1.0", (
+            "a failed probe must not poison the version cache"
+        )
+        # …and the success *is* cached (later probes never run)
+        probes = int(counter.read_text())
+        assert solver_version(cmd) == "fakesolver 1.0"
+        assert int(counter.read_text()) == probes
 
 
 # ---------------------------------------------------------------------------
@@ -350,6 +458,43 @@ class TestPortfolio:
         assert not result.proved
         assert any("countermodel" in line for line in result.context)
 
+    def test_budget_covers_every_case_of_a_split_obligation(self, fake_solver):
+        # A kind-split obligation runs one solver query per statement
+        # kind.  The post-internal wait must budget per *case* — waiting a
+        # single solver_timeout_s would cut off an external racer that is
+        # steadily proving a seven-case obligation at 0.4s/case.
+        from repro.verify.checker import ObligationResult
+
+        class _FailsFast:
+            def identity(self):
+                return "internal;stub"
+
+            def discharge(self, owner, obligation, cancel=None):
+                return ObligationResult(obligation.name, False, 0.0, ["<stub>"])
+
+            def close(self):
+                pass
+
+        external = SmtLibBackend(
+            BackendSpec(
+                name="smtlib",
+                solver_cmd=fake_solver("time.sleep(0.4)\nprint('unsat')\n"),
+                solver_timeout_s=0.9,
+            ),
+            FAST,
+        )
+        backend = PortfolioBackend(_FailsFast(), external)
+        ob = next(
+            o for o in _obligations(const_prop.pattern)
+            if o.split_term is not None
+        )
+        result = backend.discharge("constProp", ob)
+        assert result.proved, (
+            "the external racer finishes every case within its per-case "
+            "budget and must carry the obligation"
+        )
+        assert result.backend.startswith("smtlib;")
+
     def test_merge_is_deterministic_across_runs(self, fake_solver):
         from repro.api import ProverOptions, VerifyOptions
         from repro.verify import SoundnessChecker
@@ -423,6 +568,25 @@ class TestCheckerIntegration:
         )
         # …a different solver version may not.
         assert not proof.replayable_for("fp", "smtlib;cmd=z3;version=5")
+
+    def test_unknown_version_external_proofs_are_config_scoped(self):
+        # version=unknown means the build is unidentified: a solver swap
+        # behind the same command would replay stale proofs if these were
+        # trusted config-independently like identified builds.
+        proof = CachedVerdict(
+            proved=True,
+            elapsed_s=0.1,
+            config="fp",
+            backend="smtlib;cmd=mysolver;version=unknown",
+        )
+        assert proof.replayable_for("fp", "smtlib;cmd=mysolver;version=unknown")
+        assert not proof.replayable_for(
+            "fp2", "smtlib;cmd=mysolver;version=unknown"
+        )
+        # a different command is rejected outright, as ever
+        assert not proof.replayable_for(
+            "fp", "smtlib;cmd=other;version=unknown"
+        )
 
     def test_failures_scoped_to_config_and_backend(self):
         failure = CachedVerdict(

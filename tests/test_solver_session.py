@@ -1,0 +1,428 @@
+"""Persistent incremental solver sessions (docs/BACKENDS.md).
+
+The contract under test:
+
+* :func:`session_argv` maps known solvers onto their incremental flag and
+  leaves unknown commands (scripted fakes, custom wrappers) untouched;
+* :class:`SolverSession` speaks the push/pop protocol — the shared
+  prelude is asserted exactly once per solver *process*, every query runs
+  inside its own ``(push 1)``/``(pop 1)`` scope, and ``max_queries``
+  recycles the process (replaying the prelude) on schedule;
+* session anomalies map onto the spawn-per-script verdict semantics:
+  a crash respawns-and-replays (then degrades one query to the
+  :class:`SolverRunner` fallback), a wedge kills the process and reports
+  ``timeout``, a decided race cancels promptly;
+* the session is *invisible* in results: backend identity, canonical
+  reports, and proof-cache keys are byte-identical to spawn-per-script
+  mode, and process-pool workers each own (and tear down) their session.
+
+Everything runs with scripted fake solvers speaking the incremental
+stdin protocol, so no SMT solver needs to be installed.
+"""
+
+import sys
+import time
+
+import pytest
+
+from repro.cobalt.labels import standard_registry
+from repro.prover import ProverConfig
+from repro.prover.backends import (
+    BackendSpec,
+    SessionBroken,
+    SmtLibBackend,
+    SolverSession,
+    session_argv,
+)
+from repro.verify.obligations import ObligationBuilder
+from repro.opts import const_fold, const_prop
+
+FAST = ProverConfig(timeout_s=60.0)
+
+#: A scripted solver speaking both process disciplines: given a script
+#: path it answers like a spawn-per-script solver; on stdin it speaks the
+#: incremental session subset (echo fences replayed, one verdict per
+#: ``(check-sat)``).  ``%(hook)s`` runs per stdin line, ``%(verdict)s``
+#: answers ``(check-sat)``, ``%(file_verdict)s`` answers script mode.
+_DUAL = """\
+def handle(line):
+%(hook)s
+    if line.startswith("(check-sat"):
+%(verdict)s
+    elif line.startswith("(echo"):
+        print(line.split('"')[1], flush=True)
+    elif line.startswith("(exit"):
+        raise SystemExit(0)
+
+if len(sys.argv) > 1:
+%(file_verdict)s
+else:
+    for raw in sys.stdin:
+        handle(raw.strip())
+"""
+
+
+def _indent(body: str, by: str) -> str:
+    return "\n".join(by + line for line in body.splitlines())
+
+
+@pytest.fixture()
+def fake_session_solver(tmp_path):
+    """Factory for dual-mode scripted solvers: returns an argv tuple."""
+
+    counter = [0]
+
+    def make(
+        verdict: str = "print('unsat', flush=True)",
+        *,
+        hook: str = "pass",
+        file_verdict: str = "print('unsat')",
+    ):
+        counter[0] += 1
+        script = tmp_path / f"session{counter[0]}.py"
+        script.write_text(
+            "import sys, os, time\n"
+            + _DUAL
+            % {
+                "hook": _indent(hook, "    "),
+                "verdict": _indent(verdict, "        "),
+                "file_verdict": _indent(file_verdict, "    "),
+            }
+        )
+        return (sys.executable, str(script))
+
+    return make
+
+
+def _obligations(pattern):
+    return ObligationBuilder(standard_registry()).forward_obligations(pattern)
+
+
+def _backend(cmd, *, timeout_s=30.0, max_session_queries=0):
+    spec = BackendSpec(
+        name="smtlib",
+        solver_cmd=cmd,
+        solver_timeout_s=timeout_s,
+        session=True,
+        max_session_queries=max_session_queries,
+    )
+    return SmtLibBackend(spec, FAST)
+
+
+# ---------------------------------------------------------------------------
+# Incremental argv mapping
+# ---------------------------------------------------------------------------
+
+
+class TestSessionArgv:
+    def test_z3_gets_stdin_flag(self):
+        assert session_argv(("/usr/bin/z3",)) == ("/usr/bin/z3", "-in")
+
+    def test_cvc5_gets_incremental_flag(self):
+        assert session_argv(("cvc5", "--lang=smt2")) == (
+            "cvc5",
+            "--lang=smt2",
+            "--incremental",
+        )
+
+    def test_bundled_shim_gets_session_flag(self):
+        cmd = (sys.executable, "-m", "repro.prover.backends.z3shim")
+        assert session_argv(cmd) == cmd + ("--session",)
+
+    def test_unknown_command_unchanged(self):
+        cmd = (sys.executable, "/tmp/fake-solver.py")
+        assert session_argv(cmd) == cmd
+
+
+# ---------------------------------------------------------------------------
+# The session protocol, driven directly
+# ---------------------------------------------------------------------------
+
+
+class TestSolverSession:
+    def _logged_session(self, fake_session_solver, tmp_path, **kwargs):
+        log = tmp_path / "wire.log"
+        cmd = fake_session_solver(
+            hook=f"open({str(log)!r}, 'a').write(line + chr(10))"
+        )
+        session = SolverSession(cmd, "(set-logic UF)\n(assert true)\n", **kwargs)
+        return session, log
+
+    def test_push_pop_discipline(self, fake_session_solver, tmp_path):
+        session, log = self._logged_session(fake_session_solver, tmp_path)
+        try:
+            session.start()
+            for _ in range(3):
+                outcome = session.check(["(assert true)"])
+                assert outcome.status == "unsat"
+        finally:
+            session.close()
+        lines = log.read_text().splitlines()
+        # the prelude went down the pipe exactly once…
+        assert lines.count("(set-logic UF)") == 1
+        # …and every query ran inside its own balanced scope
+        assert lines.count("(push 1)") == 3
+        assert lines.count("(pop 1)") == 3
+        first_check = lines.index("(check-sat)")
+        assert lines.index("(push 1)") < first_check
+        assert session.spawns == 1
+        assert session.queries == 3
+
+    def test_max_queries_recycles_the_process(
+        self, fake_session_solver, tmp_path
+    ):
+        session, log = self._logged_session(
+            fake_session_solver, tmp_path, max_queries=2
+        )
+        try:
+            session.start()
+            for _ in range(5):
+                assert session.check(["(assert true)"]).status == "unsat"
+        finally:
+            session.close()
+        # queries 1-2 on process 1, 3-4 on process 2, 5 on process 3 —
+        # each fresh process replays the prelude.
+        assert session.spawns == 3
+        assert log.read_text().splitlines().count("(set-logic UF)") == 3
+
+    def test_sat_collects_the_model(self, fake_session_solver):
+        cmd = fake_session_solver(
+            "print('sat', flush=True)",
+            hook=(
+                "if line.startswith('(get-model'):\n"
+                "    print('(model (x 1))', flush=True)"
+            ),
+        )
+        session = SolverSession(cmd, "(set-logic UF)\n")
+        try:
+            session.start()
+            outcome = session.check(["(assert true)"])
+        finally:
+            session.close()
+        assert outcome.status == "sat"
+        assert "(model (x 1))" in outcome.model
+
+    def test_crash_mid_query_is_session_broken(self, fake_session_solver):
+        cmd = fake_session_solver("os._exit(3)")
+        session = SolverSession(cmd, "(set-logic UF)\n")
+        try:
+            session.start()
+            with pytest.raises(SessionBroken) as exc:
+                session.check(["(assert true)"])
+            assert exc.value.kind == "crash"
+        finally:
+            session.close()
+
+    def test_wedge_kills_the_process(self, fake_session_solver):
+        cmd = fake_session_solver("time.sleep(60)")
+        session = SolverSession(cmd, "(set-logic UF)\n", timeout_s=0.3)
+        try:
+            session.start()
+            start = time.monotonic()
+            with pytest.raises(SessionBroken) as exc:
+                session.check(["(assert true)"])
+            assert exc.value.kind == "wedge"
+            assert time.monotonic() - start < 10.0
+            assert not session.alive, "a wedged solver must be killed"
+        finally:
+            session.close()
+
+    def test_garbage_answer_is_protocol_broken(self, fake_session_solver):
+        cmd = fake_session_solver("print('certainly!', flush=True)")
+        session = SolverSession(cmd, "(set-logic UF)\n")
+        try:
+            session.start()
+            with pytest.raises(SessionBroken) as exc:
+                session.check(["(assert true)"])
+            assert exc.value.kind == "protocol"
+        finally:
+            session.close()
+
+
+# ---------------------------------------------------------------------------
+# The backend: one warm process, recovery, fallback
+# ---------------------------------------------------------------------------
+
+
+class TestSessionBackend:
+    def test_one_spawn_discharges_every_case(self, fake_session_solver):
+        backend = _backend(fake_session_solver())
+        try:
+            obligations = _obligations(const_fold.pattern)
+            for ob in obligations:
+                result = backend.discharge("constFold", ob)
+                assert result.proved, result.context
+        finally:
+            backend.close()
+        assert backend.process_spawns == 1, (
+            "a healthy session discharges the whole obligation set "
+            "with a single solver process"
+        )
+        assert backend.session_queries > len(obligations)
+        assert backend.fallback_queries == 0
+        assert backend.runner.spawns == 0
+
+    def test_crash_respawns_and_replays(
+        self, fake_session_solver, tmp_path
+    ):
+        # The solver dies on its 3rd query, exactly once; the backend must
+        # respawn, replay the prelude, and retry that query in-session.
+        marker = tmp_path / "crashed-once"
+        cmd = fake_session_solver(
+            hook=(
+                f"m = {str(marker)!r}\n"
+                "if line.startswith('(check-sat'):\n"
+                "    n = int(open(m).read()) if os.path.exists(m) else 0\n"
+                "    open(m, 'w').write(str(n + 1))\n"
+                "    if n + 1 == 3:\n"
+                "        os._exit(1)"
+            )
+        )
+        backend = _backend(cmd)
+        try:
+            for ob in _obligations(const_fold.pattern):
+                result = backend.discharge("constFold", ob)
+                assert result.proved, result.context
+        finally:
+            backend.close()
+        assert backend.session_spawns == 2, "one crash, one respawn"
+        assert backend.fallback_queries == 0
+        assert backend.runner.spawns == 0
+
+    def test_persistent_garbage_degrades_to_spawn_fallback(
+        self, fake_session_solver
+    ):
+        # Session answers are never a verdict token; after the
+        # respawn-and-replay attempt the query must degrade to the
+        # spawn-per-script runner (whose script-mode answer is unsat).
+        backend = _backend(
+            fake_session_solver("print('certainly!', flush=True)")
+        )
+        try:
+            ob = _obligations(const_fold.pattern)[0]
+            result = backend.discharge("constFold", ob)
+            assert result.proved, result.context
+        finally:
+            backend.close()
+        assert backend.fallback_queries >= 1
+        assert backend.runner.spawns >= 1
+
+    def test_wedge_reports_timeout_like_spawn_mode(self, fake_session_solver):
+        cmd = fake_session_solver("time.sleep(60)")
+        backend = _backend(cmd, timeout_s=0.3)
+        try:
+            ob = _obligations(const_fold.pattern)[0]
+            proved, conclusive, context = backend.run_cases(ob)
+        finally:
+            backend.close()
+        assert not proved and not conclusive
+        assert any("timeout" in line for line in context)
+
+    def test_identity_hides_the_session(self, fake_session_solver):
+        # Proof-cache keys must not depend on the process discipline.
+        cmd = fake_session_solver()
+        spawn = SmtLibBackend(
+            BackendSpec(name="smtlib", solver_cmd=cmd), FAST
+        )
+        session = _backend(cmd)
+        try:
+            assert spawn.identity() == session.identity()
+        finally:
+            spawn.close()
+            session.close()
+
+    def test_close_is_idempotent(self, fake_session_solver):
+        backend = _backend(fake_session_solver())
+        ob = _obligations(const_fold.pattern)[0]
+        assert backend.discharge("constFold", ob).proved
+        backend.close()
+        backend.close()
+        assert backend._session is None
+        # a post-close discharge transparently re-opens a session
+        assert backend.discharge("constFold", ob).proved
+        assert backend.process_spawns == 2
+        backend.close()
+
+
+# ---------------------------------------------------------------------------
+# Integration: reports, workers, teardown
+# ---------------------------------------------------------------------------
+
+
+class TestSessionIntegration:
+    def _options(self, cmd, **kwargs):
+        from repro.api import ProverOptions, VerifyOptions
+
+        return VerifyOptions(
+            backend="smtlib",
+            solver_cmd=cmd,
+            prover=ProverOptions(timeout_s=60.0),
+            **kwargs,
+        )
+
+    def test_session_report_byte_identical_to_spawn(self, fake_session_solver):
+        from repro.verify import SoundnessChecker
+
+        cmd = fake_session_solver()
+        reports = {}
+        for mode in (True, False):
+            checker = SoundnessChecker(
+                options=self._options(cmd, solver_session=mode)
+            )
+            reports[mode] = checker.check_optimization(const_prop).canonical()
+            checker.backend.close()
+        assert reports[True] == reports[False]
+
+    @pytest.mark.slow
+    def test_session_suite_byte_identical_to_spawn(self, fake_session_solver):
+        from repro.api import verify_suite
+
+        cmd = fake_session_solver()
+        canonicals = {}
+        for mode in (True, False):
+            report = verify_suite(
+                self._options(cmd, solver_session=mode),
+                analyses=[],
+                optimizations=[const_fold, const_prop],
+            )
+            canonicals[mode] = report.canonical()
+        assert canonicals[True] == canonicals[False]
+
+    def test_parallel_session_matches_serial(self, fake_session_solver):
+        from repro.verify import SoundnessChecker
+
+        cmd = fake_session_solver()
+        serial = SoundnessChecker(
+            options=self._options(cmd, solver_session=True)
+        )
+        pooled = SoundnessChecker(
+            options=self._options(cmd, solver_session=True, jobs=2)
+        )
+        left = serial.check_optimization(const_prop).canonical()
+        right = pooled.check_optimization(const_prop).canonical()
+        serial.backend.close()
+        assert left == right
+
+    def test_worker_owns_and_tears_down_its_session(self, fake_session_solver):
+        # Drive the pool-worker lifecycle in-process: init builds a
+        # session-mode backend, a discharge warms the session, close
+        # releases it (this is what the atexit hook runs on pool teardown).
+        import repro.verify.parallel as parallel
+
+        spec = BackendSpec(
+            name="smtlib", solver_cmd=fake_session_solver(), session=True
+        )
+        parallel._worker_init(FAST, spec)
+        backend = parallel._WORKER_BACKEND
+        try:
+            assert isinstance(backend, SmtLibBackend)
+            ob = _obligations(const_fold.pattern)[0]
+            index, result = parallel._worker_discharge(
+                (0, "constFold", ob, FAST, spec)
+            )
+            assert index == 0 and result.proved
+            assert backend._session is not None and backend._session.alive
+        finally:
+            parallel._worker_close()
+        assert parallel._WORKER_BACKEND is None
+        assert backend._session is None, "teardown must close the session"
