@@ -8,8 +8,11 @@ Usage (also via ``python -m repro``)::
                  [--engine-stats]
     repro-cobalt run PROGRAM.il ARG
     repro-cobalt counterexample FILE.cobalt
-    repro-cobalt [--jobs N] [--cache-dir DIR] suite
-    repro-cobalt [--jobs N] [--cache-dir DIR] verify
+    repro-cobalt [--jobs N] [--cache-dir DIR] [--cache-url URL] suite
+    repro-cobalt [--jobs N] [--cache-dir DIR] [--cache-url URL] verify
+    repro-cobalt cache serve [--dir DIR] [--port N]
+    repro-cobalt cache stats [--dir DIR | --url URL]
+    repro-cobalt cache gc [--dir DIR] [--drop-failures] [--max-age-days N]
 
 * ``check`` parses every optimization/analysis block in a Cobalt source
   file and proves (or rejects) each one; with ``--infer-witness`` missing
@@ -26,9 +29,11 @@ Usage (also via ``python -m repro``)::
 * ``suite`` / ``verify`` verify the entire shipped optimization suite.
 
 The global ``--jobs N`` flag fans proof obligations out across N worker
-processes; ``--cache-dir DIR`` persists verdicts in a content-addressed
-store so unchanged optimizations re-verify in milliseconds (see
-docs/VERIFYING.md).  ``--backend internal|smtlib|portfolio`` selects the
+processes; ``--cache-dir DIR`` persists verdicts in a sharded
+content-addressed store so unchanged optimizations re-verify in
+milliseconds, and ``--cache-url URL`` additionally consults (and feeds) a
+shared network cache daemon started with ``repro-cobalt cache serve`` —
+strictly fail-open, see docs/CACHING.md.  ``--backend internal|smtlib|portfolio`` selects the
 prover backend — the in-process prover, SMT-LIB2 emission through an
 external solver subprocess (``--solver-cmd`` overrides auto-discovery of
 z3/cvc5), or a per-obligation race of the two (docs/BACKENDS.md).
@@ -141,6 +146,8 @@ def build_verify_options(args):
         max_session_queries=args.max_session_queries,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        cache_url=args.cache_url,
+        cache_timeout_s=args.cache_timeout,
         prover=ProverOptions(
             mode=mode, kernel=args.kernel, timeout_s=args.timeout
         ),
@@ -357,11 +364,73 @@ def cmd_suite(args) -> int:
     _emit_prover_stats(args, suite_report.reports)
     summary = (f"[suite] verified in {suite_report.elapsed_s:.2f}s with "
                f"{args.jobs} job(s); backend: {suite_report.backend}")
-    if suite_report.cache is not None:
-        summary += (f"; proof cache: {suite_report.cache.stats} "
-                    f"({suite_report.cache.file})")
+    cache = suite_report.cache
+    if cache is not None:
+        summary += f"; proof cache: {cache.stats} ({cache.location()})"
+        if cache.remote is not None:
+            summary += f"; L2: {cache.remote.stats}"
     print(summary, file=sys.stderr)
     return 1 if suite_report.failures() else 0
+
+
+def cmd_cache_serve(args) -> int:
+    from repro.verify.netcache import serve
+
+    return serve(args.dir, host=args.host, port=args.port,
+                 verbose=not args.quiet)
+
+
+def cmd_cache_stats(args) -> int:
+    if args.url:
+        from repro.verify.netcache import CacheClient
+
+        client = CacheClient(args.url, timeout_s=args.cache_timeout)
+        status = 0
+        for url, payload in client.fetch_stats():
+            if payload is None:
+                print(f"{url}: unreachable")
+                status = 1
+            else:
+                print(f"{url}: {payload.get('objects', '?')} object(s), "
+                      f"schema v{payload.get('schema', '?')}")
+        return status
+    from repro.verify.cache import SCHEMA_VERSION
+    from repro.verify.cas import ShardedStore
+
+    store = ShardedStore(args.dir, SCHEMA_VERSION)
+    print(f"{args.dir}: {store.count()} object(s), schema v{SCHEMA_VERSION}")
+    return 0
+
+
+def cmd_cache_gc(args) -> int:
+    """Drop verdicts that would never (usefully) replay again."""
+    import time
+
+    from repro.verify.cache import SCHEMA_VERSION, CachedVerdict
+    from repro.verify.cas import ShardedStore
+
+    store = ShardedStore(args.dir, SCHEMA_VERSION)
+    cutoff = None
+    if args.max_age_days is not None:
+        cutoff = time.time() - args.max_age_days * 86400.0
+    dropped = kept = 0
+    for key in list(store.keys()):
+        drop = False
+        if cutoff is not None:
+            drop = 0 < store.mtime(key) < cutoff
+        if not drop and args.drop_failures:
+            raw = store.get(key)
+            try:
+                drop = raw is not None and not CachedVerdict.from_json(raw).proved
+            except (KeyError, TypeError, ValueError):
+                drop = True  # unreadable entry: reclaim it
+        if drop:
+            store.delete(key)
+            dropped += 1
+        else:
+            kept += 1
+    print(f"[cache-gc] {args.dir}: dropped {dropped}, kept {kept}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -384,8 +453,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="discharge proof obligations across N worker "
                              "processes (default: 1, serial)")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
-                        help="persist proof verdicts in DIR so unchanged "
+                        help="persist proof verdicts in DIR (a sharded "
+                             "content-addressed store) so unchanged "
                              "optimizations re-verify from cache")
+    parser.add_argument("--cache-url", default=None, metavar="URL",
+                        help="consult (and feed) a networked proof-cache "
+                             "daemon — comma-separate several URLs to shard "
+                             "by digest prefix; strictly fail-open: an "
+                             "unreachable daemon never fails a run "
+                             "(see 'repro-cobalt cache serve')")
+    parser.add_argument("--cache-timeout", type=float, default=2.0,
+                        metavar="S",
+                        help="per-request timeout for the network cache "
+                             "tier (default: 2s)")
     parser.add_argument("--backend",
                         choices=("internal", "smtlib", "portfolio"),
                         default="internal",
@@ -504,6 +584,47 @@ def build_parser() -> argparse.ArgumentParser:
                        help="verify the entire shipped suite (alias of "
                             "'suite'; combine with --jobs/--cache-dir)")
     p.set_defaults(fn=cmd_suite)
+
+    p = sub.add_parser("cache",
+                       help="operate the proof cache: serve it over HTTP, "
+                            "inspect it, garbage-collect it")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+
+    q = cache_sub.add_parser("serve",
+                             help="serve a cache directory to other "
+                                  "machines/runs over HTTP (fail-open "
+                                  "clients; see docs/CACHING.md)")
+    q.add_argument("--dir", default=".proof-cache", metavar="DIR",
+                   help="cache directory to serve (default: .proof-cache)")
+    q.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: 127.0.0.1)")
+    q.add_argument("--port", type=int, default=8417,
+                   help="bind port (default: 8417)")
+    q.add_argument("--quiet", action="store_true",
+                   help="suppress per-request log lines")
+    q.set_defaults(fn=cmd_cache_serve)
+
+    q = cache_sub.add_parser("stats",
+                             help="object counts for a cache directory or "
+                                  "a running daemon")
+    q.add_argument("--dir", default=".proof-cache", metavar="DIR",
+                   help="cache directory to inspect (default: .proof-cache)")
+    q.add_argument("--url", default=None, metavar="URL",
+                   help="ask a running daemon instead of reading a "
+                        "directory (comma-separate several)")
+    q.set_defaults(fn=cmd_cache_stats)
+
+    q = cache_sub.add_parser("gc",
+                             help="drop stale verdicts from a cache "
+                                  "directory")
+    q.add_argument("--dir", default=".proof-cache", metavar="DIR",
+                   help="cache directory to collect (default: .proof-cache)")
+    q.add_argument("--drop-failures", action="store_true",
+                   help="also drop unknown/failed verdicts (they are "
+                        "config-scoped and rarely replay)")
+    q.add_argument("--max-age-days", type=float, default=None, metavar="N",
+                   help="drop verdicts older than N days")
+    q.set_defaults(fn=cmd_cache_gc)
     return parser
 
 

@@ -18,9 +18,29 @@ Two subtleties:
   prove the goal), so they are replayed only when the stored configuration
   fingerprint matches the requesting one.
 
-The store is a single JSON file (`proof-cache.json`) written atomically via
-a temp-file rename; a corrupted or truncated file is treated as empty rather
-than fatal, so a crashed run can never poison later ones.
+The store behind the verdicts is tiered (docs/CACHING.md):
+
+* **L0** — a per-process in-memory map.  Every lookup lands here first;
+  pool workers keep their own (:mod:`repro.verify.parallel`).
+* **L1** — a sharded on-disk CAS (:mod:`repro.verify.cas`):
+  ``objects/<key[:2]>/<key>.json``, one atomically-written file per
+  verdict, so concurrent runs sharing a ``--cache-dir`` compose with
+  per-verdict last-writer-wins instead of clobbering a monolithic file.
+  The pre-tier single-file format (``proof-cache.json``) is migrated into
+  the CAS once on first open, and remains supported when the cache path
+  names a ``.json`` file directly — with a merge-on-save fix so two
+  concurrent runs no longer drop each other's entries.
+* **L2** — optional networked daemons (:mod:`repro.verify.netcache`),
+  consulted through one batched multi-GET (:meth:`ProofCache.prefetch`)
+  and fed by write-behind publication of fresh proofs on
+  :meth:`ProofCache.save`.  Strictly fail-open: any network fault falls
+  back to L1/L0 silently.
+
+Replay scoping (:meth:`CachedVerdict.replayable_for`) is enforced at
+lookup time in :meth:`ProofCache.get`, *after* tier resolution — so a
+verdict is judged by the same rules whether it came from memory, disk, or
+the network.  Corrupted files and foreign bytes are treated as absent,
+never fatal: a crashed run can never poison later ones.
 """
 
 from __future__ import annotations
@@ -32,9 +52,10 @@ import sys
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Set, Union
 
 from repro.prover import ProverConfig
+from repro.verify.cas import ShardedStore
 
 #: Bump when the key derivation or entry layout changes, or when the
 #: prover's search itself changes (cached counterexample contexts reflect
@@ -269,6 +290,19 @@ class CachedVerdict:
             return True
         return self.config == config_fp and self.backend == backend
 
+    def same_payload(self, other: "CachedVerdict") -> bool:
+        """Semantic equality, ignoring incidental timing.
+
+        Two verdicts with the same proved bit, context, scoping config and
+        backend answer every future request identically — storing the
+        second over the first would only churn the on-disk bytes."""
+        return (
+            self.proved == other.proved
+            and self.context == other.context
+            and self.config == other.config
+            and self.backend == other.backend
+        )
+
 
 #: Counterexample contexts can be enormous (full assertion logs); store only
 #: what the CLI would ever print.
@@ -278,51 +312,130 @@ _MAX_CONTEXT_LINES = 60
 @dataclass
 class CacheStats:
     hits: int = 0
+    #: the key is absent from every tier
     misses: int = 0
+    #: an entry exists but is not replayable for this config/backend
+    #: (an ``unknown`` under different limits, or a foreign solver's proof)
+    stale: int = 0
     stores: int = 0
 
     def __str__(self) -> str:
-        return f"{self.hits} hit(s), {self.misses} miss(es), {self.stores} store(s)"
+        return (f"{self.hits} hit(s), {self.misses} miss(es), "
+                f"{self.stale} stale, {self.stores} store(s)")
+
+
+def _read_monolithic(path: Path) -> Dict[str, CachedVerdict]:
+    """Entries of a single-file store; {} for absent/corrupt/wrong schema."""
+    try:
+        raw = path.read_text()
+    except OSError:
+        return {}
+    out: Dict[str, CachedVerdict] = {}
+    try:
+        data = json.loads(raw)
+        if not isinstance(data, dict) or data.get("schema") != SCHEMA_VERSION:
+            return {}
+        for key, entry in data.get("entries", {}).items():
+            out[str(key)] = CachedVerdict.from_json(entry)
+    except (ValueError, KeyError, TypeError):
+        return {}
+    return out
 
 
 class ProofCache:
-    """An on-disk verdict store keyed by :func:`obligation_key`."""
+    """The tiered verdict store keyed by :func:`obligation_key`.
 
-    def __init__(self, path: Union[str, os.PathLike]) -> None:
+    ``path`` selects the on-disk (L1) representation:
+
+    * a directory (the conventional ``--cache-dir``) — the sharded CAS,
+      with a one-shot migration of any pre-existing monolithic
+      ``proof-cache.json`` found inside it;
+    * a ``.json`` path, or a path that already exists as a plain file —
+      the single-file store (kept for direct-file callers), saved with a
+      re-read-and-merge so concurrent writers union instead of clobber;
+    * ``None`` — memory-only (the L0 map, nothing persisted).
+
+    ``remote`` is an optional :class:`repro.verify.netcache.CacheClient`
+    (L2): :meth:`prefetch` pulls misses in one batched multi-GET and
+    :meth:`save` publishes fresh proofs write-behind.  Every network fault
+    is swallowed — the cache accelerates, it never gates."""
+
+    def __init__(self, path: Union[str, os.PathLike, None] = None, *,
+                 remote: Optional[object] = None) -> None:
+        self.stats = CacheStats()
+        self.remote = remote
+        self._entries: Dict[str, CachedVerdict] = {}  # L0
+        self._store: Optional[ShardedStore] = None  # L1 (CAS form)
+        self._legacy = False  # L1 is the single-file form
+        self._dirty: Set[str] = set()  # locally produced, pending L1 write
+        self._fetched: Set[str] = set()  # pulled from L2, pending L1 write
+        self._unpublished: Set[str] = set()  # proofs pending L2 publication
+        self._remote_seen: Set[str] = set()  # keys already asked of L2
+        self._cleared = False
+        if path is None:
+            self.file: Optional[Path] = None
+            return
         path = Path(path)
-        # Accept either a directory (the conventional ``--cache-dir``) or a
-        # direct path to the JSON file; a path that already exists as a plain
-        # file is the cache file, whatever its name.
         if path.suffix == ".json" or path.is_file():
             self.file = path
+            self._legacy = True
+            self._entries = _read_monolithic(path)
         else:
-            self.file = path / CACHE_FILENAME
-        self.stats = CacheStats()
-        self._entries: Dict[str, CachedVerdict] = {}
-        self._dirty = False
-        self._load()
+            self.file = path
+            self._store = ShardedStore(path, SCHEMA_VERSION)
+            self._migrate_monolithic()
 
     # -- persistence ---------------------------------------------------------
 
-    def _load(self) -> None:
-        try:
-            raw = self.file.read_text()
-        except OSError:
+    def _migrate_monolithic(self) -> None:
+        """One-shot import of a pre-CAS ``proof-cache.json`` into the store.
+
+        The old file is renamed (never deleted) once imported, so the
+        migration runs at most once per directory; keys already present in
+        the CAS win (they are newer)."""
+        assert self._store is not None
+        legacy = self._store.root / CACHE_FILENAME
+        if not legacy.is_file():
             return
+        imported = 0
+        for key, entry in _read_monolithic(legacy).items():
+            if not self._store.has(key) and self._store.put(key, entry.to_json()):
+                imported += 1
         try:
-            data = json.loads(raw)
-            if not isinstance(data, dict) or data.get("schema") != SCHEMA_VERSION:
-                return
-            for key, entry in data.get("entries", {}).items():
-                self._entries[str(key)] = CachedVerdict.from_json(entry)
-        except (ValueError, KeyError, TypeError):
-            # Corrupted or foreign file: start empty; the next save rewrites
-            # it atomically with well-formed contents.
-            self._entries = {}
+            legacy.rename(legacy.with_name(CACHE_FILENAME + ".migrated"))
+        except OSError:
+            return  # unwritable: harmless, the has() checks keep it idempotent
+        if imported:
+            print(
+                f"[proof-cache] migrated {imported} verdict(s) from {legacy} "
+                f"into the sharded store",
+                file=sys.stderr,
+            )
 
     def save(self) -> None:
-        """Atomically persist the store (no-op when nothing changed)."""
-        if not self._dirty:
+        """Persist pending verdicts to L1 and publish fresh proofs to L2.
+
+        In CAS form each pending verdict is one atomic file write — no
+        whole-store rewrite, nothing another run wrote is touched.  In the
+        single-file form the on-disk file is re-read and unioned first
+        (newest wins per key: our freshly-put keys beat the file, the file
+        beats our stale loads), so concurrent runs merge instead of
+        dropping each other's stores.  All network faults are swallowed."""
+        if self._legacy:
+            self._save_monolithic()
+        elif self._store is not None:
+            for key in sorted(self._dirty | self._fetched):
+                self._store.put(key, self._entries[key].to_json())
+            self._dirty.clear()
+            self._fetched.clear()
+        else:
+            self._dirty.clear()
+            self._fetched.clear()
+        self._flush_remote()
+
+    def _save_monolithic(self) -> None:
+        assert self.file is not None
+        if not self._dirty and not self._fetched and not self._cleared:
             return
         try:
             self.file.parent.mkdir(parents=True, exist_ok=True)
@@ -331,9 +444,20 @@ class ProofCache:
             # an unwritable location must not discard a finished verification.
             print(f"[proof-cache] not persisted: {exc}", file=sys.stderr)
             return
+        if self._cleared:
+            merged = dict(self._entries)
+        else:
+            # Merge-on-save: another run may have rewritten the file since
+            # we loaded it.  Union per key, newest wins: keys we put() this
+            # session are ours; everything else defers to the file.
+            fresh = self._dirty | self._fetched
+            merged = dict(self._entries)
+            for key, entry in _read_monolithic(self.file).items():
+                if key not in fresh:
+                    merged[key] = entry
         payload = {
             "schema": SCHEMA_VERSION,
-            "entries": {k: v.to_json() for k, v in sorted(self._entries.items())},
+            "entries": {k: v.to_json() for k, v in sorted(merged.items())},
         }
         fd, tmp = tempfile.mkstemp(
             dir=str(self.file.parent), prefix=self.file.name, suffix=".tmp"
@@ -348,36 +472,134 @@ class ProofCache:
             except OSError:
                 pass
             raise
-        self._dirty = False
+        self._entries = merged
+        self._dirty.clear()
+        self._fetched.clear()
+        self._cleared = False
+
+    def _flush_remote(self) -> None:
+        """Write-behind publication: one batched multi-PUT of new proofs."""
+        if not self._unpublished or self.remote is None or not self.remote.alive:
+            return
+        batch = {
+            key: self._entries[key].to_json()
+            for key in sorted(self._unpublished)
+            if key in self._entries
+        }
+        if self.remote.publish(batch):
+            self._unpublished.clear()
 
     # -- lookup --------------------------------------------------------------
 
     def __len__(self) -> int:
+        if self._store is not None:
+            keys = set(self._store.keys())
+            keys.update(self._entries)
+            return len(keys)
         return len(self._entries)
+
+    @property
+    def has_remote(self) -> bool:
+        return self.remote is not None
+
+    def location(self) -> str:
+        """Human-readable description of the configured tiers."""
+        parts = []
+        if self.file is not None:
+            parts.append(str(self.file))
+        if self.remote is not None:
+            parts.append(self.remote.describe())
+        return " + ".join(parts) if parts else "<memory>"
+
+    def _lookup(self, key: str) -> Optional[CachedVerdict]:
+        """Resolve L0 then L1 (filling L0); no stats, no network."""
+        entry = self._entries.get(key)
+        if entry is None and self._store is not None:
+            raw = self._store.get(key)
+            if raw is not None:
+                try:
+                    entry = CachedVerdict.from_json(raw)
+                except (KeyError, TypeError, ValueError):
+                    entry = None
+                if entry is not None:
+                    self._entries[key] = entry
+        return entry
+
+    def prefetch(self, keys: Sequence[str]) -> int:
+        """Warm L0 with every resolvable key; one batched L2 multi-GET.
+
+        Keys already resolved locally (or already asked of the network this
+        process) cost nothing, so per-pattern prefetches after a suite-wide
+        one never re-ask the daemon — a warm suite is one round trip.
+        Returns the number of entries pulled from the network tier."""
+        missing = []
+        for key in keys:
+            if self._lookup(key) is None and key not in self._remote_seen:
+                missing.append(key)
+        if not missing or self.remote is None or not self.remote.alive:
+            return 0
+        asked = sorted(set(missing))
+        self._remote_seen.update(asked)
+        pulled = 0
+        for key, raw in self.remote.multi_get(asked).items():
+            if key not in self._remote_seen or key in self._entries:
+                continue
+            try:
+                entry = CachedVerdict.from_json(raw)
+            except Exception:
+                continue  # a corrupt L2 entry is a miss, never an error
+            self._entries[key] = entry
+            self._fetched.add(key)  # read-through: persist locally on save
+            pulled += 1
+        return pulled
 
     def get(
         self, key: str, config_fp: str, backend: str = "internal"
     ) -> Optional[CachedVerdict]:
-        entry = self._entries.get(key)
-        if entry is not None and entry.replayable_for(config_fp, backend):
+        """A replayable verdict from L0/L1, or None.
+
+        Scoping (:meth:`CachedVerdict.replayable_for`) is applied here, on
+        the resolved entry, identically for every tier it may have come
+        from.  The network is never consulted per-key — batch with
+        :meth:`prefetch` first."""
+        entry = self._lookup(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.replayable_for(config_fp, backend):
             self.stats.hits += 1
             return entry
-        self.stats.misses += 1
+        self.stats.stale += 1
         return None
 
     def put(self, key: str, *, proved: bool, elapsed_s: float,
             context: Sequence[str] = (), config_fp: str = "",
             backend: str = "internal") -> None:
-        self._entries[key] = CachedVerdict(
+        entry = CachedVerdict(
             proved=proved,
             elapsed_s=elapsed_s,
             context=list(context)[:_MAX_CONTEXT_LINES],
             config=config_fp,
             backend=backend,
         )
+        existing = self._lookup(key)
+        if existing is not None and existing.same_payload(entry):
+            # Identical verdict already stored: re-writing it would churn
+            # bytes (and, in the single-file form, force a full rewrite)
+            # for no information.
+            return
+        self._entries[key] = entry
+        self._dirty.add(key)
+        self._fetched.discard(key)
         self.stats.stores += 1
-        self._dirty = True
+        if proved and self.remote is not None:
+            self._unpublished.add(key)
 
     def clear(self) -> None:
         self._entries = {}
-        self._dirty = True
+        self._dirty.clear()
+        self._fetched.clear()
+        self._unpublished.clear()
+        if self._store is not None:
+            self._store.clear()
+        self._cleared = True

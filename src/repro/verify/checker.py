@@ -270,8 +270,20 @@ class SoundnessChecker:
             cache = options.cache_dir
         else:
             _deprecated("cache", "cache_dir")
+        remote = None
+        if getattr(options, "cache_url", None):
+            from repro.verify.netcache import CacheClient
+
+            remote = CacheClient(
+                options.cache_url, timeout_s=options.cache_timeout_s
+            )
         if isinstance(cache, (str, os.PathLike)):
-            cache = ProofCache(cache)
+            cache = ProofCache(cache, remote=remote)
+        elif cache is None and remote is not None:
+            # L2 with no local directory: memory-only L0 over the network.
+            cache = ProofCache(None, remote=remote)
+        elif isinstance(cache, ProofCache) and remote is not None and cache.remote is None:
+            cache.remote = remote
         self.cache: Optional[ProofCache] = cache
         if jobs is _UNSET:
             jobs = options.jobs
@@ -307,13 +319,17 @@ class SoundnessChecker:
         report = SoundnessReport(name)
         results: List[Optional[ObligationResult]] = [None] * len(obligations)
         pending: List[Tuple[int, Obligation]] = []
+        keys: List[str] = []
+        if self.cache is not None:
+            keys = [obligation_key(ob, self._axiom_digest) for ob in obligations]
+            # Read-through: resolve every key L0 -> L1 -> (one batched
+            # multi-GET to) L2 before the obligation loop.  After a
+            # suite-wide prefetch this finds everything local and costs no
+            # network at all.
+            self.cache.prefetch(keys)
         for i, ob in enumerate(obligations):
             if self.cache is not None:
-                hit = self.cache.get(
-                    obligation_key(ob, self._axiom_digest),
-                    self._config_fp,
-                    self._backend_id,
-                )
+                hit = self.cache.get(keys[i], self._config_fp, self._backend_id)
                 if hit is not None:
                     results[i] = ObligationResult(
                         ob.name,
@@ -349,18 +365,97 @@ class SoundnessChecker:
                 results[i] = result
                 if self.cache is not None:
                     self.cache.put(
-                        obligation_key(ob, self._axiom_digest),
+                        keys[i],
                         proved=result.proved,
                         elapsed_s=result.elapsed_s,
                         context=result.context,
                         config_fp=self._config_fp,
                         backend=result.backend if result.proved else self._backend_id,
                     )
-            if self.cache is not None:
-                self.cache.save()
+        if self.cache is not None:
+            # Persist fresh verdicts (and L2 pulls) to L1, and publish new
+            # proofs write-behind; a fully warm pattern is a no-op.
+            self.cache.save()
 
         report.results = [r for r in results if r is not None]
         return report
+
+    # ------------------------------------------------------------------
+
+    def suite_obligation_keys(
+        self,
+        analyses: Sequence[PureAnalysis] = (),
+        optimizations: Sequence[Optimization] = (),
+    ) -> List[str]:
+        """Every obligation key the given items will generate, in order.
+
+        This *simulates* the registration order the real ``check_*`` calls
+        will use (analyses register their labels as they are checked;
+        optimizations register their own analyses first), over a scratch
+        copy of the checker's state — computing keys never mutates the
+        checker.  The simulation is advisory: if it diverges from the live
+        run (a failing analysis, a translation error), the only cost is a
+        cache miss later."""
+        meanings: Dict[str, PureAnalysis] = dict(self.semantic_meanings)
+        seen = set(self._analysis_cache)
+        keys: List[str] = []
+
+        def _add(obligations: Sequence[Obligation]) -> None:
+            keys.extend(
+                obligation_key(ob, self._axiom_digest) for ob in obligations
+            )
+
+        def _analysis(analysis: PureAnalysis) -> None:
+            if analysis.name in seen:
+                return
+            seen.add(analysis.name)
+            try:
+                obs = ObligationBuilder(
+                    self.registry, meanings
+                ).analysis_obligations(analysis)
+            except Exception:
+                return
+            _add(obs)
+            meanings[analysis.label_name] = analysis
+
+        for analysis in analyses:
+            _analysis(analysis)
+        for opt in optimizations:
+            for analysis in opt.analyses:
+                meanings[analysis.label_name] = analysis
+            for analysis in opt.analyses:
+                _analysis(analysis)
+            pattern = opt.pattern
+            builder = ObligationBuilder(self.registry, meanings)
+            try:
+                if isinstance(pattern, ForwardPattern):
+                    obs = builder.forward_obligations(pattern)
+                elif isinstance(pattern, BackwardPattern):
+                    obs = builder.backward_obligations(pattern)
+                else:
+                    continue
+            except Exception:
+                continue
+            _add(obs)
+        return keys
+
+    def prefetch_suite(
+        self,
+        analyses: Sequence[PureAnalysis] = (),
+        optimizations: Sequence[Optimization] = (),
+    ) -> int:
+        """One batched L2 multi-GET covering the whole upcoming suite.
+
+        With a network tier configured, this turns a warm suite replay into
+        a single HTTP round trip: every later per-pattern prefetch finds
+        its keys already resolved.  Without a network tier it is a no-op
+        (per-pattern L1 reads are already cheap).  Returns the number of
+        verdicts pulled from the network."""
+        if self.cache is None or not self.cache.has_remote:
+            return 0
+        return self.cache.prefetch(
+            self.suite_obligation_keys(analyses, optimizations)
+        )
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,442 @@
+"""Networked proof-cache tier (L2): a CAS daemon and its fail-open client.
+
+Proved verdicts are immutable, content-addressed artifacts — treat them
+like a CDN would.  ``repro cache serve`` exposes a :class:`ShardedStore`
+over a tiny stdlib-only HTTP/1.1 protocol, so CI, a worker fleet, and
+every developer machine can replay one shared proof corpus:
+
+    GET  /v<schema>/objects/<key>  -> 200 {"schema": N, "entry": {...}} | 404
+    PUT  /v<schema>/objects/<key>  <- {"entry": {...}}   -> 204
+    POST /v<schema>/multi-get      <- {"keys": [...]}    -> {"schema": N, "entries": {...}}
+    POST /v<schema>/multi-put      <- {"entries": {...}} -> {"stored": n}
+    GET  /v<schema>/stats          -> 200 {"schema": N, "objects": n}
+
+The cache schema version is baked into every path: a daemon serving a
+different schema answers 404 and the client sees a miss — never a
+misparsed verdict.
+
+The client side is built for the checker's access pattern: one *batched*
+multi-GET per suite (read-through), one batched multi-PUT of fresh proofs
+(write-behind), over kept-alive connections with hard request timeouts.
+Multiple upstreams are sharded by digest prefix, mirroring the on-disk
+layout.  Above all it is **fail-open**: any network fault — refused
+connection, wedged socket, mid-stream disconnect, corrupt response —
+silently degrades that upstream to "dead" and the caller falls back to
+L1/L0 or live proving.  The cache is an accelerator, never a correctness
+dependency; no network error ever reaches the checker.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import re
+import socket
+import urllib.parse
+import zlib
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.verify.cache import SCHEMA_VERSION
+from repro.verify.cas import ShardedStore, safe_key
+
+#: Request-body hard caps (the daemon is not a general web server).
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+_MAX_BATCH_KEYS = 100_000
+
+DEFAULT_PORT = 8417
+DEFAULT_TIMEOUT_S = 2.0
+
+
+# ---------------------------------------------------------------------------
+# Daemon
+# ---------------------------------------------------------------------------
+
+
+class CacheRequestHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"  # keep-alive: clients reuse connections
+    server_version = "repro-cache"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _route(self) -> Optional[str]:
+        """Strip the schema prefix; None when the schema does not match."""
+        prefix = f"/v{self.server.schema}/"
+        path = urllib.parse.urlsplit(self.path).path
+        if not path.startswith(prefix):
+            return None
+        return path[len(prefix):]
+
+    def _reply(self, code: int, payload: Optional[dict] = None) -> None:
+        body = b"" if payload is None else json.dumps(payload).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if body:
+            self.wfile.write(body)
+
+    def _read_json(self) -> Optional[dict]:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            return None
+        if length < 0 or length > _MAX_BODY_BYTES:
+            return None
+        try:
+            data = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, OSError):
+            return None
+        return data if isinstance(data, dict) else None
+
+    # -- verbs --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        route = self._route()
+        if route is None:
+            self._reply(404, {"error": "unknown schema or path"})
+        elif route == "stats":
+            self._reply(
+                200,
+                {"schema": self.server.schema,
+                 "objects": self.server.store.count()},
+            )
+        elif route.startswith("objects/"):
+            key = route[len("objects/"):]
+            entry = self.server.store.get(key) if safe_key(key) else None
+            if entry is None:
+                self._reply(404, {"error": "absent"})
+            else:
+                self._reply(200, {"schema": self.server.schema, "entry": entry})
+        else:
+            self._reply(404, {"error": "unknown path"})
+
+    def do_PUT(self) -> None:  # noqa: N802
+        route = self._route()
+        body = self._read_json()
+        if route is None or not route.startswith("objects/"):
+            self._reply(404, {"error": "unknown schema or path"})
+            return
+        key = route[len("objects/"):]
+        entry = (body or {}).get("entry")
+        if not safe_key(key) or not isinstance(entry, dict):
+            self._reply(400, {"error": "bad key or entry"})
+            return
+        self.server.store.put(key, entry)
+        self._reply(204)
+
+    def do_POST(self) -> None:  # noqa: N802
+        route = self._route()
+        body = self._read_json()
+        if route is None:
+            self._reply(404, {"error": "unknown schema or path"})
+            return
+        if body is None:
+            self._reply(400, {"error": "bad json body"})
+            return
+        if route == "multi-get":
+            keys = body.get("keys")
+            if not isinstance(keys, list) or len(keys) > _MAX_BATCH_KEYS:
+                self._reply(400, {"error": "bad keys"})
+                return
+            entries = {}
+            for key in keys:
+                if safe_key(key):
+                    entry = self.server.store.get(key)
+                    if entry is not None:
+                        entries[key] = entry
+            self._reply(200, {"schema": self.server.schema, "entries": entries})
+        elif route == "multi-put":
+            entries = body.get("entries")
+            if not isinstance(entries, dict) or len(entries) > _MAX_BATCH_KEYS:
+                self._reply(400, {"error": "bad entries"})
+                return
+            stored = 0
+            for key, entry in entries.items():
+                if safe_key(key) and isinstance(entry, dict):
+                    if self.server.store.put(key, entry):
+                        stored += 1
+            self._reply(200, {"schema": self.server.schema, "stored": stored})
+        else:
+            self._reply(404, {"error": "unknown path"})
+
+
+class CacheServer(ThreadingHTTPServer):
+    """``repro cache serve``: a :class:`ShardedStore` behind HTTP."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, directory, host: str = "127.0.0.1", port: int = 0,
+                 *, verbose: bool = False) -> None:
+        self.store = ShardedStore(directory, SCHEMA_VERSION)
+        self.schema = SCHEMA_VERSION
+        self.verbose = verbose
+        #: accepted TCP connections — observable proof of keep-alive reuse
+        self.connections = 0
+        super().__init__((host, port), CacheRequestHandler)
+
+    def process_request(self, request, client_address):
+        self.connections += 1
+        super().process_request(request, client_address)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def serve(directory, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+          *, verbose: bool = True) -> int:
+    """Run the cache daemon until interrupted (the CLI entry point)."""
+    server = CacheServer(directory, host, port, verbose=verbose)
+    print(f"[cache-serve] listening on {server.url} "
+          f"(store: {directory}, schema v{SCHEMA_VERSION})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Client
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ClientStats:
+    """Observability for the network tier (printed by the CLI cache line)."""
+
+    #: HTTP round trips attempted (the acceptance budget: one batched
+    #: multi-GET plus one write-behind flush per warm suite)
+    requests: int = 0
+    hits: int = 0
+    misses: int = 0
+    published: int = 0
+    errors: int = 0
+
+    def __str__(self) -> str:
+        return (f"{self.requests} round trip(s), {self.hits} hit(s), "
+                f"{self.misses} miss(es), {self.published} published, "
+                f"{self.errors} error(s)")
+
+
+#: Connection-level faults worth one reconnect: the server closed an idle
+#: keep-alive socket under us.  Timeouts are deliberately *not* retried — a
+#: wedged upstream must cost one timeout, not two.
+_RECONNECT_ERRORS = (
+    ConnectionResetError,
+    BrokenPipeError,
+    http.client.RemoteDisconnected,
+    http.client.CannotSendRequest,
+)
+
+
+class _Upstream:
+    """One daemon endpoint: a kept-alive connection plus a liveness bit."""
+
+    def __init__(self, url: str, timeout_s: float) -> None:
+        if "://" not in url:
+            url = "http://" + url
+        parsed = urllib.parse.urlsplit(url)
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise ValueError(f"cache upstream must be an http:// URL: {url!r}")
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.base = parsed.path.rstrip("/")
+        self.url = f"http://{self.host}:{self.port}{self.base}"
+        self.timeout_s = timeout_s
+        self.alive = True
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+        return self._conn
+
+    def close(self) -> None:
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            try:
+                conn.close()
+            except Exception:
+                pass
+
+    def request(self, method: str, path: str,
+                payload: Optional[dict] = None) -> Optional[Tuple[int, bytes]]:
+        """One request over the kept-alive connection; None on any fault.
+
+        A stale keep-alive socket gets exactly one reconnect; every other
+        fault (refused, timeout, mid-stream error) marks the upstream dead
+        so later batches skip it entirely — fail-open, never fail-slow."""
+        body = None if payload is None else json.dumps(payload).encode()
+        for attempt in (0, 1):
+            try:
+                conn = self._connection()
+                conn.request(
+                    method, self.base + path, body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                data = response.read()
+                return response.status, data
+            except Exception as exc:
+                self.close()
+                if attempt == 0 and isinstance(exc, _RECONNECT_ERRORS):
+                    continue
+                self.alive = False
+                return None
+        return None
+
+
+class CacheClient:
+    """Fail-open client for one or more cache daemons.
+
+    ``urls`` may be a single URL, a comma-separated string, or a sequence;
+    with several upstreams, keys are sharded by digest prefix (the same
+    two-hex-character prefix that shards the on-disk store), so each
+    upstream holds a disjoint slice of the corpus."""
+
+    def __init__(self, urls: Union[str, Sequence[str]],
+                 timeout_s: float = DEFAULT_TIMEOUT_S) -> None:
+        if isinstance(urls, str):
+            urls = [u.strip() for u in urls.split(",") if u.strip()]
+        self._upstreams = [_Upstream(url, timeout_s) for url in urls]
+        if not self._upstreams:
+            raise ValueError("cache client needs at least one upstream URL")
+        self.stats = ClientStats()
+
+    # -- plumbing ------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return any(u.alive for u in self._upstreams)
+
+    def describe(self) -> str:
+        return ",".join(u.url for u in self._upstreams)
+
+    def close(self) -> None:
+        for upstream in self._upstreams:
+            upstream.close()
+
+    def shard_for(self, key: str) -> _Upstream:
+        if len(self._upstreams) == 1:
+            return self._upstreams[0]
+        try:
+            prefix = int(key[:2], 16)
+        except (ValueError, TypeError):
+            prefix = zlib.crc32(str(key).encode())
+        return self._upstreams[prefix % len(self._upstreams)]
+
+    def _exchange(self, upstream: _Upstream, method: str, path: str,
+                  payload: Optional[dict] = None) -> Optional[Tuple[int, object]]:
+        """One round trip; parsed ``(status, json)`` or None on any fault.
+
+        A 2xx response that is not well-formed JSON is a *corrupt* upstream
+        — poisoned the same way as a network fault."""
+        if not upstream.alive:
+            return None
+        self.stats.requests += 1
+        # The schema version is part of every path: a daemon serving a
+        # different schema 404s and we see honest misses, never misparses.
+        out = upstream.request(method, f"/v{SCHEMA_VERSION}{path}", payload)
+        if out is None:
+            self.stats.errors += 1
+            return None
+        status, data = out
+        parsed: object = None
+        if data:
+            try:
+                parsed = json.loads(data)
+            except ValueError:
+                if status < 400:
+                    self.stats.errors += 1
+                    upstream.alive = False
+                    return None
+        return status, parsed
+
+    def _groups(self, keys: Iterable[str]) -> Dict[_Upstream, List[str]]:
+        groups: Dict[_Upstream, List[str]] = {}
+        for key in keys:
+            groups.setdefault(self.shard_for(key), []).append(key)
+        return groups
+
+    # -- operations ----------------------------------------------------------
+
+    def multi_get(self, keys: Sequence[str]) -> Dict[str, dict]:
+        """Batched read: one POST per (alive) upstream shard."""
+        found: Dict[str, dict] = {}
+        for upstream, group in self._groups(keys).items():
+            out = self._exchange(upstream, "POST", "/multi-get", {"keys": group})
+            if out is None:
+                continue
+            status, payload = out
+            entries = payload.get("entries") if isinstance(payload, dict) else None
+            if status != 200 or not isinstance(entries, dict):
+                # A daemon that answers but not with our protocol (schema
+                # mismatch 404s land here too) cannot be trusted for reads.
+                if status != 404:
+                    self.stats.errors += 1
+                    upstream.alive = False
+                continue
+            asked = set(group)
+            for key, entry in entries.items():
+                if key in asked and isinstance(entry, dict):
+                    found[key] = entry
+        self.stats.hits += len(found)
+        self.stats.misses += len(set(keys)) - len(found)
+        return found
+
+    def publish(self, entries: Dict[str, dict]) -> bool:
+        """Batched write-behind: one POST per upstream shard; True only if
+        every shard accepted its slice (callers keep unacknowledged entries
+        queued)."""
+        if not entries:
+            return True
+        ok = True
+        for upstream, group in self._groups(entries).items():
+            payload = {"entries": {k: entries[k] for k in group}}
+            out = self._exchange(upstream, "POST", "/multi-put", payload)
+            if out is None or out[0] != 200:
+                ok = False
+                continue
+            self.stats.published += len(group)
+        return ok
+
+    def get(self, key: str) -> Optional[dict]:
+        """Single-object read (tools; the checker batches instead)."""
+        out = self._exchange(self.shard_for(key), "GET", f"/objects/{key}")
+        if out is None:
+            return None
+        status, payload = out
+        if status != 200 or not isinstance(payload, dict):
+            return None
+        entry = payload.get("entry")
+        return entry if isinstance(entry, dict) else None
+
+    def put(self, key: str, entry: dict) -> bool:
+        out = self._exchange(
+            self.shard_for(key), "PUT", f"/objects/{key}", {"entry": entry}
+        )
+        return out is not None and out[0] in (200, 204)
+
+    def fetch_stats(self) -> List[Tuple[str, Optional[dict]]]:
+        """Per-upstream ``/stats`` payloads (None for unreachable ones)."""
+        rows: List[Tuple[str, Optional[dict]]] = []
+        for upstream in self._upstreams:
+            out = self._exchange(upstream, "GET", "/stats")
+            if out is None or out[0] != 200 or not isinstance(out[1], dict):
+                rows.append((upstream.url, None))
+            else:
+                rows.append((upstream.url, out[1]))
+        return rows

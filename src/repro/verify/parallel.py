@@ -42,6 +42,26 @@ _WORKER_BACKEND = None
 _WORKER_KEY: Optional[Tuple[str, object]] = None
 _WORKER_CLEANUP_REGISTERED = False
 
+#: Per-worker L0 cache (an in-memory :class:`repro.verify.cache.ProofCache`)
+#: keyed by obligation content hash.  Duplicate obligations landing on the
+#: same worker — identical goals minted by different patterns, fuzzing
+#: campaigns re-proving shared skeletons — replay instead of re-searching.
+#: Replay scoping is the same :meth:`CachedVerdict.replayable_for` rule the
+#: persistent tiers enforce, so a worker can never replay a verdict the
+#: parent's cache would have rejected.
+_WORKER_L0 = None
+_WORKER_DIGEST: Optional[str] = None
+
+
+def _worker_axiom_digest() -> str:
+    global _WORKER_DIGEST
+    if _WORKER_DIGEST is None:
+        from repro.verify.cache import axioms_digest
+        from repro.verify.encode import CONSTRUCTORS, all_axioms
+
+        _WORKER_DIGEST = axioms_digest(all_axioms(), CONSTRUCTORS)
+    return _WORKER_DIGEST
+
 
 def _config_fp(config: ProverConfig) -> str:
     from repro.verify.cache import config_fingerprint
@@ -68,15 +88,23 @@ def _worker_close() -> None:
 
 
 def _worker_init(config: ProverConfig, spec=None) -> None:
-    global _WORKER_BACKEND, _WORKER_KEY, _WORKER_CLEANUP_REGISTERED
+    global _WORKER_BACKEND, _WORKER_KEY, _WORKER_CLEANUP_REGISTERED, _WORKER_L0
     from repro.prover.backends.base import BackendSpec, resolve_backend
+    from repro.verify.cache import ProofCache
 
     _worker_close()  # a re-init replaces (and releases) the old backend
-    spec = spec or BackendSpec()
+    # The key holds the spec *as tasks carry it* (possibly None), so the
+    # per-task staleness check compares like with like and a default-spec
+    # worker is not torn down and rebuilt on every obligation.
+    _WORKER_KEY = (_config_fp(config), spec)
     # quiet=True: solver discovery (and any missing-solver warning) already
     # happened in the parent — worker specs carry the resolved command.
-    _WORKER_BACKEND = resolve_backend(spec, config, quiet=True)
-    _WORKER_KEY = (_config_fp(config), spec)
+    _WORKER_BACKEND = resolve_backend(spec or BackendSpec(), config, quiet=True)
+    if _WORKER_L0 is None:
+        # One L0 per worker *process*, surviving backend/config re-inits:
+        # entries are scoped by config and backend identity at replay time,
+        # so keeping them across a reconfigure is safe by construction.
+        _WORKER_L0 = ProofCache(None)
     if not _WORKER_CLEANUP_REGISTERED:
         # Pool workers exit normally on executor shutdown, so atexit is the
         # teardown hook: warm solver sessions never outlive the pool.
@@ -85,12 +113,37 @@ def _worker_init(config: ProverConfig, spec=None) -> None:
 
 
 def _worker_discharge(task: Tuple[int, str, object, ProverConfig, object]):
-    """Discharge one obligation in a worker process."""
+    """Discharge one obligation in a worker process (L0-cached)."""
     global _WORKER_BACKEND, _WORKER_KEY
+    from repro.verify.cache import obligation_key
+    from repro.verify.checker import ObligationResult
+
     index, owner, obligation, config, spec = task
     if _WORKER_BACKEND is None or _WORKER_KEY != (_config_fp(config), spec):
         _worker_init(config, spec)
-    return index, _WORKER_BACKEND.discharge(owner, obligation)
+    config_fp = _config_fp(config)
+    backend_id = _WORKER_BACKEND.identity()
+    key = obligation_key(obligation, _worker_axiom_digest())
+    hit = _WORKER_L0.get(key, config_fp, backend_id)
+    if hit is not None:
+        return index, ObligationResult(
+            obligation.name,
+            hit.proved,
+            0.0,
+            list(hit.context),
+            cached=True,
+            backend=hit.backend,
+        )
+    result = _WORKER_BACKEND.discharge(owner, obligation)
+    _WORKER_L0.put(
+        key,
+        proved=result.proved,
+        elapsed_s=result.elapsed_s,
+        context=result.context,
+        config_fp=config_fp,
+        backend=result.backend if result.proved else backend_id,
+    )
+    return index, result
 
 
 def _hard_timeout(config: ProverConfig, override: Optional[float]) -> float:

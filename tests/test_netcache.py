@@ -1,0 +1,249 @@
+"""The networked proof-cache tier (repro.verify.netcache).
+
+Two layers of contract:
+
+* wire level — the daemon serves/accepts verdict objects over the batched
+  JSON protocol, connections are kept alive (one TCP connection for many
+  round trips), multiple upstreams shard by digest prefix;
+* failure level — the client is *strictly fail-open*: a refused port, a
+  wedged socket, a corrupt response, or a daemon dying mid-suite all
+  degrade to cache misses, never exceptions, and the final verification
+  report is byte-identical to a cache-off run.
+
+The end-to-end tests drive real ``verify_suite`` runs through a real
+daemon on a loopback socket and compare canonical reports.
+"""
+
+import socket
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.api import ProverOptions, VerifyOptions, verify_suite
+from repro.opts import const_fold, const_prop
+from repro.verify.cache import SCHEMA_VERSION, ProofCache
+from repro.verify.netcache import CacheClient, CacheServer
+from repro.verify.cas import ShardedStore
+
+FAST = ProverOptions(timeout_s=60.0)
+MINI_SUITE = dict(analyses=[], optimizations=[const_prop, const_fold])
+
+
+def _entry(proved=True, config="", backend="internal"):
+    return {"proved": proved, "elapsed_s": 0.1, "context": [],
+            "config": config, "backend": backend}
+
+
+def _start(tmp_path, name="store"):
+    server = CacheServer(tmp_path / name, port=0)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return server
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    server = _start(tmp_path)
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+class TestWireProtocol:
+    def test_single_object_round_trip(self, daemon):
+        client = CacheClient(daemon.url)
+        assert client.get("aabbcc") is None
+        assert client.put("aabbcc", _entry())
+        got = client.get("aabbcc")
+        assert got is not None and got["proved"] is True
+        # The object landed in the daemon's sharded store.
+        assert daemon.store.has("aabbcc")
+
+    def test_batched_round_trip(self, daemon):
+        client = CacheClient(daemon.url)
+        entries = {f"aa{i:04x}": _entry() for i in range(8)}
+        assert client.publish(entries)
+        found = client.multi_get(list(entries) + ["ffffff"])
+        assert set(found) == set(entries)
+        assert client.stats.published == 8
+
+    def test_connections_are_reused(self, daemon):
+        client = CacheClient(daemon.url)
+        for _ in range(5):
+            client.multi_get(["aa1111", "bb2222"])
+        client.put("cc3333", _entry())
+        assert client.stats.requests == 6
+        # Keep-alive: every round trip rode one TCP connection.
+        assert daemon.connections == 1
+
+    def test_two_upstreams_shard_by_digest_prefix(self, tmp_path):
+        even = _start(tmp_path, "even")
+        odd = _start(tmp_path, "odd")
+        try:
+            client = CacheClient(f"{even.url},{odd.url}")
+            # 0x00 % 2 == 0, 0xff % 2 == 1: one key per shard.
+            assert client.publish({"00aaaa": _entry(), "ffbbbb": _entry()})
+            assert even.store.has("00aaaa") and not even.store.has("ffbbbb")
+            assert odd.store.has("ffbbbb") and not odd.store.has("00aaaa")
+            # Reads fan out to the right shard and merge.
+            assert set(client.multi_get(["00aaaa", "ffbbbb"])) == {
+                "00aaaa", "ffbbbb"}
+        finally:
+            for server in (even, odd):
+                server.shutdown()
+                server.server_close()
+
+    def test_schema_mismatch_is_a_miss_not_poison(self, daemon):
+        daemon.store.put("aa1234", _entry())
+        client = CacheClient(daemon.url)
+        daemon.schema = SCHEMA_VERSION + 1  # daemon now speaks v(N+1)
+        assert client.multi_get(["aa1234"]) == {}
+        # A 404 is an honest miss; the upstream is not marked dead.
+        assert client.alive
+
+    def test_unsafe_keys_rejected_by_daemon(self, daemon):
+        client = CacheClient(daemon.url)
+        assert not client.put("../escape", _entry())
+        assert not (daemon.store.root / ".." / "escape.json").exists()
+
+
+class _GarbageHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002
+        pass
+
+    def _garbage(self):
+        length = int(self.headers.get("Content-Length", 0))
+        if length:
+            self.rfile.read(length)
+        body = b"<html>definitely not the cache protocol</html>"
+        self.send_response(200)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = _garbage
+    do_POST = _garbage
+    do_PUT = _garbage
+
+
+class TestFailOpen:
+    def test_refused_connection(self):
+        client = CacheClient("http://127.0.0.1:1", timeout_s=0.5)
+        assert client.multi_get(["aa1111"]) == {}
+        assert client.get("aa1111") is None
+        assert not client.publish({"aa1111": _entry()})
+        assert not client.alive
+        # Dead upstreams are skipped without further round trips.
+        before = client.stats.requests
+        assert client.multi_get(["bb2222"]) == {}
+        assert client.stats.requests == before
+
+    def test_wedged_socket_costs_one_timeout(self):
+        wedge = socket.socket()
+        wedge.bind(("127.0.0.1", 0))
+        wedge.listen(1)  # accepts, never answers
+        try:
+            url = f"http://127.0.0.1:{wedge.getsockname()[1]}"
+            client = CacheClient(url, timeout_s=0.3)
+            start = time.monotonic()
+            assert client.multi_get(["aa1111"]) == {}
+            elapsed = time.monotonic() - start
+            assert elapsed < 2.0  # one timeout, no retry storm
+            assert not client.alive
+        finally:
+            wedge.close()
+
+    def test_corrupt_response_poisons_upstream(self):
+        server = ThreadingHTTPServer(("127.0.0.1", 0), _GarbageHandler)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        try:
+            url = f"http://127.0.0.1:{server.server_address[1]}"
+            client = CacheClient(url, timeout_s=1.0)
+            assert client.multi_get(["aa1111"]) == {}
+            assert not client.alive
+            assert client.stats.errors >= 1
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_prefetch_and_publish_survive_dead_remote(self, tmp_path):
+        cache = ProofCache(
+            tmp_path, remote=CacheClient("http://127.0.0.1:1", timeout_s=0.3)
+        )
+        cache.put("aa1111", proved=True, elapsed_s=0.1)
+        cache.prefetch(["bb2222"])
+        cache.save()  # publish fails silently; L1 still written
+        assert ShardedStore(tmp_path, SCHEMA_VERSION).has("aa1111")
+
+
+class TestEndToEnd:
+    def _canonical_off(self):
+        return verify_suite(VerifyOptions(prover=FAST), **MINI_SUITE).canonical()
+
+    def test_warm_l2_only_replay(self, tmp_path, daemon):
+        baseline = self._canonical_off()
+
+        # Cold run: local L1 plus the daemon; fresh proofs are published.
+        cold = verify_suite(
+            VerifyOptions(prover=FAST, cache_dir=str(tmp_path / "l1"),
+                          cache_url=daemon.url),
+            **MINI_SUITE,
+        )
+        assert cold.canonical() == baseline
+        assert cold.cache.remote.stats.published > 0
+        assert daemon.store.count() == cold.cache.remote.stats.published
+
+        # Warm run with *no* local cache directory: every verdict must come
+        # from the network tier, in at most two round trips (one batched
+        # suite prefetch; nothing new to publish), byte-identically.
+        warm = verify_suite(
+            VerifyOptions(prover=FAST, cache_url=daemon.url), **MINI_SUITE
+        )
+        assert warm.canonical() == baseline
+
+        def results(report):
+            for dep in report.dependencies:
+                yield from results(dep)
+            yield from report.results
+
+        assert all(r.cached for rep in warm.reports for r in results(rep))
+        assert warm.cache.remote.stats.requests <= 2
+        assert warm.cache.remote.stats.hits > 0
+
+    def test_l2_pulls_are_persisted_to_l1(self, tmp_path, daemon):
+        verify_suite(
+            VerifyOptions(prover=FAST, cache_dir=str(tmp_path / "a"),
+                          cache_url=daemon.url),
+            **MINI_SUITE,
+        )
+        # A different machine (fresh L1) warms from the network...
+        verify_suite(
+            VerifyOptions(prover=FAST, cache_dir=str(tmp_path / "b"),
+                          cache_url=daemon.url),
+            **MINI_SUITE,
+        )
+        # ...and read-through persists the pulled verdicts locally.
+        store = ShardedStore(tmp_path / "b", SCHEMA_VERSION)
+        assert store.count() > 0
+
+    def test_daemon_killed_mid_suite_fails_open(self, tmp_path):
+        baseline = self._canonical_off()
+        server = _start(tmp_path)
+        killed = threading.Event()
+
+        def kill_after_first(report):
+            if not killed.is_set():
+                killed.set()
+                server.shutdown()
+                server.server_close()
+
+        suite = verify_suite(
+            VerifyOptions(prover=FAST, cache_url=server.url),
+            progress=kill_after_first,
+            **MINI_SUITE,
+        )  # must not raise
+        assert killed.is_set()
+        assert suite.canonical() == baseline

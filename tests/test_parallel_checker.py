@@ -142,3 +142,18 @@ class TestFallbacks:
         monkeypatch.setattr(parallel_mod, "discharge_parallel", boom)
         checker = SoundnessChecker(config=FAST, jobs=1)
         assert checker.check_optimization(const_fold).sound
+
+
+class TestWorkerL0Cache:
+    def test_duplicate_obligations_replay_from_worker_memory(self):
+        # A single worker (jobs=1 pool still has one real worker process)
+        # sees the same obligation three times; the second and third must
+        # replay from the worker's in-memory L0 with identical verdicts.
+        ob = ObligationBuilder(standard_registry()).forward_obligations(
+            const_fold.pattern
+        )[0]
+        results = discharge_parallel("constFold", [ob, ob, ob], FAST, jobs=1)
+        assert [r.proved for r in results] == [True, True, True]
+        assert not results[0].cached
+        assert results[1].cached and results[2].cached
+        assert {r.obligation for r in results} == {ob.name}

@@ -8,7 +8,10 @@ Covers the cache contract the parallel/cached checker relies on:
 * invalidation when an optimization's guards, witness, or the background
   axiom set change (the key covers all proof inputs);
 * ``unknown`` verdicts are config-scoped while ``proved`` ones are not;
-* a corrupted cache file is recovered from, never fatal.
+* a corrupted cache file is recovered from, never fatal;
+* the sharded on-disk store (one file per verdict) merges concurrent
+  writers instead of clobbering, and the pre-CAS monolithic file is
+  migrated exactly once.
 """
 
 import dataclasses
@@ -54,8 +57,18 @@ class TestRoundTrip:
         report_cold = cold.check_optimization(const_fold)
         assert report_cold.sound
         assert cold.cache.stats.hits == 0
-        assert cold.cache.stats.stores == len(report_cold.results)
-        assert (tmp_path / CACHE_FILENAME).exists()
+        # One content-addressed object per *distinct* verdict (constFold's
+        # F2/F3 share a goal, hence a key — the identical re-put is
+        # skipped), sharded by key prefix.
+        digest = axioms_digest(all_axioms(), CONSTRUCTORS)
+        distinct = {obligation_key(ob, digest)
+                    for ob in _obligations(const_fold.pattern)}
+        assert cold.cache.stats.stores == len(distinct)
+        objects = tmp_path / "objects"
+        assert objects.is_dir()
+        stored = list(objects.glob("*/*.json"))
+        assert len(stored) == len(distinct)
+        assert all(p.parent.name == p.stem[:2] for p in stored)
 
         warm = SoundnessChecker(config=FAST, cache=tmp_path)
         report_warm = warm.check_optimization(const_fold)
@@ -168,14 +181,26 @@ class TestConfigScoping:
 
 class TestRobustness:
     def test_corrupted_file_recovered(self, tmp_path):
+        # A corrupt pre-CAS monolithic file contributes nothing, never
+        # crashes, and is moved aside so it is not re-read forever.
         path = tmp_path / CACHE_FILENAME
         path.write_text('{"schema": 1, "entries": {truncated')
         cache = ProofCache(tmp_path)
         assert len(cache) == 0
         cache.put("k", proved=True, elapsed_s=0.5)
         cache.save()
-        assert json.loads(path.read_text())["schema"] == SCHEMA_VERSION
+        assert not path.exists()
         assert len(ProofCache(tmp_path)) == 1
+
+    def test_corrupted_object_treated_as_absent(self, tmp_path):
+        cache = ProofCache(tmp_path)
+        cache.put("deadbeef", proved=True, elapsed_s=0.5)
+        cache.save()
+        obj = tmp_path / "objects" / "de" / "deadbeef.json"
+        obj.write_text("{not json")
+        fresh = ProofCache(tmp_path)
+        assert fresh.get("deadbeef", "") is None
+        assert fresh.stats.misses == 1
 
     def test_wrong_schema_ignored(self, tmp_path):
         path = tmp_path / CACHE_FILENAME
@@ -183,14 +208,17 @@ class TestRobustness:
         assert len(ProofCache(tmp_path)) == 0
 
     def test_missing_directory_created_on_save(self, tmp_path):
-        cache = ProofCache(tmp_path / "deep" / "nested")
+        root = tmp_path / "deep" / "nested"
+        cache = ProofCache(root)
         cache.put("k", proved=True, elapsed_s=0.1)
         cache.save()
-        assert (tmp_path / "deep" / "nested" / CACHE_FILENAME).exists()
+        assert (root / "objects" / "k" / "k.json").exists()
+        assert len(ProofCache(root)) == 1
 
     def test_save_without_changes_is_noop(self, tmp_path):
         cache = ProofCache(tmp_path)
         cache.save()
+        assert not (tmp_path / "objects").exists()
         assert not (tmp_path / CACHE_FILENAME).exists()
 
     def test_direct_json_path_accepted(self, tmp_path):
@@ -220,3 +248,114 @@ class TestRobustness:
         cache.put("k", proved=True, elapsed_s=0.1)
         cache.save()  # must not raise
         assert "[proof-cache] not persisted" in capsys.readouterr().err
+
+
+class TestMigration:
+    def _monolithic(self, path, entries):
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "entries": {
+                k: {"proved": True, "elapsed_s": 0.1, "context": [],
+                    "config": "", "backend": "internal"}
+                for k in entries
+            },
+        }
+        path.write_text(json.dumps(payload))
+
+    def test_monolithic_migrated_once(self, tmp_path, capsys):
+        legacy = tmp_path / CACHE_FILENAME
+        self._monolithic(legacy, ["aaaa", "bbbb"])
+        cache = ProofCache(tmp_path)
+        err = capsys.readouterr().err
+        assert "migrated 2 verdict(s)" in err
+        assert not legacy.exists()
+        assert (tmp_path / (CACHE_FILENAME + ".migrated")).exists()
+        assert cache.get("aaaa", "") is not None
+        assert (tmp_path / "objects" / "aa" / "aaaa.json").exists()
+        # Second open: nothing left to migrate, no message.
+        again = ProofCache(tmp_path)
+        assert "migrated" not in capsys.readouterr().err
+        assert again.get("bbbb", "") is not None
+
+    def test_migration_does_not_clobber_newer_objects(self, tmp_path):
+        cas = ProofCache(tmp_path)
+        cas.put("aaaa", proved=False, elapsed_s=0.1, config_fp="newer")
+        cas.save()
+        self._monolithic(tmp_path / CACHE_FILENAME, ["aaaa", "bbbb"])
+        fresh = ProofCache(tmp_path)
+        hit = fresh.get("aaaa", "newer")
+        assert hit is not None and not hit.proved  # the CAS object won
+        assert fresh.get("bbbb", "") is not None  # the new key was imported
+
+
+class TestConcurrentWriters:
+    """Two caches over one location must union, not clobber (the old
+    monolithic save was last-writer-wins over the *whole file*)."""
+
+    def test_monolithic_interleaved_saves_merge(self, tmp_path):
+        path = tmp_path / "verdicts.json"
+        a = ProofCache(path)
+        b = ProofCache(path)  # loaded before a saves: sees an empty file
+        a.put("ka", proved=True, elapsed_s=0.1)
+        b.put("kb", proved=True, elapsed_s=0.2)
+        a.save()
+        b.save()  # must re-read and merge, not overwrite with {kb}
+        merged = ProofCache(path)
+        assert merged.get("ka", "") is not None
+        assert merged.get("kb", "") is not None
+
+    def test_monolithic_fresh_put_beats_file(self, tmp_path):
+        path = tmp_path / "verdicts.json"
+        a = ProofCache(path)
+        b = ProofCache(path)
+        a.put("k", proved=False, elapsed_s=0.1, config_fp="old")
+        a.save()
+        b.put("k", proved=False, elapsed_s=0.2, config_fp="new")
+        b.save()  # b's verdict for k is fresher than the file's
+        assert ProofCache(path).get("k", "new") is not None
+
+    def test_cas_interleaved_saves_union(self, tmp_path):
+        a = ProofCache(tmp_path)
+        b = ProofCache(tmp_path)
+        a.put("ka", proved=True, elapsed_s=0.1)
+        b.put("kb", proved=True, elapsed_s=0.2)
+        a.save()
+        b.save()
+        merged = ProofCache(tmp_path)
+        assert merged.get("ka", "") is not None
+        assert merged.get("kb", "") is not None
+
+
+class TestIdempotentPut:
+    def test_identical_put_skips_store(self, tmp_path):
+        cache = ProofCache(tmp_path)
+        cache.put("k", proved=True, elapsed_s=0.5)
+        cache.save()
+        obj = tmp_path / "objects" / "k" / "k.json"
+        before = obj.stat().st_mtime_ns
+        # Same verdict, different timing: semantically identical.
+        cache.put("k", proved=True, elapsed_s=9.9)
+        assert cache.stats.stores == 1
+        cache.save()
+        assert obj.stat().st_mtime_ns == before
+
+    def test_changed_verdict_still_stored(self, tmp_path):
+        cache = ProofCache(tmp_path)
+        cache.put("k", proved=False, elapsed_s=0.5, config_fp="a")
+        cache.put("k", proved=False, elapsed_s=0.5, config_fp="b")
+        assert cache.stats.stores == 2
+        assert cache.get("k", "b") is not None
+
+
+class TestStatsSplit:
+    def test_absent_counts_as_miss(self, tmp_path):
+        cache = ProofCache(tmp_path)
+        assert cache.get("nope", "fp") is None
+        assert (cache.stats.misses, cache.stats.stale) == (1, 0)
+
+    def test_unreplayable_counts_as_stale(self, tmp_path):
+        cache = ProofCache(tmp_path)
+        cache.put("k", proved=False, elapsed_s=0.1, config_fp="small")
+        assert cache.get("k", "big") is None
+        assert (cache.stats.misses, cache.stats.stale) == (0, 1)
+        assert "1 stale" in str(cache.stats)
