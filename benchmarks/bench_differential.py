@@ -10,7 +10,7 @@ control, confirms the harness *does* flag a known-unsound transformation.
 import pytest
 
 from repro.il.generator import GeneratorConfig
-from repro.testing import differential_campaign
+from repro.fuzz import differential_campaign
 from repro.opts import const_prop, const_prop_pt, copy_prop, cse, dae, load_elim
 from repro.opts.buggy import assign_removal_overbroad
 

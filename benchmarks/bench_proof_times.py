@@ -22,6 +22,7 @@ import time
 import pytest
 
 from repro.prover import ProverConfig
+from repro.api import VerifyOptions
 from repro.verify import SoundnessChecker
 from repro.opts import ALL_OPTIMIZATIONS, taintedness_analysis
 
@@ -50,7 +51,10 @@ def cache_dir(tmp_path_factory):
 
 @pytest.fixture(scope="module")
 def cached_checker(cache_dir):
-    return SoundnessChecker(config=ProverConfig(timeout_s=120), cache=cache_dir)
+    return SoundnessChecker(
+        config=ProverConfig(timeout_s=120),
+        options=VerifyOptions(cache_dir=str(cache_dir)),
+    )
 
 
 @pytest.mark.parametrize("opt", ALL_OPTIMIZATIONS, ids=lambda o: o.name)
@@ -76,7 +80,10 @@ def test_analysis_proof_time(benchmark, cached_checker):
 def test_yy_warm_replay(benchmark, cache_dir):
     """Replays every row against the populated cache (a fresh checker, so
     nothing is in process memory — every verdict comes off disk)."""
-    warm = SoundnessChecker(config=ProverConfig(timeout_s=120), cache=cache_dir)
+    warm = SoundnessChecker(
+        config=ProverConfig(timeout_s=120),
+        options=VerifyOptions(cache_dir=str(cache_dir)),
+    )
 
     def replay():
         start = time.monotonic()

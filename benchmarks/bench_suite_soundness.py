@@ -16,6 +16,7 @@ import time
 import pytest
 
 from repro.prover import ProverConfig
+from repro.api import VerifyOptions
 from repro.verify import SoundnessChecker
 from repro.opts import ALL_OPTIMIZATIONS, taintedness_analysis
 
@@ -55,11 +56,15 @@ def test_suite_cold_vs_warm(benchmark, tmp_path_factory):
     config = ProverConfig(timeout_s=120)
 
     start = time.monotonic()
-    cold_reports = _verify_all(SoundnessChecker(config=config, cache=cache_dir))
+    cold_reports = _verify_all(SoundnessChecker(
+        config=config, options=VerifyOptions(cache_dir=str(cache_dir))
+    ))
     cold_s = time.monotonic() - start
 
     start = time.monotonic()
-    warm_checker = SoundnessChecker(config=config, cache=cache_dir)
+    warm_checker = SoundnessChecker(
+        config=config, options=VerifyOptions(cache_dir=str(cache_dir))
+    )
     warm_reports = _verify_all(warm_checker)
     warm_s = time.monotonic() - start
 
@@ -93,7 +98,9 @@ def test_suite_parallel_matches_serial(benchmark):
     serial_s = time.monotonic() - start
 
     start = time.monotonic()
-    parallel_reports = _verify_all(SoundnessChecker(config=config, jobs=2))
+    parallel_reports = _verify_all(SoundnessChecker(
+        config=config, options=VerifyOptions(jobs=2)
+    ))
     parallel_s = time.monotonic() - start
 
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -17,10 +17,13 @@ Everything here is re-exported from the top-level :mod:`repro` package::
     from repro import VerifyOptions, check_optimization
     report = check_optimization(SOURCE, VerifyOptions(backend="portfolio"))
 
-The old constructor kwargs keep working through ``DeprecationWarning``
-shims (see :class:`repro.verify.checker.SoundnessChecker`); the CLI builds
-its options through the same dataclasses, so the command-line surface and
-the Python surface cannot drift.
+The CLI builds its options through the same dataclasses, so the
+command-line surface and the Python surface cannot drift; the pre-façade
+constructor kwargs were removed after one release of deprecation (see the
+migration table in docs/SERVICE.md).  Every options and result type here
+carries ``to_wire()``/``from_wire()`` — the versioned JSON schema shared
+by the verification daemon (:mod:`repro.service`), the CLI's ``--json``
+output, and this Python façade.
 """
 
 from __future__ import annotations
@@ -87,6 +90,18 @@ class ProverOptions:
             max_instances=config.max_instances,
             max_decisions=config.max_decisions,
         )
+
+    def to_wire(self) -> dict:
+        """The versioned wire form (docs/SERVICE.md)."""
+        from repro.service.wire import prover_options_to_wire
+
+        return prover_options_to_wire(self)
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "ProverOptions":
+        from repro.service.wire import prover_options_from_wire
+
+        return prover_options_from_wire(data)
 
 
 @dataclass(frozen=True)
@@ -157,6 +172,18 @@ class VerifyOptions:
     def prover_config(self) -> ProverConfig:
         return self.prover.to_config()
 
+    def to_wire(self) -> dict:
+        """The versioned wire form (docs/SERVICE.md)."""
+        from repro.service.wire import verify_options_to_wire
+
+        return verify_options_to_wire(self)
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "VerifyOptions":
+        from repro.service.wire import verify_options_from_wire
+
+        return verify_options_from_wire(data)
+
 
 @dataclass(frozen=True)
 class EngineOptions:
@@ -168,6 +195,18 @@ class EngineOptions:
     iterate: bool = False
     #: collect :class:`repro.cobalt.engine.EngineStats` counters
     collect_stats: bool = False
+
+    def to_wire(self) -> dict:
+        """The versioned wire form (docs/SERVICE.md)."""
+        from repro.service.wire import engine_options_to_wire
+
+        return engine_options_to_wire(self)
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "EngineOptions":
+        from repro.service.wire import engine_options_from_wire
+
+        return engine_options_from_wire(data)
 
 
 # ---------------------------------------------------------------------------
@@ -219,6 +258,19 @@ class SuiteReport:
         )
         return "\n".join(lines)
 
+    def to_wire(self) -> dict:
+        """The versioned wire form: ``from_wire`` round-trips this report
+        with a byte-identical :meth:`canonical` (docs/SERVICE.md)."""
+        from repro.service.wire import suite_report_to_wire
+
+        return suite_report_to_wire(self)
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "SuiteReport":
+        from repro.service.wire import suite_report_from_wire
+
+        return suite_report_from_wire(data)
+
 
 @dataclass
 class RunResult:
@@ -233,6 +285,18 @@ class RunResult:
     @property
     def rewrites(self) -> int:
         return sum(len(v) for v in self.sites.values())
+
+    def to_wire(self) -> dict:
+        """The versioned wire form (docs/SERVICE.md)."""
+        from repro.service.wire import run_result_to_wire
+
+        return run_result_to_wire(self)
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "RunResult":
+        from repro.service.wire import run_result_from_wire
+
+        return run_result_from_wire(data)
 
 
 # ---------------------------------------------------------------------------
@@ -297,16 +361,22 @@ def verify_suite(
     analyses: Optional[Sequence] = None,
     optimizations: Optional[Sequence] = None,
     progress: Optional[Callable[[object], None]] = None,
+    checker: Optional[object] = None,
 ) -> SuiteReport:
     """Verify the shipped optimization suite (or a chosen subset).
 
     ``progress`` is called with each :class:`SoundnessReport` as it
-    completes (the CLI uses this to stream the table)."""
+    completes (the CLI uses this to stream the table).  ``checker``
+    injects a pre-built :class:`~repro.verify.checker.SoundnessChecker`
+    (``options`` is then ignored) — the seam the service daemon uses so
+    daemon jobs walk exactly this suite loop and stay byte-identical with
+    local runs."""
     import time as _time
 
     from repro import opts as suite
 
-    checker = _make_checker(options)
+    if checker is None:
+        checker = _make_checker(options)
     if analyses is None:
         analyses = suite.ALL_ANALYSES
     if optimizations is None:

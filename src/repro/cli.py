@@ -10,6 +10,7 @@ Usage (also via ``python -m repro``)::
     repro-cobalt counterexample FILE.cobalt
     repro-cobalt [--jobs N] [--cache-dir DIR] [--cache-url URL] suite
     repro-cobalt [--jobs N] [--cache-dir DIR] [--cache-url URL] verify
+    repro-cobalt [--jobs N] serve [--host H] [--port N]
     repro-cobalt cache serve [--dir DIR] [--port N]
     repro-cobalt cache stats [--dir DIR | --url URL]
     repro-cobalt cache gc [--dir DIR] [--drop-failures] [--max-age-days N]
@@ -27,6 +28,9 @@ Usage (also via ``python -m repro``)::
 * ``counterexample`` searches for a concrete miscompilation for a rejected
   optimization (section 7).
 * ``suite`` / ``verify`` verify the entire shipped optimization suite.
+* ``serve`` runs the verification daemon (docs/SERVICE.md): an asyncio
+  HTTP/JSON service over the same façade, batching proof obligations
+  across concurrent requests into one shared worker pool.
 
 The global ``--jobs N`` flag fans proof obligations out across N worker
 processes; ``--cache-dir DIR`` persists verdicts in a sharded
@@ -43,8 +47,11 @@ the full-rescan reference it is cross-checked against.  ``--kernel
 flat|reference`` selects the e-graph substrate the search runs on — the
 struct-of-arrays integer kernel (default; compiled to a C extension when
 ``repro[compiled]`` is installed) or the object-graph reference, with
-byte-identical results either way (docs/KERNELS.md).  ``--prover`` is a
-deprecated alias that accepts either search axis.  ``--prover-stats``
+byte-identical results either way (docs/KERNELS.md).  (The deprecated
+``--prover`` alias was removed; use ``--prover-mode``/``--backend`` — see
+the migration table in docs/SERVICE.md.)  ``--json`` on ``suite``,
+``verify``, ``fuzz``, and ``cache stats`` emits the daemon's versioned
+wire schema on stdout instead of the human table.  ``--prover-stats``
 prints the prover's observability counters to stderr (see docs/PROVER.md),
 including the active kernel identity and its structural-visit count, the
 hash-consing metrics — intern-table size, constructor hit rate, and the
@@ -112,34 +119,15 @@ def parse_blocks(source: str) -> List[object]:
     return out
 
 
-#: Internal-prover search modes vs. prover backends: the deprecated
-#: ``--prover`` flag historically selected the former and now forwards to
-#: whichever axis its value belongs to.
-_PROVER_MODES = ("incremental", "reference")
-
-
 def build_verify_options(args):
     """The one place CLI flags become a :class:`repro.api.VerifyOptions`.
 
-    Every verifying subcommand (check, opt, suite, verify) goes through
-    here, so a new flag is threaded everywhere — or nowhere."""
+    Every verifying subcommand (check, opt, suite, verify, serve) goes
+    through here, so a new flag is threaded everywhere — or nowhere."""
     from repro.api import ProverOptions, VerifyOptions
-    from repro.prover.backends import BACKEND_NAMES
 
-    mode = args.prover_mode
-    backend = args.backend
-    if args.prover is not None:
-        if args.prover in _PROVER_MODES:
-            print(f"[cli] --prover {args.prover} is deprecated; use "
-                  f"--prover-mode {args.prover}", file=sys.stderr)
-            mode = args.prover
-        else:
-            assert args.prover in BACKEND_NAMES
-            print(f"[cli] --prover {args.prover} is deprecated; use "
-                  f"--backend {args.prover}", file=sys.stderr)
-            backend = args.prover
     return VerifyOptions(
-        backend=backend,
+        backend=args.backend,
         solver_cmd=args.solver_cmd,
         solver_timeout_s=args.solver_timeout,
         solver_session=args.solver_session,
@@ -149,7 +137,7 @@ def build_verify_options(args):
         cache_url=args.cache_url,
         cache_timeout_s=args.cache_timeout,
         prover=ProverOptions(
-            mode=mode, kernel=args.kernel, timeout_s=args.timeout
+            mode=args.prover_mode, kernel=args.kernel, timeout_s=args.timeout
         ),
     )
 
@@ -322,14 +310,14 @@ def cmd_fuzz(args) -> int:
     corpus_dir = None if args.no_corpus else (args.corpus_dir or str(DEFAULT_CORPUS_DIR))
     progress = None if args.quiet else (lambda m: print(m, file=sys.stderr))
 
-    sections = []
+    campaigns = []
     status = 0
     if args.kind in ("axioms", "all"):
         n = args.cases if args.kind == "axioms" else max(1, args.cases // 2)
         report = axiom_campaign(
             args.seed, n, corpus_dir=corpus_dir, progress=progress
         )
-        sections.append(report.canonical())
+        campaigns.append(("axioms", report))
         print(report.summary(), file=sys.stderr)
         if not report.ok:
             status = 1
@@ -339,7 +327,7 @@ def cmd_fuzz(args) -> int:
             args.seed, n, options=options, corpus_dir=corpus_dir,
             progress=progress,
         )
-        sections.append(report.canonical())
+        campaigns.append(("frontier", report))
         print(report.summary(), file=sys.stderr)
     if args.kind in ("metamorphic", "all"):
         n = args.cases if args.kind == "metamorphic" else max(1, args.cases // 20)
@@ -347,9 +335,25 @@ def cmd_fuzz(args) -> int:
             args.seed, n, options=options, corpus_dir=corpus_dir,
             progress=progress,
         )
-        sections.append(report.canonical())
+        campaigns.append(("metamorphic", report))
         print(report.summary(), file=sys.stderr)
-    print("\n".join(sections))
+    if args.json:
+        from repro.service.wire import dumps, envelope
+
+        print(dumps(envelope("fuzz-report", {
+            "seed": args.seed,
+            "ok": status == 0,
+            "campaigns": [
+                {
+                    "kind": kind,
+                    "ok": bool(getattr(report, "ok", True)),
+                    "canonical": report.canonical(),
+                }
+                for kind, report in campaigns
+            ],
+        })))
+    else:
+        print("\n".join(report.canonical() for _, report in campaigns))
     return status
 
 
@@ -357,8 +361,12 @@ def cmd_suite(args) -> int:
     from repro.api import verify_suite
 
     def show(report) -> None:
-        print(f"{report.name:24s} {'SOUND' if report.sound else 'REJECTED':8s} "
-              f"{report.elapsed_s:7.2f}s")
+        line = (f"{report.name:24s} "
+                f"{'SOUND' if report.sound else 'REJECTED':8s} "
+                f"{report.elapsed_s:7.2f}s")
+        # --json owns stdout (one machine-readable document); the live
+        # table moves to stderr so watchers still see progress.
+        print(line, file=sys.stderr if args.json else sys.stdout)
 
     suite_report = verify_suite(build_verify_options(args), progress=show)
     _emit_prover_stats(args, suite_report.reports)
@@ -370,7 +378,27 @@ def cmd_suite(args) -> int:
         if cache.remote is not None:
             summary += f"; L2: {cache.remote.stats}"
     print(summary, file=sys.stderr)
+    if args.json:
+        from repro.service.wire import dumps
+
+        # Exactly SuiteReport.to_wire(): the CLI surface and the daemon's
+        # responses are the same document (pinned by tests/test_cli.py).
+        print(dumps(suite_report.to_wire()))
     return 1 if suite_report.failures() else 0
+
+
+def cmd_serve(args) -> int:
+    from repro.service.server import run_server
+
+    return run_server(
+        build_verify_options(args),
+        host=args.host,
+        port=args.port,
+        max_concurrent_jobs=args.max_jobs,
+        batch_window_s=args.batch_window,
+        rate=args.rate,
+        burst=args.burst,
+    )
 
 
 def cmd_cache_serve(args) -> int:
@@ -381,24 +409,49 @@ def cmd_cache_serve(args) -> int:
 
 
 def cmd_cache_stats(args) -> int:
+    from repro.verify.cache import SCHEMA_VERSION
+
     if args.url:
         from repro.verify.netcache import CacheClient
 
         client = CacheClient(args.url, timeout_s=args.cache_timeout)
         status = 0
+        daemons = []
         for url, payload in client.fetch_stats():
             if payload is None:
-                print(f"{url}: unreachable")
+                daemons.append({"url": url, "reachable": False})
+                if not args.json:
+                    print(f"{url}: unreachable")
                 status = 1
             else:
-                print(f"{url}: {payload.get('objects', '?')} object(s), "
-                      f"schema v{payload.get('schema', '?')}")
+                daemons.append({
+                    "url": url,
+                    "reachable": True,
+                    "objects": payload.get("objects"),
+                    "schema": payload.get("schema"),
+                })
+                if not args.json:
+                    print(f"{url}: {payload.get('objects', '?')} object(s), "
+                          f"schema v{payload.get('schema', '?')}")
+        if args.json:
+            from repro.service.wire import dumps, envelope
+
+            print(dumps(envelope("cache-stats", {"daemons": daemons})))
         return status
-    from repro.verify.cache import SCHEMA_VERSION
     from repro.verify.cas import ShardedStore
 
     store = ShardedStore(args.dir, SCHEMA_VERSION)
-    print(f"{args.dir}: {store.count()} object(s), schema v{SCHEMA_VERSION}")
+    if args.json:
+        from repro.service.wire import dumps, envelope
+
+        print(dumps(envelope("cache-stats", {
+            "location": args.dir,
+            "objects": store.count(),
+            "schema": SCHEMA_VERSION,
+        })))
+    else:
+        print(f"{args.dir}: {store.count()} object(s), "
+              f"schema v{SCHEMA_VERSION}")
     return 0
 
 
@@ -507,12 +560,6 @@ def build_parser() -> argparse.ArgumentParser:
                              "compiled when repro[compiled] is installed) "
                              "or the object-graph reference — results are "
                              "byte-identical either way")
-    parser.add_argument("--prover",
-                        choices=("incremental", "reference", "internal",
-                                 "smtlib", "portfolio"),
-                        default=None,
-                        help="deprecated alias: mode values forward to "
-                             "--prover-mode, backend values to --backend")
     parser.add_argument("--prover-stats", action="store_true",
                         help="print prover observability counters (match "
                              "time, instance/dedup rates, clause wakeups, "
@@ -575,15 +622,48 @@ def build_parser() -> argparse.ArgumentParser:
                    help="do not persist discovered failures")
     p.add_argument("--quiet", action="store_true",
                    help="suppress progress lines on stderr")
+    p.add_argument("--json", action="store_true",
+                   help="emit the campaign reports as one wire-schema JSON "
+                        "document on stdout (docs/SERVICE.md)")
     p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser("suite", help="verify the entire shipped suite")
+    p.add_argument("--json", action="store_true",
+                   help="emit the suite report as wire-schema JSON on "
+                        "stdout (byte-identical to the daemon's document); "
+                        "the progress table moves to stderr")
     p.set_defaults(fn=cmd_suite)
 
     p = sub.add_parser("verify",
                        help="verify the entire shipped suite (alias of "
                             "'suite'; combine with --jobs/--cache-dir)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the suite report as wire-schema JSON on "
+                        "stdout (byte-identical to the daemon's document); "
+                        "the progress table moves to stderr")
     p.set_defaults(fn=cmd_suite)
+
+    p = sub.add_parser("serve",
+                       help="run the verification daemon: HTTP/JSON over "
+                            "the repro.api façade, batching obligations "
+                            "across concurrent requests (docs/SERVICE.md)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8421,
+                   help="bind port (default: 8421)")
+    p.add_argument("--max-jobs", type=int, default=8, metavar="N",
+                   help="verification jobs running concurrently; further "
+                        "submissions queue (default: 8)")
+    p.add_argument("--batch-window", type=float, default=0.05, metavar="S",
+                   help="how long the obligation broker waits to batch "
+                        "work from concurrent requests (default: 0.05s)")
+    p.add_argument("--rate", type=float, default=10.0, metavar="R",
+                   help="per-client job submissions refilled per second "
+                        "(default: 10)")
+    p.add_argument("--burst", type=float, default=20.0, metavar="B",
+                   help="per-client submission burst; 0 disables rate "
+                        "limiting (default: 20)")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("cache",
                        help="operate the proof cache: serve it over HTTP, "
@@ -612,6 +692,9 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--url", default=None, metavar="URL",
                    help="ask a running daemon instead of reading a "
                         "directory (comma-separate several)")
+    q.add_argument("--json", action="store_true",
+                   help="emit the stats as one wire-schema JSON document "
+                        "on stdout")
     q.set_defaults(fn=cmd_cache_stats)
 
     q = cache_sub.add_parser("gc",

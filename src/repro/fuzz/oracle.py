@@ -5,8 +5,7 @@ Two oracles live here:
 * the **program-level** oracle (:func:`check_equivalence`,
   :func:`differential_campaign`) — the paper's one-directional semantic
   equivalence, checked empirically by interpreting original vs. transformed
-  programs.  Promoted from ``repro.testing.differential`` (which remains as
-  a deprecation shim).
+  programs.
 
 * the **axiom-level** oracle (:class:`AxiomOracle`,
   :func:`oracle_check_program`) — the fuzzing subsystem's differential
@@ -63,7 +62,7 @@ from repro.verify.encode import CONSTRUCTORS, all_axioms
 from repro.verify.labels2logic import VarMap, concrete_id, encode_expr, encode_stmt
 
 # ---------------------------------------------------------------------------
-# Program-level differential oracle (promoted from repro.testing.differential)
+# Program-level differential oracle
 # ---------------------------------------------------------------------------
 
 

@@ -1,0 +1,95 @@
+"""Per-client token buckets behind the daemon's 429s.
+
+A verification daemon shared by a fleet must not let one misbehaving
+client starve everyone else's proof budget: job submission is metered per
+client key (the ``X-Repro-Client`` header when present, else the peer
+address) through a classic token bucket — ``burst`` tokens of headroom,
+refilled at ``rate`` tokens/second.  Reads (polling, streaming, stats)
+are deliberately unmetered: they are cheap, and throttling them would
+punish exactly the clients doing the polite polling thing.
+
+The clock is injectable so the 429 path is deterministic under test.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+
+@dataclass
+class RateLimitStats:
+    allowed: int = 0
+    limited: int = 0
+
+
+class TokenBucket:
+    """One client's budget: ``burst`` tokens, ``rate`` tokens/second."""
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.rate = max(0.0, float(rate))
+        self.burst = max(0.0, float(burst))
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+
+    def take(self, n: float = 1.0) -> Tuple[bool, float]:
+        """Try to take ``n`` tokens: ``(allowed, retry_after_s)``.
+
+        ``retry_after_s`` is 0 when allowed, else the time until the
+        bucket will have refilled enough for this request (``inf`` when
+        the refill rate is zero)."""
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._stamp) * self.rate
+        )
+        self._stamp = now
+        if self._tokens >= n:
+            self._tokens -= n
+            return True, 0.0
+        if self.rate <= 0.0:
+            return False, float("inf")
+        return False, (n - self._tokens) / self.rate
+
+
+class RateLimiter:
+    """Thread-safe per-key buckets.  ``burst <= 0`` disables limiting."""
+
+    #: keep at most this many idle buckets before evicting the oldest —
+    #: a bound on memory for daemons facing many distinct client keys.
+    MAX_KEYS = 4096
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.enabled = self.burst > 0
+        self.stats = RateLimitStats()
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def check(self, key: str) -> Tuple[bool, float]:
+        """Meter one submission for ``key``: ``(allowed, retry_after_s)``."""
+        if not self.enabled:
+            with self._lock:
+                self.stats.allowed += 1
+            return True, 0.0
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                if len(self._buckets) >= self.MAX_KEYS:
+                    # Evict the oldest-inserted key (dicts are ordered);
+                    # worst case a chatty client gets a fresh burst early.
+                    self._buckets.pop(next(iter(self._buckets)))
+                bucket = TokenBucket(self.rate, self.burst, self._clock)
+                self._buckets[key] = bucket
+            allowed, retry_after = bucket.take()
+            if allowed:
+                self.stats.allowed += 1
+            else:
+                self.stats.limited += 1
+            return allowed, retry_after

@@ -50,6 +50,7 @@ import json
 import os
 import sys
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Union
@@ -358,12 +359,19 @@ class ProofCache:
     ``remote`` is an optional :class:`repro.verify.netcache.CacheClient`
     (L2): :meth:`prefetch` pulls misses in one batched multi-GET and
     :meth:`save` publishes fresh proofs write-behind.  Every network fault
-    is swallowed — the cache accelerates, it never gates."""
+    is swallowed — the cache accelerates, it never gates.
+
+    Instances are thread-safe: the service daemon shares one cache across
+    concurrent job threads and the batching broker, so every public
+    operation takes the instance lock (an ``RLock`` — the internal
+    ``_lookup`` nesting stays re-entrant).  Single-threaded callers pay one
+    uncontended acquire per call."""
 
     def __init__(self, path: Union[str, os.PathLike, None] = None, *,
                  remote: Optional[object] = None) -> None:
         self.stats = CacheStats()
         self.remote = remote
+        self._lock = threading.RLock()
         self._entries: Dict[str, CachedVerdict] = {}  # L0
         self._store: Optional[ShardedStore] = None  # L1 (CAS form)
         self._legacy = False  # L1 is the single-file form
@@ -421,17 +429,18 @@ class ProofCache:
         (newest wins per key: our freshly-put keys beat the file, the file
         beats our stale loads), so concurrent runs merge instead of
         dropping each other's stores.  All network faults are swallowed."""
-        if self._legacy:
-            self._save_monolithic()
-        elif self._store is not None:
-            for key in sorted(self._dirty | self._fetched):
-                self._store.put(key, self._entries[key].to_json())
-            self._dirty.clear()
-            self._fetched.clear()
-        else:
-            self._dirty.clear()
-            self._fetched.clear()
-        self._flush_remote()
+        with self._lock:
+            if self._legacy:
+                self._save_monolithic()
+            elif self._store is not None:
+                for key in sorted(self._dirty | self._fetched):
+                    self._store.put(key, self._entries[key].to_json())
+                self._dirty.clear()
+                self._fetched.clear()
+            else:
+                self._dirty.clear()
+                self._fetched.clear()
+            self._flush_remote()
 
     def _save_monolithic(self) -> None:
         assert self.file is not None
@@ -492,11 +501,12 @@ class ProofCache:
     # -- lookup --------------------------------------------------------------
 
     def __len__(self) -> int:
-        if self._store is not None:
-            keys = set(self._store.keys())
-            keys.update(self._entries)
-            return len(keys)
-        return len(self._entries)
+        with self._lock:
+            if self._store is not None:
+                keys = set(self._store.keys())
+                keys.update(self._entries)
+                return len(keys)
+            return len(self._entries)
 
     @property
     def has_remote(self) -> bool:
@@ -532,26 +542,27 @@ class ProofCache:
         process) cost nothing, so per-pattern prefetches after a suite-wide
         one never re-ask the daemon — a warm suite is one round trip.
         Returns the number of entries pulled from the network tier."""
-        missing = []
-        for key in keys:
-            if self._lookup(key) is None and key not in self._remote_seen:
-                missing.append(key)
-        if not missing or self.remote is None or not self.remote.alive:
-            return 0
-        asked = sorted(set(missing))
-        self._remote_seen.update(asked)
-        pulled = 0
-        for key, raw in self.remote.multi_get(asked).items():
-            if key not in self._remote_seen or key in self._entries:
-                continue
-            try:
-                entry = CachedVerdict.from_json(raw)
-            except Exception:
-                continue  # a corrupt L2 entry is a miss, never an error
-            self._entries[key] = entry
-            self._fetched.add(key)  # read-through: persist locally on save
-            pulled += 1
-        return pulled
+        with self._lock:
+            missing = []
+            for key in keys:
+                if self._lookup(key) is None and key not in self._remote_seen:
+                    missing.append(key)
+            if not missing or self.remote is None or not self.remote.alive:
+                return 0
+            asked = sorted(set(missing))
+            self._remote_seen.update(asked)
+            pulled = 0
+            for key, raw in self.remote.multi_get(asked).items():
+                if key not in self._remote_seen or key in self._entries:
+                    continue
+                try:
+                    entry = CachedVerdict.from_json(raw)
+                except Exception:
+                    continue  # a corrupt L2 entry is a miss, never an error
+                self._entries[key] = entry
+                self._fetched.add(key)  # read-through: persist locally on save
+                pulled += 1
+            return pulled
 
     def get(
         self, key: str, config_fp: str, backend: str = "internal"
@@ -562,15 +573,16 @@ class ProofCache:
         the resolved entry, identically for every tier it may have come
         from.  The network is never consulted per-key — batch with
         :meth:`prefetch` first."""
-        entry = self._lookup(key)
-        if entry is None:
-            self.stats.misses += 1
+        with self._lock:
+            entry = self._lookup(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if entry.replayable_for(config_fp, backend):
+                self.stats.hits += 1
+                return entry
+            self.stats.stale += 1
             return None
-        if entry.replayable_for(config_fp, backend):
-            self.stats.hits += 1
-            return entry
-        self.stats.stale += 1
-        return None
 
     def put(self, key: str, *, proved: bool, elapsed_s: float,
             context: Sequence[str] = (), config_fp: str = "",
@@ -582,24 +594,26 @@ class ProofCache:
             config=config_fp,
             backend=backend,
         )
-        existing = self._lookup(key)
-        if existing is not None and existing.same_payload(entry):
-            # Identical verdict already stored: re-writing it would churn
-            # bytes (and, in the single-file form, force a full rewrite)
-            # for no information.
-            return
-        self._entries[key] = entry
-        self._dirty.add(key)
-        self._fetched.discard(key)
-        self.stats.stores += 1
-        if proved and self.remote is not None:
-            self._unpublished.add(key)
+        with self._lock:
+            existing = self._lookup(key)
+            if existing is not None and existing.same_payload(entry):
+                # Identical verdict already stored: re-writing it would churn
+                # bytes (and, in the single-file form, force a full rewrite)
+                # for no information.
+                return
+            self._entries[key] = entry
+            self._dirty.add(key)
+            self._fetched.discard(key)
+            self.stats.stores += 1
+            if proved and self.remote is not None:
+                self._unpublished.add(key)
 
     def clear(self) -> None:
-        self._entries = {}
-        self._dirty.clear()
-        self._fetched.clear()
-        self._unpublished.clear()
-        if self._store is not None:
-            self._store.clear()
-        self._cleared = True
+        with self._lock:
+            self._entries = {}
+            self._dirty.clear()
+            self._fetched.clear()
+            self._unpublished.clear()
+            if self._store is not None:
+                self._store.clear()
+            self._cleared = True

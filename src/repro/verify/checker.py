@@ -23,10 +23,9 @@ design), which the checker exploits two ways:
 
 from __future__ import annotations
 
-import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cobalt.dsl import BackwardPattern, ForwardPattern, Optimization, PureAnalysis
 from repro.cobalt.labels import LabelRegistry, standard_registry
@@ -59,6 +58,18 @@ class ObligationResult:
     #: :meth:`repro.prover.backends.ProverBackend.identity`); keys the
     #: persistent proof cache.
     backend: str = "internal"
+
+    def to_wire(self) -> dict:
+        """The versioned wire form (docs/SERVICE.md)."""
+        from repro.service.wire import obligation_result_to_wire
+
+        return obligation_result_to_wire(self)
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "ObligationResult":
+        from repro.service.wire import obligation_result_from_wire
+
+        return obligation_result_from_wire(data)
 
 
 @dataclass
@@ -133,6 +144,19 @@ class SoundnessReport:
                 total.merge(r.stats)
         return total
 
+    def to_wire(self) -> dict:
+        """The versioned wire form: ``from_wire`` round-trips this report
+        with a byte-identical :meth:`canonical` (docs/SERVICE.md)."""
+        from repro.service.wire import soundness_report_to_wire
+
+        return soundness_report_to_wire(self)
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "SoundnessReport":
+        from repro.service.wire import soundness_report_from_wire
+
+        return soundness_report_from_wire(data)
+
 
 def discharge_obligation(
     prover: Prover,
@@ -205,11 +229,6 @@ def discharge_obligation(
     return ObligationResult(obligation.name, proved, elapsed, context, stats=stats)
 
 
-#: Sentinel distinguishing "kwarg not passed" from an explicit ``None``
-#: in the deprecated :class:`SoundnessChecker` constructor arguments.
-_UNSET = object()
-
-
 class SoundnessChecker:
     """Automatically proves Cobalt optimizations sound (or rejects them).
 
@@ -217,11 +236,16 @@ class SoundnessChecker:
 
         SoundnessChecker(options=VerifyOptions(backend="portfolio", jobs=4))
 
-    The pre-façade keyword arguments (``cache=``, ``jobs=``,
-    ``obligation_timeout_s=``) still work but emit a ``DeprecationWarning``
-    pointing at the options object; ``config=`` remains the supported way
-    to hand over a bare :class:`ProverConfig` and overrides
-    ``options.prover`` when both are given."""
+    ``config=`` remains the supported way to hand over a bare
+    :class:`ProverConfig` and overrides ``options.prover`` when both are
+    given.  ``proof_cache=`` injects an already-constructed
+    :class:`ProofCache` *object* — the seam the service daemon (and the
+    cache tests) use to share one verdict store across many checkers;
+    path-shaped caches are configured through ``options.cache_dir``.
+
+    (The pre-façade ``cache=``/``jobs=``/``obligation_timeout_s=`` kwargs
+    were removed after one release of deprecation; see the migration table
+    in docs/SERVICE.md.)"""
 
     def __init__(
         self,
@@ -230,23 +254,10 @@ class SoundnessChecker:
         analyses: Sequence[PureAnalysis] = (),
         config: Optional[ProverConfig] = None,
         options: Optional["VerifyOptions"] = None,
-        cache: Union[ProofCache, str, os.PathLike, None] = _UNSET,  # type: ignore[assignment]
-        jobs: int = _UNSET,  # type: ignore[assignment]
-        obligation_timeout_s: Optional[float] = _UNSET,  # type: ignore[assignment]
+        proof_cache: Optional[ProofCache] = None,
     ) -> None:
-        import warnings
-
         from repro.api import VerifyOptions
         from repro.prover.backends.base import resolve_backend
-
-        def _deprecated(kwarg: str, replacement: str):
-            warnings.warn(
-                f"SoundnessChecker({kwarg}=...) is deprecated; pass "
-                f"SoundnessChecker(options=VerifyOptions({replacement}=...)) "
-                f"instead",
-                DeprecationWarning,
-                stacklevel=3,
-            )
 
         if options is None:
             options = VerifyOptions()
@@ -266,10 +277,12 @@ class SoundnessChecker:
             axioms, constructors=CONSTRUCTORS, config=self.config
         )
         self._analysis_cache: Dict[str, SoundnessReport] = {}
-        if cache is _UNSET:
-            cache = options.cache_dir
-        else:
-            _deprecated("cache", "cache_dir")
+        if proof_cache is not None and not isinstance(proof_cache, ProofCache):
+            raise TypeError(
+                "proof_cache must be a ProofCache instance; configure a "
+                "path through VerifyOptions(cache_dir=...)"
+            )
+        cache: Optional[ProofCache] = proof_cache
         remote = None
         if getattr(options, "cache_url", None):
             from repro.verify.netcache import CacheClient
@@ -277,26 +290,18 @@ class SoundnessChecker:
             remote = CacheClient(
                 options.cache_url, timeout_s=options.cache_timeout_s
             )
-        if isinstance(cache, (str, os.PathLike)):
-            cache = ProofCache(cache, remote=remote)
+        if cache is None and options.cache_dir is not None:
+            cache = ProofCache(options.cache_dir, remote=remote)
         elif cache is None and remote is not None:
             # L2 with no local directory: memory-only L0 over the network.
             cache = ProofCache(None, remote=remote)
-        elif isinstance(cache, ProofCache) and remote is not None and cache.remote is None:
+        elif cache is not None and remote is not None and cache.remote is None:
             cache.remote = remote
         self.cache: Optional[ProofCache] = cache
-        if jobs is _UNSET:
-            jobs = options.jobs
-        else:
-            _deprecated("jobs", "jobs")
-        self.jobs = max(1, int(jobs))
+        self.jobs = max(1, int(options.jobs))
         #: hard per-obligation wall-clock limit for parallel workers (the
         #: prover's own cooperative timeout still applies everywhere).
-        if obligation_timeout_s is _UNSET:
-            obligation_timeout_s = options.obligation_timeout_s
-        else:
-            _deprecated("obligation_timeout_s", "obligation_timeout_s")
-        self.obligation_timeout_s = obligation_timeout_s
+        self.obligation_timeout_s = options.obligation_timeout_s
         #: the resolved prover backend (degrades to internal, with a one-line
         #: warning, when an external solver was requested but none exists).
         self.backend = resolve_backend(
@@ -343,24 +348,7 @@ class SoundnessChecker:
             pending.append((i, ob))
 
         if pending:
-            if self.jobs > 1 and len(pending) > 1:
-                from repro.prover.backends.base import worker_spec
-                from repro.verify.parallel import discharge_parallel
-
-                fresh = discharge_parallel(
-                    name,
-                    [ob for _, ob in pending],
-                    self.config,
-                    jobs=self.jobs,
-                    hard_timeout_s=self.obligation_timeout_s,
-                    fallback_prover=self._prover,
-                    backend_spec=worker_spec(self.backend),
-                    fallback_backend=self.backend,
-                )
-            else:
-                fresh = [
-                    self.backend.discharge(name, ob) for _, ob in pending
-                ]
+            fresh = self._dispatch(name, [ob for _, ob in pending])
             for (i, ob), result in zip(pending, fresh):
                 results[i] = result
                 if self.cache is not None:
@@ -379,6 +367,33 @@ class SoundnessChecker:
 
         report.results = [r for r in results if r is not None]
         return report
+
+    def _dispatch(
+        self, name: str, obligations: Sequence[Obligation]
+    ) -> List[ObligationResult]:
+        """Discharge cache-missed obligations; results in obligation order.
+
+        This is the checker's dispatch seam: the default routes through the
+        process pool (``jobs > 1``) or the in-process backend, and the
+        service daemon's checker overrides it to hand obligations to the
+        cross-request batching broker (:mod:`repro.service.jobs`).  Every
+        implementation must be order-preserving and verdict-deterministic
+        so reports stay byte-identical however obligations are routed."""
+        if self.jobs > 1 and len(obligations) > 1:
+            from repro.prover.backends.base import worker_spec
+            from repro.verify.parallel import discharge_parallel
+
+            return discharge_parallel(
+                name,
+                obligations,
+                self.config,
+                jobs=self.jobs,
+                hard_timeout_s=self.obligation_timeout_s,
+                fallback_prover=self._prover,
+                backend_spec=worker_spec(self.backend),
+                fallback_backend=self.backend,
+            )
+        return [self.backend.discharge(name, ob) for ob in obligations]
 
     # ------------------------------------------------------------------
 

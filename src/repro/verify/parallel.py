@@ -146,6 +146,31 @@ def _worker_discharge(task: Tuple[int, str, object, ProverConfig, object]):
     return index, result
 
 
+def make_executor(
+    config: ProverConfig, jobs: int, backend_spec=None
+) -> Optional[ProcessPoolExecutor]:
+    """A long-lived worker pool for callers that dispatch many batches.
+
+    The service daemon keeps one of these across its whole lifetime and
+    passes it to every :func:`discharge_parallel` call, so worker processes
+    (and their warm provers/solver sessions) are reused across requests
+    instead of being respawned per batch.  Workers re-initialize themselves
+    when a task arrives with a different config/backend spec (the
+    ``_WORKER_KEY`` staleness check), so one pool serves them all.
+
+    Returns ``None`` when the platform cannot host a process pool at all —
+    callers fall back to serial discharge, exactly like
+    :func:`discharge_parallel` does internally."""
+    try:
+        return ProcessPoolExecutor(
+            max_workers=max(1, jobs),
+            initializer=_worker_init,
+            initargs=(config, backend_spec),
+        )
+    except (OSError, ValueError):  # no usable start method / no semaphores
+        return None
+
+
 def _hard_timeout(config: ProverConfig, override: Optional[float]) -> float:
     if override is not None:
         return override
@@ -164,6 +189,7 @@ def discharge_parallel(
     fallback_prover: Optional[Prover] = None,
     backend_spec=None,
     fallback_backend=None,
+    executor: Optional[ProcessPoolExecutor] = None,
     _worker=None,
 ) -> List["ObligationResult"]:
     """Discharge ``obligations`` across ``jobs`` workers; results in order.
@@ -173,6 +199,10 @@ def discharge_parallel(
     should pass :func:`repro.prover.backends.worker_spec` so the resolved
     solver command travels with the task.  ``fallback_backend`` (default: an
     internal prover over ``fallback_prover``) handles in-process fallback.
+
+    ``executor`` lends a long-lived pool (see :func:`make_executor`): the
+    call submits into it and leaves it running — the caller owns teardown.
+    Without one, a pool is created and shut down per call.
 
     ``_worker`` is a test seam: a replacement for the worker entry point
     (it must be a picklable top-level callable with the same contract).
@@ -196,14 +226,13 @@ def discharge_parallel(
     except Exception:
         return [serial(i, ob) for i, ob in enumerate(obligations)]
 
-    try:
-        executor = ProcessPoolExecutor(
-            max_workers=max(1, min(jobs, len(obligations))),
-            initializer=_worker_init,
-            initargs=(config, backend_spec),
+    owns_executor = executor is None
+    if owns_executor:
+        executor = make_executor(
+            config, min(jobs, len(obligations)), backend_spec
         )
-    except (OSError, ValueError):  # no usable start method / no semaphores
-        return [serial(i, ob) for i, ob in enumerate(obligations)]
+        if executor is None:
+            return [serial(i, ob) for i, ob in enumerate(obligations)]
 
     timed_out = False
     try:
@@ -232,5 +261,6 @@ def discharge_parallel(
                 # killed by the OS: redo this obligation in-process.
                 results[i] = serial(i, ob)
     finally:
-        executor.shutdown(wait=not timed_out, cancel_futures=True)
+        if owns_executor:
+            executor.shutdown(wait=not timed_out, cancel_futures=True)
     return results  # type: ignore[return-value]

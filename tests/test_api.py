@@ -1,10 +1,11 @@
-"""The repro.api façade and the deprecation shims it supersedes.
+"""The repro.api façade: the one supported configuration surface.
 
 The contract under test: ``from repro import verify_suite, VerifyOptions``
 is the supported programmatic surface — frozen options objects, three
-entry points accepting Cobalt source or parsed objects — while the old
-``SoundnessChecker(cache=..., jobs=...)`` kwargs keep working behind
-``DeprecationWarning``s that point at the replacement.
+entry points accepting Cobalt source or parsed objects.  The pre-façade
+``SoundnessChecker(cache=/jobs=/obligation_timeout_s=)`` kwargs served
+one release of ``DeprecationWarning`` and are now *gone*: passing them
+is a ``TypeError``, and the tests here pin that removal.
 """
 
 import dataclasses
@@ -82,21 +83,26 @@ class TestOptions:
             repro.no_such_symbol
 
 
-class TestDeprecationShims:
-    def test_jobs_kwarg_warns_but_works(self):
-        with pytest.warns(DeprecationWarning, match="VerifyOptions"):
-            checker = SoundnessChecker(jobs=2)
-        assert checker.jobs == 2
+class TestRetiredShims:
+    """The PR5 deprecation shims are gone after their one-release grace."""
 
-    def test_cache_kwarg_warns_but_works(self, tmp_path):
-        with pytest.warns(DeprecationWarning, match="cache_dir"):
-            checker = SoundnessChecker(cache=str(tmp_path / "cache"))
-        assert checker.cache is not None
+    @pytest.mark.parametrize("kwargs", [
+        {"jobs": 2},
+        {"cache": "/tmp/nope"},
+        {"obligation_timeout_s": 9.0},
+    ])
+    def test_removed_kwargs_raise_type_error(self, kwargs):
+        with pytest.raises(TypeError):
+            SoundnessChecker(**kwargs)
 
-    def test_obligation_timeout_kwarg_warns_but_works(self):
-        with pytest.warns(DeprecationWarning, match="obligation_timeout_s"):
-            checker = SoundnessChecker(obligation_timeout_s=9.0)
-        assert checker.obligation_timeout_s == 9.0
+    def test_proof_cache_accepts_only_cache_objects(self, tmp_path):
+        from repro.verify import ProofCache
+
+        with pytest.raises(TypeError, match="cache_dir"):
+            SoundnessChecker(proof_cache=str(tmp_path))
+        shared = ProofCache(None)
+        checker = SoundnessChecker(proof_cache=shared)
+        assert checker.cache is shared
 
     def test_config_kwarg_stays_silent(self, recwarn):
         checker = SoundnessChecker(config=ProverConfig(timeout_s=5.0))

@@ -190,3 +190,99 @@ class TestCounterexampleCommand:
         assert main(["counterexample", str(path)]) == 1
         out = capsys.readouterr().out
         assert "miscompilation found" in out
+
+
+@pytest.fixture()
+def small_suite(monkeypatch):
+    """Shrink the shipped suite to one optimization so CLI runs are fast."""
+    from repro import opts as suite
+
+    keep = [o for o in suite.ALL_OPTIMIZATIONS if o.name == "constProp"]
+    assert keep
+    monkeypatch.setattr(suite, "ALL_ANALYSES", [])
+    monkeypatch.setattr(suite, "ALL_OPTIMIZATIONS", keep)
+    return keep
+
+
+class TestJsonOutput:
+    """``--json`` must emit exactly the daemon's wire schema — the CLI
+    document and ``SuiteReport.to_wire()`` may not drift."""
+
+    def test_suite_json_matches_to_wire(self, small_suite, capsys):
+        import json
+
+        from repro.api import SuiteReport, verify_suite
+        from repro.service.wire import WIRE_VERSION
+
+        assert main(["suite", "--json"]) == 0
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)
+        assert doc["schema_version"] == WIRE_VERSION
+        assert doc["kind"] == "suite-report"
+        # The progress table moved to stderr: stdout is one JSON document.
+        assert "SOUND" not in captured.out
+        assert "constProp" in captured.err
+
+        local = verify_suite()
+        reference = local.to_wire()
+        assert set(doc) == set(reference)
+        decoded = SuiteReport.from_wire(doc)
+        assert decoded.canonical() == local.canonical()
+        assert decoded.backend == local.backend
+
+    def test_suite_without_json_keeps_table_on_stdout(self, small_suite,
+                                                      capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "constProp" in out and "SOUND" in out
+
+    def test_cache_stats_json_document(self, tmp_path, capsys):
+        import json
+
+        from repro.service.wire import dumps, envelope
+        from repro.verify.cache import SCHEMA_VERSION
+
+        target = str(tmp_path / "cache")
+        assert main(["cache", "stats", "--dir", target, "--json"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out == dumps(envelope("cache-stats", {
+            "location": target,
+            "objects": 0,
+            "schema": SCHEMA_VERSION,
+        }))
+        json.loads(out)  # and it is valid JSON
+
+    def test_fuzz_json_carries_the_canonical_report(self, capsys):
+        import json
+
+        args = ["fuzz", "--kind", "axioms", "--cases", "2", "--seed", "7",
+                "--no-corpus", "--quiet"]
+        assert main(args) == 0
+        plain = capsys.readouterr().out.strip()
+        assert main(args + ["--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "fuzz-report"
+        assert doc["ok"] is True
+        assert doc["seed"] == 7
+        [campaign] = doc["campaigns"]
+        assert campaign["kind"] == "axioms"
+        assert campaign["canonical"] == plain
+
+
+class TestRetiredProverFlag:
+    def test_prover_alias_is_gone(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--prover", "incremental", "suite"])
+        assert "--prover-mode" not in capsys.readouterr().out
+
+
+class TestServeSubcommand:
+    def test_serve_is_registered_with_defaults(self):
+        from repro.cli import build_parser, cmd_serve
+
+        args = build_parser().parse_args(["serve", "--port", "0"])
+        assert args.fn is cmd_serve
+        assert args.port == 0
+        assert args.host == "127.0.0.1"
+        assert args.max_jobs == 8
+        assert args.burst == 20.0

@@ -10,7 +10,7 @@ import pytest
 
 from repro.il import parse_program
 from repro.il.generator import GeneratorConfig
-from repro.testing import differential_campaign
+from repro.fuzz import differential_campaign
 from repro.fuzz.oracle import check_equivalence
 from repro.opts import (
     branch_fold,

@@ -1,6 +1,6 @@
 """Property-based differential testing of every proven-sound optimization.
 
-Drives :func:`repro.testing.differential_campaign` over many generator
+Drives :func:`repro.fuzz.differential_campaign` over many generator
 seeds for each optimization in the shipped suite (all of which the
 soundness checker proves sound — experiment E2), asserting the paper's
 one-directional equivalence empirically: zero mismatches, ever.  A final
@@ -17,7 +17,7 @@ from collections import Counter
 import pytest
 
 from repro.il.generator import GeneratorConfig
-from repro.testing import differential_campaign
+from repro.fuzz import differential_campaign
 from repro.opts import ALL_OPTIMIZATIONS
 
 try:

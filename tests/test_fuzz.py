@@ -4,7 +4,7 @@ Covers: seeded-RNG injection in the program generator, determinism of all
 three campaign kinds (including across ``jobs`` settings), the axiom
 oracle catching a deliberately-injected bad axiom (the fuzzer fuzzing
 itself), rule minting round-trips, rule shrinking, corpus persistence and
-replay, and the deprecation shim over ``repro.testing.differential``.
+replay, and that the retired ``repro.testing`` shim stays gone.
 """
 
 import random
@@ -237,26 +237,16 @@ class TestCliFuzz:
         assert "misproofs=0" in out
 
 
-class TestDeprecationShim:
-    def test_old_module_warns_and_forwards(self):
-        import importlib
+class TestShimRetired:
+    """The repro.testing deprecation shim is gone after its one release."""
 
-        module = importlib.import_module("repro.testing.differential")
-        with pytest.warns(DeprecationWarning, match="repro.fuzz.oracle"):
-            fn = module.check_equivalence
-        from repro.fuzz.oracle import check_equivalence
+    def test_old_package_is_gone(self):
+        with pytest.raises(ModuleNotFoundError):
+            import repro.testing  # noqa: F401
 
-        assert fn is check_equivalence
-
-    def test_package_reexport_is_silent(self, recwarn):
-        import warnings
-
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            from repro.testing import differential_campaign  # noqa: F401
-
-    def test_unknown_attribute_raises(self):
-        import repro.testing.differential as shim
-
-        with pytest.raises(AttributeError):
-            shim.does_not_exist
+    def test_canonical_home_serves_the_oracle(self):
+        from repro.fuzz import (  # noqa: F401
+            DifferentialResult,
+            check_equivalence,
+            differential_campaign,
+        )

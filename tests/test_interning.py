@@ -50,6 +50,7 @@ from repro.logic.formulas import (
 from repro.logic.terms import App, IntConst, LVar, free_vars, is_ground, subst, term_size
 from repro.opts import ALL_OPTIMIZATIONS
 from repro.prover import Prover, ProverConfig
+from repro.api import VerifyOptions
 from repro.verify import SoundnessChecker
 
 try:
@@ -293,7 +294,9 @@ def test_obligations_survive_parallel_pickling():
     opt = next(o for o in ALL_OPTIMIZATIONS if o.name == "constFold")
     cfg = ProverConfig(timeout_s=60.0)
     serial = SoundnessChecker(config=cfg).check_optimization(opt)
-    parallel = SoundnessChecker(config=cfg, jobs=2).check_optimization(opt)
+    parallel = SoundnessChecker(
+        config=cfg, options=VerifyOptions(jobs=2)
+    ).check_optimization(opt)
     assert serial.canonical() == parallel.canonical()
     assert parallel.sound
 

@@ -14,6 +14,7 @@ import pytest
 
 from repro.cobalt.labels import standard_registry
 from repro.prover import ProverConfig
+from repro.api import VerifyOptions
 from repro.verify import SoundnessChecker
 from repro.verify.checker import discharge_obligation
 from repro.verify.obligations import ObligationBuilder
@@ -51,7 +52,7 @@ def _canonicals(checker, items):
 class TestParallelMatchesSerial:
     def test_fast_subset_identical_reports(self):
         serial = SoundnessChecker(config=FAST)
-        parallel = SoundnessChecker(config=FAST, jobs=2)
+        parallel = SoundnessChecker(config=FAST, options=VerifyOptions(jobs=2))
         assert _canonicals(parallel, FAST_ITEMS) == _canonicals(serial, FAST_ITEMS)
 
     def test_results_keep_obligation_order(self):
@@ -73,7 +74,7 @@ class TestParallelMatchesSerial:
         items = parse_blocks(suite_path.read_text())
         config = ProverConfig(timeout_s=90.0)
         serial = SoundnessChecker(config=config)
-        parallel = SoundnessChecker(config=config, jobs=2)
+        parallel = SoundnessChecker(config=config, options=VerifyOptions(jobs=2))
         for item in items:
             if isinstance(item, PureAnalysis):
                 left = serial.check_analysis(item)
@@ -111,7 +112,9 @@ class TestTimeouts:
 
     def test_prover_timeout_yields_unknown(self):
         # The cooperative path: a tiny prover budget answers unknown.
-        checker = SoundnessChecker(config=ProverConfig(timeout_s=0.01), jobs=2)
+        checker = SoundnessChecker(
+            config=ProverConfig(timeout_s=0.01), options=VerifyOptions(jobs=2)
+        )
         report = checker.check_pattern(dae.pattern)
         assert not report.sound
         assert all(not r.proved for r in report.results)
@@ -140,7 +143,7 @@ class TestFallbacks:
             raise AssertionError("jobs=1 must stay serial")
 
         monkeypatch.setattr(parallel_mod, "discharge_parallel", boom)
-        checker = SoundnessChecker(config=FAST, jobs=1)
+        checker = SoundnessChecker(config=FAST, options=VerifyOptions(jobs=1))
         assert checker.check_optimization(const_fold).sound
 
 

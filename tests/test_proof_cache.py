@@ -27,6 +27,7 @@ from repro.cobalt.guards import GNot, GLabel
 from repro.cobalt.labels import standard_registry
 from repro.cobalt.patterns import VarPat
 from repro.prover import ProverConfig
+from repro.api import VerifyOptions
 from repro.verify import ProofCache, SoundnessChecker
 from repro.verify.cache import (
     CACHE_FILENAME,
@@ -53,7 +54,9 @@ def digest():
 
 class TestRoundTrip:
     def test_miss_then_hit(self, tmp_path):
-        cold = SoundnessChecker(config=FAST, cache=tmp_path)
+        cold = SoundnessChecker(
+            config=FAST, options=VerifyOptions(cache_dir=str(tmp_path))
+        )
         report_cold = cold.check_optimization(const_fold)
         assert report_cold.sound
         assert cold.cache.stats.hits == 0
@@ -70,7 +73,9 @@ class TestRoundTrip:
         assert len(stored) == len(distinct)
         assert all(p.parent.name == p.stem[:2] for p in stored)
 
-        warm = SoundnessChecker(config=FAST, cache=tmp_path)
+        warm = SoundnessChecker(
+            config=FAST, options=VerifyOptions(cache_dir=str(tmp_path))
+        )
         report_warm = warm.check_optimization(const_fold)
         assert report_warm.sound
         assert warm.cache.stats.misses == 0
@@ -82,9 +87,9 @@ class TestRoundTrip:
 
     def test_cache_shared_across_checker_instances(self, tmp_path):
         cache = ProofCache(tmp_path)
-        a = SoundnessChecker(config=FAST, cache=cache)
+        a = SoundnessChecker(config=FAST, proof_cache=cache)
         a.check_optimization(const_fold)
-        b = SoundnessChecker(config=FAST, cache=cache)
+        b = SoundnessChecker(config=FAST, proof_cache=cache)
         report = b.check_optimization(const_fold)
         assert all(r.cached for r in report.results)
 

@@ -1,0 +1,621 @@
+"""The verification daemon (docs/SERVICE.md).
+
+Covers, bottom-up: the rate limiter's deterministic 429 path (injected
+clock), the obligation broker's cross-request batching and in-flight
+dedup, the job queue's validation/rejection paths, and the asyncio HTTP
+server end to end — concurrent clients getting byte-identical reports to
+a serial local ``verify_suite``, malformed/oversized bodies answered
+without disturbing the loop, and a client disconnecting mid-stream
+cancelling only its own stream.
+"""
+
+import asyncio
+import http.client
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.api import ProverOptions, VerifyOptions, verify_suite
+from repro.cobalt.labels import standard_registry
+from repro.prover import ProverConfig
+from repro.prover.backends.base import BackendSpec
+from repro.service import (
+    ObligationBroker,
+    RateLimiter,
+    ServiceServer,
+    TokenBucket,
+    VerificationService,
+)
+from repro.service.wire import WireError, envelope
+from repro.verify.checker import ObligationResult
+from repro.verify.obligations import ObligationBuilder
+
+CONST_PROP = """
+forward optimization constProp {
+  stmt(Y := C)
+  followed by
+  !mayDef(Y)
+  until
+  X := Y  =>  X := C
+  with witness
+  eta(Y) == C
+}
+"""
+
+FAST = VerifyOptions(prover=ProverOptions(timeout_s=60.0))
+
+
+# ---------------------------------------------------------------------------
+# Rate limiting
+# ---------------------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestTokenBucket:
+    def test_burst_then_deny(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert bucket.take() == (True, 0.0)
+        assert bucket.take() == (True, 0.0)
+        allowed, retry = bucket.take()
+        assert not allowed
+        assert retry == pytest.approx(1.0)
+
+    def test_refill_restores_tokens(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.take()[0]
+        assert not bucket.take()[0]
+        clock.now += 0.5  # 2 tokens/s * 0.5s = 1 token
+        assert bucket.take()[0]
+
+    def test_zero_rate_never_refills(self):
+        bucket = TokenBucket(rate=0.0, burst=1.0, clock=FakeClock())
+        assert bucket.take()[0]
+        allowed, retry = bucket.take()
+        assert not allowed
+        assert retry == float("inf")
+
+
+class TestRateLimiter:
+    def test_keys_are_independent(self):
+        limiter = RateLimiter(rate=0.0, burst=1.0, clock=FakeClock())
+        assert limiter.check("a")[0]
+        assert limiter.check("b")[0]
+        assert not limiter.check("a")[0]
+        assert limiter.stats.allowed == 2
+        assert limiter.stats.limited == 1
+
+    def test_burst_zero_disables(self):
+        limiter = RateLimiter(rate=0.0, burst=0.0, clock=FakeClock())
+        assert not limiter.enabled
+        for _ in range(10):
+            assert limiter.check("a")[0]
+
+    def test_key_eviction_is_bounded(self):
+        limiter = RateLimiter(rate=0.0, burst=1.0, clock=FakeClock())
+        limiter.MAX_KEYS = 4
+        for i in range(10):
+            limiter.check(f"client-{i}")
+        assert len(limiter._buckets) <= 4
+
+
+# ---------------------------------------------------------------------------
+# The obligation broker
+# ---------------------------------------------------------------------------
+
+
+class FakeBackend:
+    """Deterministic stand-in backend: records calls, proves everything."""
+
+    def __init__(self) -> None:
+        self.calls = []
+        self.lock = threading.Lock()
+
+    def discharge(self, owner, obligation):
+        with self.lock:
+            self.calls.append((owner, obligation.name))
+        return ObligationResult(obligation.name, True, 0.01, [])
+
+    def identity(self) -> str:
+        return "fake"
+
+
+def _obligations():
+    from repro.opts import const_fold
+
+    return ObligationBuilder(standard_registry()).forward_obligations(
+        const_fold.pattern
+    )
+
+
+class TestBroker:
+    def test_results_in_submission_order(self):
+        broker = ObligationBroker(jobs=1, batch_window_s=0.0)
+        try:
+            obs = _obligations()
+            futures = broker.submit(
+                "job-1", "constFold", obs,
+                config=ProverConfig(), spec=BackendSpec(),
+                backend=FakeBackend(), axiom_digest="d", timeout_s=None,
+            )
+            names = [f.result(timeout=10) for f in futures]
+            assert [r.obligation for r in names] == [ob.name for ob in obs]
+        finally:
+            broker.close()
+
+    def test_cross_job_dedup_and_shared_dispatch(self):
+        broker = ObligationBroker(jobs=1, batch_window_s=0.3)
+        backend = FakeBackend()
+        try:
+            obs = _obligations()
+            kwargs = dict(
+                config=ProverConfig(), spec=BackendSpec(),
+                backend=backend, axiom_digest="d", timeout_s=None,
+            )
+            futures_a = broker.submit("job-a", "constFold", obs, **kwargs)
+            futures_b = broker.submit("job-b", "constFold", obs, **kwargs)
+            results_a = [f.result(timeout=10) for f in futures_a]
+            results_b = [f.result(timeout=10) for f in futures_b]
+            # Both jobs see the full verdict list under their own names...
+            assert [r.obligation for r in results_a] == [ob.name for ob in obs]
+            assert [r.obligation for r in results_b] == [ob.name for ob in obs]
+            assert all(r.proved for r in results_a + results_b)
+            # ...but the backend ran each distinct obligation only once
+            # (constFold F2/F3 share goal content and thus a key).
+            from repro.verify.cache import obligation_key
+
+            distinct = len({obligation_key(ob, "d") for ob in obs})
+            assert len(backend.calls) == distinct
+            stats = broker.stats
+            assert stats.dispatches == 1
+            assert stats.shared_dispatches == 1
+            assert stats.coalesced == 2 * len(obs) - distinct
+        finally:
+            broker.close()
+
+    def test_closed_broker_refuses_work(self):
+        broker = ObligationBroker(jobs=1, batch_window_s=0.0)
+        broker.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            broker.submit(
+                "job", "x", _obligations(),
+                config=ProverConfig(), spec=BackendSpec(),
+                backend=FakeBackend(), axiom_digest="d", timeout_s=None,
+            )
+
+
+# ---------------------------------------------------------------------------
+# The service (no HTTP)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def service():
+    svc = VerificationService(FAST, max_concurrent_jobs=4,
+                              batch_window_s=0.02)
+    yield svc
+    svc.shutdown()
+
+
+class TestVerificationService:
+    def test_source_job_matches_local_run(self, service):
+        job = service.submit(envelope("job-request", {"source": CONST_PROP}))
+        assert job.wait(timeout=120)
+        assert job.status == "done"
+        got = job.result["canonical"]
+
+        from repro.cli import parse_blocks
+        from repro.cobalt.dsl import Optimization
+
+        items = parse_blocks(CONST_PROP)
+        local = verify_suite(
+            FAST,
+            analyses=[],
+            optimizations=[
+                i if isinstance(i, Optimization) else Optimization(i)
+                for i in items
+            ],
+        )
+        assert got == local.canonical()
+
+    def test_bad_envelope_kind_is_refused(self, service):
+        with pytest.raises(WireError, match="job-request"):
+            service.submit(envelope("suite-report", {}))
+
+    def test_forbidden_options_are_refused(self, service):
+        body = envelope("job-request", {
+            "source": CONST_PROP,
+            "options": {"solver_cmd": ["evil"]},
+        })
+        with pytest.raises(WireError, match="solver_cmd"):
+            service.submit(body)
+
+    def test_unknown_suite_names_are_refused(self, service):
+        body = envelope("job-request", {"optimizations": ["noSuchPass"]})
+        with pytest.raises(WireError, match="noSuchPass"):
+            service.submit(body)
+
+    def test_unparsable_source_is_refused(self, service):
+        body = envelope("job-request", {"source": "forward optimization x {"})
+        with pytest.raises(WireError, match="unparsable"):
+            service.submit(body)
+
+    def test_client_prover_options_are_honored(self, service):
+        body = envelope("job-request", {
+            "source": CONST_PROP,
+            "options": {
+                "prover": envelope("prover-options", {"timeout_s": 33.0}),
+            },
+        })
+        job = service.submit(body)
+        assert job.wait(timeout=120)
+        assert job.status == "done"
+
+    def test_stats_counters_move(self, service):
+        job = service.submit(envelope("job-request", {"source": CONST_PROP}))
+        job.wait(timeout=120)
+        stats = service.stats_wire()
+        assert stats["jobs"]["submitted"] >= 1
+        assert stats["jobs"]["completed"] >= 1
+        assert stats["broker"]["enqueued"] >= 1
+        assert stats["cache"]["stores"] >= 1
+
+    def test_warm_network_replay_is_one_round_trip(self, tmp_path):
+        # Populate a store locally, serve it over the network tier, and
+        # point a daemon with NO local cache at it: the whole job must
+        # replay from ONE batched multi-GET (the verify_suite prefetch),
+        # byte-identical, with zero broker dispatches.
+        from dataclasses import replace
+
+        from repro.cli import parse_blocks
+        from repro.cobalt.dsl import Optimization
+        from repro.verify.netcache import CacheServer
+
+        items = [i if isinstance(i, Optimization) else Optimization(i)
+                 for i in parse_blocks(CONST_PROP)]
+        local = verify_suite(
+            replace(FAST, cache_dir=str(tmp_path / "store")),
+            analyses=[], optimizations=items,
+        )
+        local.cache.save()
+
+        server = CacheServer(tmp_path / "store", port=0)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        svc = VerificationService(
+            replace(FAST, cache_url=server.url), batch_window_s=0.02
+        )
+        try:
+            job = svc.submit(
+                envelope("job-request", {"source": CONST_PROP})
+            )
+            assert job.wait(timeout=120)
+            assert job.status == "done"
+            assert job.result["canonical"] == local.canonical()
+            assert svc.cache.remote is not None
+            assert svc.cache.remote.stats.requests == 1
+            assert svc.broker.stats.dispatches == 0
+            assert svc.cache.stats.hits >= 1
+        finally:
+            svc.shutdown()
+            server.shutdown()
+            server.server_close()
+
+
+# ---------------------------------------------------------------------------
+# The HTTP server
+# ---------------------------------------------------------------------------
+
+
+class DaemonFixture:
+    def __init__(self, server: ServiceServer) -> None:
+        self.server = server
+        self.thread: threading.Thread = None  # type: ignore[assignment]
+        self.loop = None
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def request(self, method, path, body=None, headers=None, timeout=120.0):
+        conn = http.client.HTTPConnection("127.0.0.1", self.port,
+                                          timeout=timeout)
+        try:
+            conn.request(method, path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            return response.status, dict(response.getheaders()), response.read()
+        finally:
+            conn.close()
+
+    def post_job(self, payload, headers=None, timeout=120.0):
+        body = json.dumps(envelope("job-request", payload)).encode()
+        return self.request("POST", "/v1/jobs", body=body, headers=headers,
+                            timeout=timeout)
+
+
+def _start_daemon(**kwargs):
+    server = ServiceServer(
+        kwargs.pop("options", FAST), port=0,
+        batch_window_s=kwargs.pop("batch_window_s", 0.02), **kwargs
+    )
+    fixture = DaemonFixture(server)
+    started = threading.Event()
+
+    def run():
+        async def main():
+            await server.start()
+            started.set()
+            await server.serve_forever()
+        asyncio.run(main())
+
+    fixture.thread = threading.Thread(target=run, daemon=True)
+    fixture.thread.start()
+    assert started.wait(10), "daemon failed to start"
+    return fixture
+
+
+@pytest.fixture()
+def daemon():
+    fixture = _start_daemon()
+    yield fixture
+    fixture.server.request_stop()
+    fixture.thread.join(timeout=30)
+
+
+class TestHTTP:
+    def test_healthz(self, daemon):
+        status, _, body = daemon.request("GET", "/v1/healthz")
+        assert status == 200
+        assert json.loads(body)["ok"] is True
+
+    def test_unknown_route_is_404(self, daemon):
+        status, _, _ = daemon.request("GET", "/v1/nope")
+        assert status == 404
+
+    def test_wrong_method_is_405(self, daemon):
+        status, _, _ = daemon.request("POST", "/v1/healthz", body=b"{}")
+        assert status == 405
+
+    def test_unknown_job_is_404(self, daemon):
+        status, _, _ = daemon.request("GET", "/v1/jobs/ffff")
+        assert status == 404
+
+    def test_malformed_json_is_400_and_loop_survives(self, daemon):
+        status, _, body = daemon.request("POST", "/v1/jobs", body=b"{nope")
+        assert status == 400
+        assert "malformed JSON" in json.loads(body)["error"]
+        # the loop is still serving
+        assert daemon.request("GET", "/v1/healthz")[0] == 200
+
+    def test_post_without_length_is_411(self, daemon):
+        # http.client always sets Content-Length; speak raw bytes instead.
+        with socket.create_connection(("127.0.0.1", daemon.port), 10) as sock:
+            sock.sendall(b"POST /v1/jobs HTTP/1.1\r\nHost: x\r\n\r\n")
+            response = sock.recv(4096)
+        assert b"411" in response.split(b"\r\n", 1)[0]
+        assert daemon.request("GET", "/v1/healthz")[0] == 200
+
+    def test_garbage_request_line_is_400(self, daemon):
+        with socket.create_connection(("127.0.0.1", daemon.port), 10) as sock:
+            sock.sendall(b"utter nonsense\r\n\r\n")
+            response = sock.recv(4096)
+        assert b"400" in response.split(b"\r\n", 1)[0]
+        assert daemon.request("GET", "/v1/healthz")[0] == 200
+
+    def test_wait_job_round_trips_canonical(self, daemon):
+        status, _, body = daemon.post_job({"source": CONST_PROP, "wait": True})
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["status"] == "done"
+        # the envelope kind routes the document; the job's own kind must
+        # not clobber it (regression: "kind" used to come out as "suite")
+        assert doc["kind"] == "job"
+        assert doc["job_kind"] == "suite"
+        # compare against a local serial run of the same single pattern
+        from repro.cli import parse_blocks
+        from repro.cobalt.dsl import Optimization
+
+        items = [Optimization(i) if not isinstance(i, Optimization) else i
+                 for i in parse_blocks(CONST_PROP)]
+        local = verify_suite(FAST, analyses=[], optimizations=items)
+        assert doc["result"]["canonical"] == local.canonical()
+        assert doc["result"]["suite"]["kind"] == "suite-report"
+
+    def test_poll_and_stream(self, daemon):
+        status, _, body = daemon.post_job({"source": CONST_PROP})
+        assert status == 202
+        job_id = json.loads(body)["id"]
+
+        status, headers, body = daemon.request(
+            "GET", f"/v1/jobs/{job_id}/events"
+        )
+        assert status == 200
+        events = [json.loads(line) for line in body.splitlines() if line]
+        kinds = [e.get("event") or e.get("kind") for e in events]
+        assert kinds[0] == "started"
+        assert "report" in kinds
+        assert kinds[-1] == "done"
+
+        status, _, body = daemon.request("GET", f"/v1/jobs/{job_id}")
+        assert status == 200
+        assert json.loads(body)["status"] == "done"
+
+
+class TestHTTPLimits:
+    def test_rate_limit_429_with_retry_after(self):
+        fixture = _start_daemon(rate=0.0, burst=2.0)
+        try:
+            seen = []
+            for _ in range(3):
+                status, headers, _ = fixture.post_job(
+                    {"optimizations": []},
+                    headers={"X-Repro-Client": "greedy"},
+                )
+                seen.append((status, headers))
+            assert [s for s, _ in seen[:2]] == [202, 202]
+            status, headers = seen[2]
+            assert status == 429
+            assert "Retry-After" in headers
+        finally:
+            fixture.server.request_stop()
+            fixture.thread.join(timeout=30)
+
+    def test_distinct_clients_have_distinct_budgets(self):
+        fixture = _start_daemon(rate=0.0, burst=1.0)
+        try:
+            a1 = fixture.post_job({"optimizations": []},
+                                  headers={"X-Repro-Client": "a"})[0]
+            b1 = fixture.post_job({"optimizations": []},
+                                  headers={"X-Repro-Client": "b"})[0]
+            a2 = fixture.post_job({"optimizations": []},
+                                  headers={"X-Repro-Client": "a"})[0]
+            assert (a1, b1, a2) == (202, 202, 429)
+        finally:
+            fixture.server.request_stop()
+            fixture.thread.join(timeout=30)
+
+    def test_oversized_body_is_413(self):
+        fixture = _start_daemon(max_body_bytes=512)
+        try:
+            big = json.dumps(envelope("job-request", {
+                "source": "x" * 4096
+            })).encode()
+            status, _, body = fixture.request("POST", "/v1/jobs", body=big)
+            assert status == 413
+            assert fixture.request("GET", "/v1/healthz")[0] == 200
+        finally:
+            fixture.server.request_stop()
+            fixture.thread.join(timeout=30)
+
+    def test_disconnect_mid_stream_does_not_kill_job(self, daemon):
+        status, _, body = daemon.post_job({"source": CONST_PROP})
+        assert status == 202
+        job_id = json.loads(body)["id"]
+        # Open the event stream raw and slam the connection shut while the
+        # job is (likely still) running.
+        with socket.create_connection(("127.0.0.1", daemon.port), 10) as sock:
+            sock.sendall(
+                f"GET /v1/jobs/{job_id}/events HTTP/1.1\r\n"
+                f"Host: x\r\n\r\n".encode()
+            )
+            sock.recv(64)  # read a little, then vanish
+        # The daemon keeps serving and the job still completes.
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            status, _, body = daemon.request("GET", f"/v1/jobs/{job_id}")
+            assert status == 200
+            if json.loads(body)["status"] in ("done", "error"):
+                break
+            time.sleep(0.1)
+        assert json.loads(body)["status"] == "done"
+        assert daemon.request("GET", "/v1/healthz")[0] == 200
+
+
+class TestConcurrentClients:
+    N = 4
+
+    def test_concurrent_clients_byte_identical_and_batched(self):
+        fixture = _start_daemon(batch_window_s=0.5, max_concurrent_jobs=self.N)
+        try:
+            results = [None] * self.N
+            errors = []
+
+            def worker(i):
+                try:
+                    status, _, body = fixture.post_job(
+                        {"source": CONST_PROP, "wait": True},
+                        headers={"X-Repro-Client": f"client-{i}"},
+                    )
+                    assert status == 200, body
+                    results[i] = json.loads(body)["result"]["canonical"]
+                except Exception as exc:  # surfaced below
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(self.N)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=180)
+            assert not errors
+            assert all(r is not None for r in results)
+
+            from repro.cli import parse_blocks
+            from repro.cobalt.dsl import Optimization
+
+            items = [Optimization(i) if not isinstance(i, Optimization) else i
+                     for i in parse_blocks(CONST_PROP)]
+            local = verify_suite(FAST, analyses=[], optimizations=items)
+            assert set(results) == {local.canonical()}
+
+            _, _, body = fixture.request("GET", "/v1/stats")
+            stats = json.loads(body)
+            broker = stats["broker"]
+            # Cross-request batching actually happened: either several jobs
+            # shared a dispatch, or later jobs replayed the shared cache.
+            assert (
+                broker["shared_dispatches"] >= 1
+                or broker["coalesced"] >= 1
+                or stats["cache"]["hits"] >= 1
+            )
+            assert stats["jobs"]["completed"] == self.N
+        finally:
+            fixture.server.request_stop()
+            fixture.thread.join(timeout=30)
+
+
+@pytest.mark.slow
+class TestFullSuiteOverHTTP:
+    """The acceptance bar: 8 concurrent clients, the full E1 suite each,
+    byte-identical to a serial local run, with batching visible in /stats."""
+
+    N = 8
+
+    def test_eight_clients_full_suite(self):
+        fixture = _start_daemon(batch_window_s=0.5, max_concurrent_jobs=self.N)
+        try:
+            results = [None] * self.N
+            errors = []
+
+            def worker(i):
+                try:
+                    status, _, body = fixture.post_job(
+                        {"wait": True},
+                        headers={"X-Repro-Client": f"client-{i}"},
+                        timeout=3600.0,
+                    )
+                    assert status == 200, body
+                    results[i] = json.loads(body)["result"]["canonical"]
+                except Exception as exc:
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(self.N)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            local = verify_suite(FAST)
+            assert set(results) == {local.canonical()}
+
+            _, _, body = fixture.request("GET", "/v1/stats")
+            stats = json.loads(body)
+            assert (
+                stats["broker"]["shared_dispatches"] >= 1
+                or stats["broker"]["coalesced"] >= 1
+                or stats["cache"]["hits"] >= 1
+            )
+        finally:
+            fixture.server.request_stop()
+            fixture.thread.join(timeout=60)
