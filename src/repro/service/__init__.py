@@ -24,6 +24,7 @@ from repro.service.jobs import (
     Job,
     ObligationBroker,
     ServiceChecker,
+    ServiceOverloadedError,
     VerificationService,
 )
 from repro.service.ratelimit import RateLimiter, TokenBucket
@@ -37,6 +38,7 @@ __all__ = [
     "ObligationBroker",
     "RateLimiter",
     "ServiceChecker",
+    "ServiceOverloadedError",
     "ServiceServer",
     "TokenBucket",
     "VerificationService",

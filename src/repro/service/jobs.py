@@ -72,6 +72,14 @@ FORBIDDEN_OPTION_FIELDS = frozenset({
 })
 
 
+class ServiceOverloadedError(RuntimeError):
+    """Too many live jobs: the submission was refused, try again later.
+
+    Live jobs are never evicted from the job map, so without a bound a
+    sustained submitter could grow the map and the runner queue without
+    limit; the HTTP layer maps this to 429."""
+
+
 @dataclass
 class BrokerStats:
     """Counters proving (or disproving) that cross-request batching works."""
@@ -208,11 +216,20 @@ class ObligationBroker:
 
     def _dispatch_batch(self, batch: List[_Work]) -> None:
         # Group by the verdict-relevant identity: prover config fingerprint,
-        # backend spec, and owner (the goal-name prefix; kept per-group so a
-        # coalesced dispatch names goals exactly as a solo run would).
-        groups: Dict[Tuple[str, object, str], List[_Work]] = {}
+        # backend spec, owner (the goal-name prefix; kept per-group so a
+        # coalesced dispatch names goals exactly as a solo run would), and
+        # the hard per-obligation timeout — _discharge applies the lead's
+        # timeout to the whole group, so only same-timeout work may share a
+        # dispatch (a shorter-timeout job must never kill, and thereby flip
+        # to ``unknown``, an obligation another job would have proved).
+        groups: Dict[Tuple[str, object, str, Optional[float]], List[_Work]] = {}
         for work in batch:
-            key = (config_fingerprint(work.config), work.spec, work.owner)
+            key = (
+                config_fingerprint(work.config),
+                work.spec,
+                work.owner,
+                work.timeout_s,
+            )
             groups.setdefault(key, []).append(work)
         for group in groups.values():
             self._dispatch_group(group)
@@ -504,7 +521,11 @@ class VerificationService:
     ``options`` is the operator's base :class:`VerifyOptions` — its
     backend/solver/cache configuration applies to every job; its ``jobs``
     width sizes the shared process pool.  ``max_concurrent_jobs`` bounds
-    the job-runner thread pool (queued jobs wait, nothing is dropped)."""
+    the job-runner thread pool (queued jobs wait, nothing is dropped up to
+    ``max_live_jobs`` — beyond that, submissions are refused with
+    :class:`ServiceOverloadedError` so the queue cannot grow without
+    bound).  ``max_live_jobs`` defaults to eight queued jobs per runner
+    slot."""
 
     def __init__(
         self,
@@ -513,6 +534,7 @@ class VerificationService:
         max_concurrent_jobs: int = 8,
         batch_window_s: float = 0.05,
         max_jobs_kept: int = 256,
+        max_live_jobs: Optional[int] = None,
     ) -> None:
         self.options = options or VerifyOptions()
         self.stats = ServiceStats()
@@ -536,6 +558,9 @@ class VerificationService:
         self._jobs: Dict[str, Job] = {}
         self._jobs_lock = threading.Lock()
         self._max_jobs_kept = max_jobs_kept
+        if max_live_jobs is None:
+            max_live_jobs = max(1, max_concurrent_jobs) * 8
+        self._max_live_jobs = max(1, int(max_live_jobs))
         self._runner = ThreadPoolExecutor(
             max_workers=max(1, max_concurrent_jobs),
             thread_name_prefix="repro-job",
@@ -570,6 +595,12 @@ class VerificationService:
             )
         job = Job(uuid.uuid4().hex, "suite")
         with self._jobs_lock:
+            live = sum(1 for j in self._jobs.values() if not j.finished)
+            if live >= self._max_live_jobs:
+                raise ServiceOverloadedError(
+                    f"{live} live job(s) already queued or running; "
+                    "try again later"
+                )
             self._jobs[job.id] = job
             while len(self._jobs) > self._max_jobs_kept:
                 oldest = next(iter(self._jobs))

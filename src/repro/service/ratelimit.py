@@ -2,11 +2,15 @@
 
 A verification daemon shared by a fleet must not let one misbehaving
 client starve everyone else's proof budget: job submission is metered per
-client key (the ``X-Repro-Client`` header when present, else the peer
-address) through a classic token bucket — ``burst`` tokens of headroom,
-refilled at ``rate`` tokens/second.  Reads (polling, streaming, stats)
-are deliberately unmetered: they are cheap, and throttling them would
-punish exactly the clients doing the polite polling thing.
+client key through a classic token bucket — ``burst`` tokens of headroom,
+refilled at ``rate`` tokens/second.  The server keys buckets by peer
+address; an ``X-Repro-Client`` header only *sub-keys* within its address
+(so clients behind one NAT get separate budgets) and is additionally
+metered against a per-address aggregate bucket — the header is
+client-supplied, so it must never be able to mint unlimited fresh
+budgets.  Reads (polling, streaming, stats) are deliberately unmetered:
+they are cheap, and throttling them would punish exactly the clients
+doing the polite polling thing.
 
 The clock is injectable so the 429 path is deterministic under test.
 """

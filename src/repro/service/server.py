@@ -34,17 +34,32 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.api import VerifyOptions
-from repro.service.jobs import Job, VerificationService
+from repro.service.jobs import Job, ServiceOverloadedError, VerificationService
 from repro.service.ratelimit import RateLimiter
 from repro.service.wire import WIRE_VERSION, WireError, dumps, envelope
 
 MAX_REQUEST_LINE = 8 * 1024
 MAX_HEADER_BYTES = 32 * 1024
 DEFAULT_MAX_BODY = 8 * 1024 * 1024
+
+#: A peer address's aggregate submission budget is this multiple of the
+#: per-client budget: ``X-Repro-Client`` sub-keys within one address (so
+#: clients behind a shared NAT do not steal each other's burst), but
+#: rotating the header cannot mint more than this many budgets' worth of
+#: fresh tokens from one address.
+ADDR_BUDGET_FACTOR = 8
+
+#: Cap on concurrently *blocked* ``"wait": true`` submissions.  Each one
+#: parks a thread for the job's whole runtime, so they get a dedicated
+#: bounded pool — never the shared ``asyncio.to_thread`` executor that
+#: serves every event-stream bridge and submit validation.  Beyond the
+#: cap the job is still accepted, just answered 202 for polling.
+DEFAULT_MAX_WAITERS = 32
 
 _REASONS = {
     200: "OK",
@@ -96,6 +111,7 @@ class ServiceServer:
         rate: float = 10.0,
         burst: float = 20.0,
         max_body_bytes: int = DEFAULT_MAX_BODY,
+        max_waiters: int = DEFAULT_MAX_WAITERS,
         service: Optional[VerificationService] = None,
         limiter: Optional[RateLimiter] = None,
     ) -> None:
@@ -108,6 +124,16 @@ class ServiceServer:
             batch_window_s=batch_window_s,
         )
         self.limiter = limiter if limiter is not None else RateLimiter(rate, burst)
+        # The per-address aggregate behind the per-client buckets: a client
+        # rotating X-Repro-Client values still drains this one.
+        self._addr_limiter = RateLimiter(
+            rate * ADDR_BUDGET_FACTOR, burst * ADDR_BUDGET_FACTOR
+        )
+        self._max_waiters = max(1, int(max_waiters))
+        self._waiters = 0  # touched only on the event loop
+        self._wait_pool = ThreadPoolExecutor(
+            max_workers=self._max_waiters, thread_name_prefix="repro-wait"
+        )
         self._server: Optional[asyncio.base_events.Server] = None
         self._stopping: Optional[asyncio.Event] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -129,6 +155,8 @@ class ServiceServer:
             await self._stopping.wait()
         # Drain jobs and release the pool off-loop (shutdown blocks).
         await asyncio.to_thread(self.service.shutdown)
+        # All jobs are finished now, so parked waiters have returned.
+        self._wait_pool.shutdown(wait=False)
 
     def request_stop(self) -> None:
         """Shutdown trigger, safe from signal handlers and foreign threads.
@@ -299,22 +327,39 @@ class ServiceServer:
         stats = self.service.stats_wire()
         stats["ratelimit"] = {
             "allowed": self.limiter.stats.allowed,
-            "limited": self.limiter.stats.limited,
+            # per-client denials plus denials by the per-address aggregate
+            "limited": self.limiter.stats.limited
+            + self._addr_limiter.stats.limited,
             "enabled": self.limiter.enabled,
         }
         return envelope("stats", stats)
 
-    def _client_key(self, headers: Dict[str, str], writer) -> str:
+    def _client_keys(
+        self, headers: Dict[str, str], writer
+    ) -> Tuple[str, Optional[str]]:
+        """``(per-client key, per-address key)`` for the rate limiter.
+
+        The peer address is always part of the per-client key —
+        ``X-Repro-Client`` only *sub-keys* within an address (distinct
+        clients behind one NAT get distinct buckets) and is additionally
+        metered against the address's aggregate budget, so rotating the
+        header cannot mint unlimited fresh buckets."""
+        peer = writer.get_extra_info("peername")
+        addr = str(peer[0]) if peer else "unknown"
         explicit = headers.get("x-repro-client")
         if explicit:
-            return explicit[:128]
-        peer = writer.get_extra_info("peername")
-        return str(peer[0]) if peer else "unknown"
+            return f"{addr}|{explicit[:128]}", addr
+        return addr, None
+
+    def _check_limits(self, headers, writer) -> Tuple[bool, float]:
+        client_key, addr_key = self._client_keys(headers, writer)
+        allowed, retry_after = self.limiter.check(client_key)
+        if allowed and addr_key is not None:
+            allowed, retry_after = self._addr_limiter.check(addr_key)
+        return allowed, retry_after
 
     async def _submit(self, headers, body, writer) -> None:
-        allowed, retry_after = self.limiter.check(
-            self._client_key(headers, writer)
-        )
+        allowed, retry_after = self._check_limits(headers, writer)
         if not allowed:
             after = "60" if retry_after == float("inf") else f"{retry_after:.1f}"
             writer.write(_error(
@@ -336,15 +381,30 @@ class ServiceServer:
             writer.write(_error(400, str(exc)))
             await writer.drain()
             return
+        except ServiceOverloadedError as exc:
+            writer.write(_error(429, str(exc), **{"Retry-After": "10"}))
+            await writer.drain()
+            return
         except RuntimeError as exc:
             writer.write(_error(500, str(exc)))
             await writer.drain()
             return
         wait = bool(isinstance(data, dict) and data.get("wait"))
-        if wait:
-            await asyncio.to_thread(job.wait)
+        if wait and self._waiters < self._max_waiters:
+            # Blocking waits park a thread for the whole job; give them
+            # their own bounded pool so they can never starve the shared
+            # to_thread executor that serves every other handler.
+            self._waiters += 1
+            try:
+                await asyncio.get_running_loop().run_in_executor(
+                    self._wait_pool, job.wait
+                )
+            finally:
+                self._waiters -= 1
             writer.write(_response(200, envelope("job", job.to_wire())))
         else:
+            # not waiting — or every wait slot is taken: the job is still
+            # accepted, the client polls it instead of blocking us.
             writer.write(_response(202, envelope("job", job.to_wire())))
         await writer.drain()
 

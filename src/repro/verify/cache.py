@@ -70,13 +70,22 @@ SCHEMA_VERSION = 4
 CACHE_FILENAME = "proof-cache.json"
 
 
-def config_fingerprint(config: ProverConfig) -> str:
+def config_fingerprint(
+    config: ProverConfig, hard_timeout_s: Optional[float] = None
+) -> str:
     """The resource-limit identity of a prover configuration.
 
     Only limits that can turn ``proved`` into ``unknown`` participate; the
     split-priority heuristic affects search order, not reachability of a
     refutation within the limits, but is conservatively excluded from the
-    fingerprint only when it is the default."""
+    fingerprint only when it is the default.
+
+    ``hard_timeout_s`` is the caller's per-obligation wall-clock limit
+    (``VerifyOptions.obligation_timeout_s``) when one is set: a hard
+    timeout manufactures ``unknown`` verdicts just like the prover's own
+    limits do, so it must scope them — otherwise a run under a tiny hard
+    timeout could store ``unknown``s that replay for runs under the
+    default limit (in the daemon, one client poisoning every other)."""
     parts = [
         f"rounds={config.max_rounds}",
         f"instances={config.max_instances}",
@@ -85,6 +94,8 @@ def config_fingerprint(config: ProverConfig) -> str:
     ]
     if config.split_priority is not None:
         parts.append(f"split={getattr(config.split_priority, '__qualname__', repr(config.split_priority))}")
+    if hard_timeout_s is not None:
+        parts.append(f"hard_timeout={float(hard_timeout_s)!r}")
     return ";".join(parts)
 
 
@@ -372,6 +383,11 @@ class ProofCache:
         self.stats = CacheStats()
         self.remote = remote
         self._lock = threading.RLock()
+        #: serializes L2 round trips only — never held together with work
+        #: that other threads' get/put would block on.  Ordering: _net_lock
+        #: is taken first, _lock only inside it (or alone), never the
+        #: reverse, so the pair cannot deadlock.
+        self._net_lock = threading.Lock()
         self._entries: Dict[str, CachedVerdict] = {}  # L0
         self._store: Optional[ShardedStore] = None  # L1 (CAS form)
         self._legacy = False  # L1 is the single-file form
@@ -440,7 +456,10 @@ class ProofCache:
             else:
                 self._dirty.clear()
                 self._fetched.clear()
-            self._flush_remote()
+        # Publication happens outside the instance lock for the same
+        # reason prefetch releases it: a slow L2 multi-PUT must never
+        # block other threads' get/put on the shared cache.
+        self._flush_remote()
 
     def _save_monolithic(self) -> None:
         assert self.file is not None
@@ -487,16 +506,27 @@ class ProofCache:
         self._cleared = False
 
     def _flush_remote(self) -> None:
-        """Write-behind publication: one batched multi-PUT of new proofs."""
-        if not self._unpublished or self.remote is None or not self.remote.alive:
+        """Write-behind publication: one batched multi-PUT of new proofs.
+
+        The network call runs under the network lock only; the instance
+        lock is taken just to snapshot and (on success) retire the batch,
+        so concurrent get/put never wait on the round trip.  Keys put()
+        while the publish is in flight stay queued for the next save."""
+        remote = self.remote
+        if remote is None or not remote.alive:
             return
-        batch = {
-            key: self._entries[key].to_json()
-            for key in sorted(self._unpublished)
-            if key in self._entries
-        }
-        if self.remote.publish(batch):
-            self._unpublished.clear()
+        with self._net_lock:
+            with self._lock:
+                batch = {
+                    key: self._entries[key].to_json()
+                    for key in sorted(self._unpublished)
+                    if key in self._entries
+                }
+            if not batch:
+                return
+            if remote.publish(batch):
+                with self._lock:
+                    self._unpublished -= set(batch)
 
     # -- lookup --------------------------------------------------------------
 
@@ -541,28 +571,56 @@ class ProofCache:
         Keys already resolved locally (or already asked of the network this
         process) cost nothing, so per-pattern prefetches after a suite-wide
         one never re-ask the daemon — a warm suite is one round trip.
-        Returns the number of entries pulled from the network tier."""
+        Returns the number of entries pulled from the network tier.
+
+        The instance lock is *not* held across the network call: the daemon
+        shares one cache across every job thread, so a slow L2 round trip
+        (up to its configured timeout) must stall only overlapping
+        prefetches, never another job's get/put.  Concurrent prefetches
+        serialize on a dedicated network lock instead, and the second one
+        re-checks after acquiring it — an overlapping prefetch waits for
+        the in-flight round trip and then finds its keys resolved (or
+        known-missing) locally, rather than duplicating the fetch."""
         with self._lock:
-            missing = []
-            for key in keys:
-                if self._lookup(key) is None and key not in self._remote_seen:
-                    missing.append(key)
-            if not missing or self.remote is None or not self.remote.alive:
-                return 0
-            asked = sorted(set(missing))
-            self._remote_seen.update(asked)
+            missing = self._prefetch_missing(keys)
+        if not missing:
+            return 0
+        with self._net_lock:
+            with self._lock:
+                # Re-check: the round trip we just waited for (or a racing
+                # put) may have resolved some — or all — of our keys.
+                remote = self.remote
+                asked = sorted(set(self._prefetch_missing(missing)))
+                if not asked:
+                    return 0
+                self._remote_seen.update(asked)
+            try:
+                fetched = remote.multi_get(asked)
+            except Exception:
+                return 0  # the network tier is fail-open, never fatal
             pulled = 0
-            for key, raw in self.remote.multi_get(asked).items():
-                if key not in self._remote_seen or key in self._entries:
-                    continue
-                try:
-                    entry = CachedVerdict.from_json(raw)
-                except Exception:
-                    continue  # a corrupt L2 entry is a miss, never an error
-                self._entries[key] = entry
-                self._fetched.add(key)  # read-through: persist locally on save
-                pulled += 1
+            with self._lock:
+                for key, raw in fetched.items():
+                    if key in self._entries:
+                        continue  # a racing put() wins over the fetch
+                    try:
+                        entry = CachedVerdict.from_json(raw)
+                    except Exception:
+                        continue  # a corrupt L2 entry is a miss, never an error
+                    self._entries[key] = entry
+                    self._fetched.add(key)  # read-through: persist on save
+                    pulled += 1
             return pulled
+
+    def _prefetch_missing(self, keys: Sequence[str]) -> List[str]:
+        """Keys worth asking L2 for (caller holds the instance lock)."""
+        if self.remote is None or not self.remote.alive:
+            return []
+        return [
+            key
+            for key in keys
+            if self._lookup(key) is None and key not in self._remote_seen
+        ]
 
     def get(
         self, key: str, config_fp: str, backend: str = "internal"

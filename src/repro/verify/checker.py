@@ -309,7 +309,12 @@ class SoundnessChecker:
         )
         self._backend_id = self.backend.identity()
         self._axiom_digest = axioms_digest(axioms, CONSTRUCTORS)
-        self._config_fp = config_fingerprint(self.config)
+        # The hard wall-clock limit participates in the fingerprint: a
+        # hard-timeout verdict is an ``unknown`` manufactured by this limit,
+        # so it must not replay for callers running under a different one.
+        self._config_fp = config_fingerprint(
+            self.config, hard_timeout_s=self.obligation_timeout_s
+        )
 
     # ------------------------------------------------------------------
 

@@ -183,6 +183,68 @@ class TestConfigScoping:
         hit = cache.get("k", fp_big)
         assert hit is not None and hit.proved
 
+    def test_hard_timeout_scopes_unknown_verdicts(self, tmp_path):
+        # A hard-timeout ``unknown`` produced under a tiny per-obligation
+        # wall-clock limit must never replay for a caller running under
+        # the default limit — in the daemon, where one shared cache serves
+        # every client, that would let one client's timeout flip another
+        # client's obligations to unproved.
+        cache = ProofCache(tmp_path)
+        cfg = ProverConfig(timeout_s=60.0)
+        fp_tiny = config_fingerprint(cfg, hard_timeout_s=0.001)
+        fp_default = config_fingerprint(cfg)
+        assert fp_tiny != fp_default
+        cache.put("k", proved=False, elapsed_s=0.001,
+                  context=["<hard timeout>"], config_fp=fp_tiny)
+        assert cache.get("k", fp_default) is None
+        hit = cache.get("k", fp_tiny)
+        assert hit is not None and not hit.proved
+
+    def test_checker_fingerprint_covers_hard_timeout(self):
+        default = SoundnessChecker(config=FAST)
+        limited = SoundnessChecker(
+            config=FAST, options=VerifyOptions(obligation_timeout_s=0.5)
+        )
+        assert default._config_fp != limited._config_fp
+
+
+class TestPrefetchLocking:
+    def test_get_not_blocked_by_slow_remote(self):
+        # The daemon shares one cache across every job thread: a wedged L2
+        # round trip must stall only overlapping prefetches, never get/put.
+        import threading
+
+        entered = threading.Event()
+        release = threading.Event()
+
+        class SlowRemote:
+            alive = True
+
+            def multi_get(self, keys):
+                entered.set()
+                release.wait(10)
+                return {}
+
+        cache = ProofCache(None, remote=SlowRemote())
+        cache.put("hot", proved=True, elapsed_s=0.1)
+        fetcher = threading.Thread(target=cache.prefetch, args=(["cold"],))
+        fetcher.start()
+        try:
+            assert entered.wait(10), "prefetch never reached the remote"
+            done = threading.Event()
+
+            def read():
+                if cache.get("hot", "") is not None:
+                    done.set()
+
+            reader = threading.Thread(target=read)
+            reader.start()
+            assert done.wait(2), "get() blocked behind the remote multi_get"
+            reader.join(10)
+        finally:
+            release.set()
+            fetcher.join(10)
+
 
 class TestRobustness:
     def test_corrupted_file_recovered(self, tmp_path):

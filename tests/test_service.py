@@ -23,8 +23,10 @@ from repro.cobalt.labels import standard_registry
 from repro.prover import ProverConfig
 from repro.prover.backends.base import BackendSpec
 from repro.service import (
+    Job,
     ObligationBroker,
     RateLimiter,
+    ServiceOverloadedError,
     ServiceServer,
     TokenBucket,
     VerificationService,
@@ -184,6 +186,37 @@ class TestBroker:
         finally:
             broker.close()
 
+    def test_different_timeouts_never_share_a_dispatch(self):
+        # _discharge applies the lead's hard timeout to its whole group, so
+        # only same-timeout work may coalesce: a job under a tiny timeout
+        # must never have another job's obligations killed under it.
+        broker = ObligationBroker(jobs=1, batch_window_s=0.3)
+        backend = FakeBackend()
+        try:
+            obs = _obligations()
+            kwargs = dict(
+                config=ProverConfig(), spec=BackendSpec(),
+                backend=backend, axiom_digest="d",
+            )
+            futures_a = broker.submit(
+                "job-a", "constFold", obs, timeout_s=None, **kwargs
+            )
+            futures_b = broker.submit(
+                "job-b", "constFold", obs, timeout_s=0.001, **kwargs
+            )
+            for f in futures_a + futures_b:
+                assert f.result(timeout=10).proved
+            from repro.verify.cache import obligation_key
+
+            distinct = len({obligation_key(ob, "d") for ob in obs})
+            stats = broker.stats
+            assert stats.dispatches == 2
+            assert stats.shared_dispatches == 0
+            # each distinct obligation ran once *per timeout group*
+            assert len(backend.calls) == 2 * distinct
+        finally:
+            broker.close()
+
     def test_closed_broker_refuses_work(self):
         broker = ObligationBroker(jobs=1, batch_window_s=0.0)
         broker.close()
@@ -270,6 +303,17 @@ class TestVerificationService:
         assert stats["jobs"]["completed"] >= 1
         assert stats["broker"]["enqueued"] >= 1
         assert stats["cache"]["stores"] >= 1
+
+    def test_live_job_bound_refuses_submissions(self):
+        svc = VerificationService(FAST, max_live_jobs=1)
+        try:
+            # a live (unfinished) job occupies the only slot
+            svc._jobs["blocker"] = Job("blocker", "suite")
+            with pytest.raises(ServiceOverloadedError):
+                svc.submit(envelope("job-request", {"optimizations": []}))
+        finally:
+            del svc._jobs["blocker"]
+            svc.shutdown()
 
     def test_warm_network_replay_is_one_round_trip(self, tmp_path):
         # Populate a store locally, serve it over the network tier, and
@@ -483,6 +527,53 @@ class TestHTTPLimits:
         finally:
             fixture.server.request_stop()
             fixture.thread.join(timeout=30)
+
+    def test_header_rotation_cannot_bypass_address_budget(self):
+        # X-Repro-Client is client-supplied: rotating it mints per-client
+        # buckets, but they all drain one per-address aggregate (8x the
+        # per-client budget), so spoofed submissions still hit 429.
+        fixture = _start_daemon(rate=0.0, burst=1.0)
+        try:
+            statuses = [
+                fixture.post_job(
+                    {"optimizations": []},
+                    headers={"X-Repro-Client": f"spoof-{i}"},
+                )[0]
+                for i in range(9)
+            ]
+            assert statuses[:8] == [202] * 8
+            assert statuses[8] == 429
+        finally:
+            fixture.server.request_stop()
+            fixture.thread.join(timeout=30)
+
+    def test_overloaded_submission_is_429(self):
+        svc = VerificationService(FAST, max_live_jobs=1)
+        svc._jobs["blocker"] = Job("blocker", "suite")
+        fixture = _start_daemon(service=svc)
+        try:
+            status, headers, _ = fixture.post_job({"optimizations": []})
+            assert status == 429
+            assert "Retry-After" in headers
+            assert fixture.request("GET", "/v1/healthz")[0] == 200
+        finally:
+            del svc._jobs["blocker"]
+            fixture.server.request_stop()
+            fixture.thread.join(timeout=30)
+
+    def test_exhausted_wait_slots_fall_back_to_202(self, daemon):
+        # Every wait slot taken: the job is still accepted, just answered
+        # 202 for polling instead of parking yet another thread.
+        daemon.server._waiters = daemon.server._max_waiters
+        try:
+            status, _, body = daemon.post_job(
+                {"optimizations": [], "wait": True}
+            )
+        finally:
+            daemon.server._waiters = 0
+        assert status == 202
+        job_id = json.loads(body)["id"]
+        assert daemon.request("GET", f"/v1/jobs/{job_id}")[0] == 200
 
     def test_oversized_body_is_413(self):
         fixture = _start_daemon(max_body_bytes=512)
